@@ -1,0 +1,158 @@
+package activemem
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewMachines(t *testing.T) {
+	full := NewXeon20MB()
+	if full.L3.Size != 20<<20 {
+		t.Fatalf("Xeon20MB L3 = %d", full.L3.Size)
+	}
+	small := NewScaledXeon(8)
+	if small.L3.Size != 20<<20/8 {
+		t.Fatalf("Scaled(8) L3 = %d", small.L3.Size)
+	}
+}
+
+func TestWithResources(t *testing.T) {
+	m, err := WithResources(NewXeon20MB(), 10<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 MB rounds to the nearest valid geometry at or below.
+	if m.L3.Size > 10<<20 || m.L3.Size < 5<<20 {
+		t.Fatalf("custom L3 = %d", m.L3.Size)
+	}
+	if bw := m.PeakBandwidthGBs(); math.Abs(bw-8) > 0.7 {
+		t.Fatalf("custom bandwidth = %v, want ~8", bw)
+	}
+	if !strings.Contains(m.Name, "custom") {
+		t.Fatalf("name = %q", m.Name)
+	}
+	// Zero arguments leave the machine unchanged.
+	m2, err := WithResources(NewXeon20MB(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.L3.Size != 20<<20 {
+		t.Fatal("zero-valued WithResources changed the machine")
+	}
+}
+
+func TestPatternNames(t *testing.T) {
+	if PatternUniform.String() != "Uni" || PatternNormal8.String() != "Norm 8" {
+		t.Fatal("pattern names")
+	}
+	if Pattern(99).String() != "Pattern(99)" {
+		t.Fatal("unknown pattern name")
+	}
+}
+
+func TestModelCheck(t *testing.T) {
+	m := NewScaledXeon(8)
+	pred, meas, err := ModelCheck(m, PatternUniform, m.L3.Size*2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 0.3 || pred >= 0.7 {
+		t.Fatalf("uniform 2x-L3 predicted miss = %v, want ~0.5", pred)
+	}
+	if math.Abs(pred-meas) > 0.10 {
+		t.Fatalf("model error %.3f outside the Fig. 5 band (pred %.3f meas %.3f)",
+			math.Abs(pred-meas), pred, meas)
+	}
+}
+
+func TestMeasureProfileEndToEnd(t *testing.T) {
+	m := NewScaledXeon(8)
+	prof, err := MeasureProfile(m, "uniform-2x",
+		PatternWorkload(PatternUniform, m.L3.Size*2, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.App != "uniform-2x" || prof.Processes != 1 {
+		t.Fatalf("profile header: %+v", prof)
+	}
+	// A 2x-L3 uniform scanner is both capacity- and bandwidth-hungry: its
+	// bounds must be non-trivial and ordered.
+	if prof.CapacityHigh <= 0 || prof.CapacityHigh < prof.CapacityLow {
+		t.Fatalf("capacity bounds [%v, %v]", prof.CapacityLow, prof.CapacityHigh)
+	}
+	if prof.BandwidthHigh <= 0 || prof.BandwidthHigh < prof.BandwidthLow {
+		t.Fatalf("bandwidth bounds [%v, %v]", prof.BandwidthLow, prof.BandwidthHigh)
+	}
+	// Predictions: full resources ≈ no slowdown; starved resources hurt.
+	if s := prof.PredictSlowdown(float64(m.L3.Size), m.PeakBandwidthGBs()); s > 0.02 {
+		t.Fatalf("full-resource prediction = %v", s)
+	}
+	starved := prof.PredictSlowdown(float64(m.L3.Size)/8, m.PeakBandwidthGBs()/3)
+	if starved < 0.05 {
+		t.Fatalf("starved prediction = %v, want meaningful slowdown", starved)
+	}
+	if !strings.Contains(prof.String(), "uniform-2x") {
+		t.Fatal("profile rendering")
+	}
+}
+
+func TestPointerChaseProfileIsLatencyBound(t *testing.T) {
+	m := NewScaledXeon(8)
+	prof, err := MeasureProfile(m, "pchase", PointerChaseWorkload(m.L3.Size*4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dependent-load chase misses everywhere but cannot exploit
+	// bandwidth; its bandwidth-use upper bound must stay well below what a
+	// streaming workload would show.
+	if prof.BandwidthHigh > m.PeakBandwidthGBs() {
+		t.Fatalf("pchase bandwidth bound %v exceeds peak", prof.BandwidthHigh)
+	}
+}
+
+// TestPredictionCrossCheck validates the paper's §I claim end to end in a
+// way the authors could not on real hardware: build a profile on one
+// machine, predict the slowdown for a machine with half the cache, then
+// actually simulate that machine and compare. The prediction interpolates a
+// coarse interference curve, so tolerances are generous — the check is that
+// the prediction is directionally right and within a factor of ~2.
+func TestPredictionCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-check is slow")
+	}
+	big := NewScaledXeon(8)    // 2.5 MB L3
+	small := NewScaledXeon(16) // 1.25 MB L3, same bandwidth
+	const buf = 5 << 20        // same absolute working set on both machines
+	wl := PatternWorkload(PatternUniform, buf, 1)
+
+	prof, err := MeasureProfile(big, "xcheck", wl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := prof.PredictSlowdown(float64(small.L3.Size), small.PeakBandwidthGBs())
+
+	// Direct measurement of the uninterfered baseline rate on both machines.
+	measureRate := func(m Machine) float64 {
+		r, err := BaselineRate(m, wl, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	bigRate := measureRate(big)
+	smallRate := measureRate(small)
+	actual := bigRate/smallRate - 1
+
+	if actual <= 0 {
+		t.Fatalf("halving the L3 did not slow the workload: big %v small %v", bigRate, smallRate)
+	}
+	if predicted <= 0 {
+		t.Fatalf("profile predicted no slowdown (%v) but measured %v", predicted, actual)
+	}
+	ratio := predicted / actual
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("prediction %0.3f vs simulated %0.3f (ratio %.2f) outside tolerance",
+			predicted, actual, ratio)
+	}
+}

@@ -1,0 +1,169 @@
+// Command activemem measures a workload's memory resource consumption with
+// the Active Measurement methodology: it sweeps storage (CSThr) and
+// bandwidth (BWThr) interference, reports the degradation curves, derives a
+// resource profile, and optionally predicts performance on a hypothetical
+// machine.
+//
+// Usage:
+//
+//	activemem [-workload uniform|norm4|norm8|exp4|pchase] [-buf BYTES]
+//	          [-compute N] [-scale N] [-threshold F]
+//	          [-predict-l3 MB] [-predict-bw GBS] [-seed N]
+//
+// Example:
+//
+//	activemem -workload uniform -buf 8388608 -compute 10 -scale 8 \
+//	          -predict-l3 1.25 -predict-bw 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"activemem/internal/core"
+	"activemem/internal/dist"
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/report"
+	"activemem/internal/units"
+	"activemem/internal/workload/interfere"
+	"activemem/internal/workload/pchase"
+	"activemem/internal/workload/synthetic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("activemem: ")
+	var (
+		workload  = flag.String("workload", "uniform", "workload: uniform, norm4, norm8, exp4 or pchase")
+		buf       = flag.Int64("buf", 0, "workload buffer bytes (default: 2x the machine's L3)")
+		compute   = flag.Int("compute", 1, "integer adds per load (synthetic workloads)")
+		scale     = flag.Int("scale", 8, "machine scale divisor (1 = full Xeon20MB)")
+		threshold = flag.Float64("threshold", 0.05, "slowdown threshold defining the degradation knee")
+		predictL3 = flag.Float64("predict-l3", 0, "predict slowdown with this much L3 (MB, 0 = skip)")
+		predictBW = flag.Float64("predict-bw", 0, "predict slowdown with this much bandwidth (GB/s)")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	spec := machine.Scaled(*scale)
+	if *buf == 0 {
+		*buf = spec.L3.Size * 2
+	}
+	fmt.Println(spec.TableI())
+
+	factory, name := buildWorkload(*workload, *buf, *compute, spec)
+	cfg := core.MeasureConfig{
+		Spec:   spec,
+		Warmup: 30_000_000 * units.Cycles(8/clampScale(*scale)),
+		Window: 12_000_000 * units.Cycles(8/clampScale(*scale)),
+		Seed:   *seed,
+	}
+
+	fmt.Printf("measuring %s (buffer %s, %d adds/load)...\n\n",
+		name, units.FormatBytes(*buf), *compute)
+
+	storage, err := core.RunSweep(core.SweepConfig{
+		MeasureConfig: cfg, Kind: core.Storage, MaxThreads: 5, Parallel: true,
+	}, name, factory)
+	check(err)
+	bandwidth, err := core.RunSweep(core.SweepConfig{
+		MeasureConfig: cfg, Kind: core.Bandwidth, MaxThreads: 2, Parallel: true,
+	}, name, factory)
+	check(err)
+
+	printSweep("storage interference (CSThr)", storage)
+	printSweep("bandwidth interference (BWThr)", bandwidth)
+
+	// Availability tables for the profile.
+	bufs, _ := core.DefaultCalibrationGrid(spec, 2)
+	ds := core.Table2Constructors()
+	capCal, err := core.CalibrateCapacity(core.CalibrationConfig{
+		MeasureConfig: cfg, MaxThreads: 5, BufferBytes: bufs,
+		Dists:          []func(int64) dist.Dist{ds[9]},
+		ComputePerLoad: 1, ElemSize: 4, Parallel: true,
+	})
+	check(err)
+	bwCal, err := core.CalibrateBandwidth(core.MeasureConfig{
+		Spec: spec, Warmup: 2_000_000, Window: 6_000_000, Seed: *seed,
+	}, 2, interfere.BWConfig{})
+	check(err)
+
+	prof, err := core.BuildProfile(name, 1, *threshold,
+		storage, capCal.AvailableBytes(), bandwidth, bwCal.AvailableGBs)
+	check(err)
+	fmt.Println(prof.String())
+
+	if *predictL3 > 0 || *predictBW > 0 {
+		l3 := *predictL3 * float64(units.MB)
+		if l3 == 0 {
+			l3 = float64(spec.L3.Size)
+		}
+		bw := *predictBW
+		if bw == 0 {
+			bw = spec.PeakBandwidthGBs()
+		}
+		s := prof.PredictSlowdown(l3, bw)
+		fmt.Printf("predicted slowdown with %.2f MB L3 and %.2f GB/s: %.1f%%\n",
+			l3/float64(units.MB), bw, s*100)
+	}
+}
+
+func clampScale(s int) units.Cycles {
+	if s > 8 {
+		return 8
+	}
+	if s < 1 {
+		return 1
+	}
+	return units.Cycles(s)
+}
+
+func buildWorkload(kind string, buf int64, compute int, spec machine.Spec) (core.WorkloadFactory, string) {
+	mkDist := func(mk func(int64) dist.Dist) core.WorkloadFactory {
+		return func(alloc *mem.Alloc, seed uint64) engine.Workload {
+			return synthetic.New(synthetic.Config{
+				Dist: mk(buf / 4), ElemSize: 4, ComputePerLoad: compute,
+			}, alloc)
+		}
+	}
+	switch kind {
+	case "uniform":
+		return mkDist(func(n int64) dist.Dist { return dist.NewUniform(n) }), "uniform"
+	case "norm4":
+		return mkDist(func(n int64) dist.Dist { return dist.NewNormal(n, 4) }), "norm4"
+	case "norm8":
+		return mkDist(func(n int64) dist.Dist { return dist.NewNormal(n, 8) }), "norm8"
+	case "exp4":
+		return mkDist(func(n int64) dist.Dist { return dist.NewExponential(n, 4) }), "exp4"
+	case "pchase":
+		return func(alloc *mem.Alloc, seed uint64) engine.Workload {
+			return pchase.New(pchase.Config{
+				BufBytes: buf, LineSize: spec.LineSize(), Seed: seed,
+			}, alloc)
+		}, "pchase"
+	default:
+		log.Fatalf("unknown workload %q", kind)
+		return nil, ""
+	}
+}
+
+func printSweep(title string, s core.Sweep) {
+	t := report.NewTable(title, "threads", "work/s", "slowdown", "app L3 miss", "app GB/s", "bus util")
+	sl := s.Slowdowns()
+	for k, p := range s.Points {
+		t.Addf(k, p.Rate, fmt.Sprintf("%+.1f%%", sl[k]*100), p.L3MissRate, p.AppGBs, p.BusUtil)
+	}
+	fmt.Println(t.String())
+	lastOK, firstDeg := s.Knee(0.05)
+	fmt.Printf("  knee: no degradation through %d threads; first degradation at %d\n\n",
+		lastOK, firstDeg)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Command appstudy regenerates the paper's parallel application studies
+// (§IV): the MCB degradation panels (Fig. 9) and per-process resource
+// consumption (Fig. 10), and the Lulesh equivalents (Figs. 11-12).
+//
+// Usage:
+//
+//	appstudy [-app mcb|lulesh|both] [-scale N] [-grid smoke|quick|paper]
+//	         [-seed N] [-serial] [-csvdir DIR]
+//
+// The default -scale 8 runs a 1/8-geometry Xeon20MB with proportionally
+// scaled inputs (see DESIGN.md); the printed profiles include the ×scale
+// full-machine equivalents. -scale 1 runs the full geometry (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"activemem/internal/experiments"
+	"activemem/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("appstudy: ")
+	var (
+		app    = flag.String("app", "both", "application: mcb, lulesh or both")
+		scale  = flag.Int("scale", 8, "machine scale divisor (power of two; 1 = full Xeon20MB)")
+		grid   = flag.String("grid", "quick", "experiment size: smoke, quick or paper")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		serial = flag.Bool("serial", false, "disable the experiment worker pool")
+		csvdir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:    *scale,
+		Grid:     parseGrid(*grid),
+		Parallel: !*serial,
+		Seed:     *seed,
+	}
+	fmt.Println(opt.ScaleNote())
+	fmt.Printf("grid: %s\n\n", opt.Grid)
+
+	fmt.Println("calibrating interference availability tables (§III-A, §III-C3)...")
+	capAvail, bwAvail, err := experiments.StudyCalibrations(opt)
+	check(err)
+	fmt.Print(calibrationSummary(capAvail, bwAvail))
+
+	emit := func(name string, t *report.Table) {
+		fmt.Println(t.String())
+		if *csvdir != "" {
+			check(writeCSV(*csvdir, name, t))
+		}
+	}
+
+	if *app == "mcb" || *app == "both" {
+		study, err := experiments.Fig9MCB(opt)
+		check(err)
+		for i, t := range study.Tables() {
+			emit(fmt.Sprintf("fig9_panel%d", i+1), t)
+		}
+		prof, err := experiments.BuildProfiles(opt, study, capAvail, bwAvail, 0.05)
+		check(err)
+		emit("fig10", prof.Table())
+	}
+	if *app == "lulesh" || *app == "both" {
+		study, err := experiments.Fig11Lulesh(opt)
+		check(err)
+		for i, t := range study.Tables() {
+			emit(fmt.Sprintf("fig11_panel%d", i+1), t)
+		}
+		prof, err := experiments.BuildProfiles(opt, study, capAvail, bwAvail, 0.05)
+		check(err)
+		emit("fig12", prof.Table())
+	}
+}
+
+func calibrationSummary(capAvail, bwAvail []float64) string {
+	var b strings.Builder
+	b.WriteString("effective L3 per CSThr count (MB):")
+	for _, v := range capAvail {
+		fmt.Fprintf(&b, " %.2f", v/(1<<20))
+	}
+	b.WriteString("\navailable GB/s per BWThr count:  ")
+	for _, v := range bwAvail {
+		fmt.Fprintf(&b, " %.2f", v)
+	}
+	b.WriteString("\n\n")
+	return b.String()
+}
+
+func parseGrid(s string) experiments.Grid {
+	switch s {
+	case "smoke":
+		return experiments.GridSmoke
+	case "quick":
+		return experiments.GridQuick
+	case "paper":
+		return experiments.GridPaper
+	default:
+		log.Fatalf("unknown grid %q (want smoke, quick or paper)", s)
+		return experiments.GridQuick
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeCSV(dir, name string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,128 @@
+// Command validate regenerates the paper's validation section (§III):
+// Tables I-II, the §III-A bandwidth calibration, the Fig. 5 model-error
+// evaluation, the Fig. 6 effective-capacity panels and the Fig. 7/8
+// orthogonality checks.
+//
+// Usage:
+//
+//	validate [-scale N] [-grid smoke|quick|paper] [-fig all|table1,table2,3a,5,6,7,8]
+//	         [-seed N] [-serial] [-csvdir DIR]
+//
+// The default -scale 1 runs the full Xeon20MB geometry. -grid paper runs
+// the paper's complete 660-configuration synthetic grid (slow at scale 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"activemem/internal/experiments"
+	"activemem/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("validate: ")
+	var (
+		scale  = flag.Int("scale", 1, "machine scale divisor (power of two; 1 = full Xeon20MB)")
+		grid   = flag.String("grid", "quick", "experiment size: smoke, quick or paper")
+		figs   = flag.String("fig", "all", "comma-separated figures: table1,table2,3a,5,6,7,8 or all")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+		serial = flag.Bool("serial", false, "disable the experiment worker pool")
+		csvdir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:    *scale,
+		Grid:     parseGrid(*grid),
+		Parallel: !*serial,
+		Seed:     *seed,
+	}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	emit := func(name string, t *report.Table) {
+		fmt.Println(t.String())
+		if *csvdir != "" {
+			if err := writeCSV(*csvdir, name, t); err != nil {
+				log.Fatalf("csv: %v", err)
+			}
+		}
+	}
+
+	fmt.Println(opt.ScaleNote())
+	fmt.Printf("grid: %s\n\n", opt.Grid)
+
+	if all || want["table1"] {
+		fmt.Println(experiments.TableI(opt))
+	}
+	if all || want["table2"] {
+		emit("table2", experiments.TableII(opt))
+	}
+	if all || want["3a"] {
+		r, err := experiments.SecIIIA(opt)
+		check(err)
+		emit("sec3a", r.Table())
+	}
+	if all || want["5"] {
+		r, err := experiments.Fig5(opt)
+		check(err)
+		emit("fig5", r.Table())
+	}
+	if all || want["6"] {
+		r, err := experiments.Fig6(opt)
+		check(err)
+		for i, t := range r.Tables() {
+			emit(fmt.Sprintf("fig6_c%d", r.Computes[i]), t)
+		}
+	}
+	if all || want["7"] {
+		r, err := experiments.Fig7(opt)
+		check(err)
+		emit("fig7", r.Table())
+	}
+	if all || want["8"] {
+		r, err := experiments.Fig8(opt)
+		check(err)
+		emit("fig8", r.Table())
+	}
+}
+
+func parseGrid(s string) experiments.Grid {
+	switch s {
+	case "smoke":
+		return experiments.GridSmoke
+	case "quick":
+		return experiments.GridQuick
+	case "paper":
+		return experiments.GridPaper
+	default:
+		log.Fatalf("unknown grid %q (want smoke, quick or paper)", s)
+		return experiments.GridQuick
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeCSV(dir, name string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,67 @@
+// Colocation: use Active Measurement profiles to decide whether two
+// workloads can share a socket without hurting each other — the paper's
+// "more intelligent work scheduling" use case (§IV), in the spirit of the
+// bubble-up co-location work it cites [14].
+//
+// Run with:
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activemem"
+)
+
+func main() {
+	m := activemem.NewScaledXeon(8)
+
+	candidates := []struct {
+		name string
+		wl   activemem.WorkloadFactory
+	}{
+		// A compute-heavy kernel whose hot set is a small slice of the L3.
+		{"hot-small", activemem.PatternWorkload(activemem.PatternNormal8, m.L3.Size/8, 100)},
+		// A bandwidth hog: streams far more data than the cache holds.
+		{"streaming-big", activemem.PatternWorkload(activemem.PatternUniform, m.L3.Size*4, 1)},
+		// A latency-bound pointer chase.
+		{"chaser", activemem.PointerChaseWorkload(m.L3.Size * 2)},
+	}
+
+	fmt.Println("profiling candidates...")
+	profiles := make([]activemem.Profile, len(candidates))
+	for i, c := range candidates {
+		p, err := activemem.MeasureProfile(m, c.name, c.wl, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles[i] = p
+		fmt.Println(p.String())
+	}
+
+	// Pairwise co-location check: both fit if their estimated demands (the
+	// midpoint of each profile's bounds) sum within the socket's resources
+	// with a safety margin.
+	const margin = 0.9
+	capBudget := float64(m.L3.Size) * margin
+	bwBudget := m.PeakBandwidthGBs() * margin
+	capMid := func(p activemem.Profile) float64 { return (p.CapacityLow + p.CapacityHigh) / 2 }
+	bwMid := func(p activemem.Profile) float64 { return (p.BandwidthLow + p.BandwidthHigh) / 2 }
+	fmt.Println("pairwise co-location verdicts:")
+	for i := 0; i < len(profiles); i++ {
+		for j := i + 1; j < len(profiles); j++ {
+			a, b := profiles[i], profiles[j]
+			fits := capMid(a)+capMid(b) <= capBudget && bwMid(a)+bwMid(b) <= bwBudget
+			verdict := "SHARE a socket"
+			if !fits {
+				verdict = "keep APART"
+			}
+			fmt.Printf("  %-14s + %-14s -> %s (cap %.2f+%.2f of %.2f MB, bw %.1f+%.1f of %.1f GB/s)\n",
+				a.App, b.App, verdict,
+				capMid(a)/(1<<20), capMid(b)/(1<<20), capBudget/(1<<20),
+				bwMid(a), bwMid(b), bwBudget)
+		}
+	}
+}

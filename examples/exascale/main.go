@@ -1,0 +1,67 @@
+// Exascale what-if: the paper's motivation is that future machines will
+// offer one to two orders of magnitude less memory capacity and bandwidth
+// per core [13]. This example profiles a workload on today's machine and
+// predicts its performance across a grid of leaner future configurations —
+// the §I use case "predict performance for future memory-constrained
+// architectures".
+//
+// Run with:
+//
+//	go run ./examples/exascale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activemem"
+)
+
+func main() {
+	today := activemem.NewScaledXeon(8)
+	wl := activemem.PatternWorkload(activemem.PatternExponential4, today.L3.Size*2, 10)
+
+	fmt.Printf("profiling on %s...\n", today.Name)
+	prof, err := activemem.MeasureProfile(today, "exp4-2xL3", wl, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(prof.String())
+
+	fmt.Println("predicted slowdown on future machines (rows: L3 fraction; cols: bandwidth fraction):")
+	capFracs := []float64{1, 0.5, 0.25, 0.125}
+	bwFracs := []float64{1, 0.5, 0.33, 0.2}
+	fmt.Printf("%8s", "")
+	for _, bf := range bwFracs {
+		fmt.Printf("  bw x%-5.2f", bf)
+	}
+	fmt.Println()
+	for _, cf := range capFracs {
+		fmt.Printf("L3 x%-4.2f", cf)
+		for _, bf := range bwFracs {
+			s := prof.PredictSlowdown(
+				float64(today.L3.Size)*cf,
+				today.PeakBandwidthGBs()*bf)
+			fmt.Printf("  %+7.1f%%", s*100)
+		}
+		fmt.Println()
+	}
+
+	// Sanity-check one prediction against a direct simulation of the lean
+	// machine (something the paper could not do on real hardware).
+	lean, err := activemem.WithResources(today, today.L3.Size/4, today.PeakBandwidthGBs()/3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidating the L3 x0.25 / bw x0.33 cell by direct simulation on %s...\n", lean.Name)
+	leanProf, err := activemem.MeasureProfile(lean, "exp4-2xL3", wl, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted := prof.PredictSlowdown(float64(lean.L3.Size), lean.PeakBandwidthGBs())
+	// Compare uninterfered throughput on both machines via the sweeps'
+	// baselines embedded in the profiles' curves: report the prediction and
+	// leave judgement to the reader alongside the lean profile.
+	fmt.Printf("prediction from today's profile: %+.1f%%\n", predicted*100)
+	fmt.Println(leanProf.String())
+}

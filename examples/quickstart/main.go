@@ -1,0 +1,38 @@
+// Quickstart: measure how much shared cache and memory bandwidth a workload
+// actively uses, then predict its slowdown on a leaner machine.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activemem"
+)
+
+func main() {
+	// A 1/8-scale Xeon20MB keeps the demo fast; multiply capacities by 8
+	// for full-machine equivalents.
+	m := activemem.NewScaledXeon(8)
+	fmt.Println(m.TableI())
+
+	// The workload: uniform random reads over a buffer twice the L3 with
+	// 10 integer additions per load — a typical cache-pressured kernel.
+	wl := activemem.PatternWorkload(activemem.PatternUniform, m.L3.Size*2, 10)
+
+	fmt.Println("measuring (storage and bandwidth interference sweeps)...")
+	prof, err := activemem.MeasureProfile(m, "uniform-2xL3", wl, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(prof.String())
+
+	// What happens on a machine with half the cache and 60% the bandwidth?
+	l3 := float64(m.L3.Size) / 2
+	bw := m.PeakBandwidthGBs() * 0.6
+	fmt.Printf("predicted slowdown with %.1f MB L3 and %.1f GB/s: %.1f%%\n",
+		l3/(1<<20), bw, prof.PredictSlowdown(l3, bw)*100)
+}

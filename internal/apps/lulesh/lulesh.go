@@ -1,0 +1,212 @@
+// Package lulesh is a proxy for the LULESH shock-hydrodynamics benchmark
+// the paper studies (§IV): an explicit Lagrangian finite-difference code on
+// an s×s×s per-rank domain. An iteration sweeps a few dozen field arrays
+// (nodal coordinates, velocities, forces, element pressures, energies...)
+// with stencil-style sequential passes, exchanges six face halos with
+// neighbour ranks, and reduces the global timestep.
+//
+// Footprints reproduce the paper's arithmetic: roughly 40 arrays of s³
+// 8-byte values per rank give ≈3.4 MB at s=22 and ≈15 MB at s=36 — exactly
+// the range over which the paper observes LULESH transitioning from
+// cache-resident to capacity-starved on the 20 MB L3.
+package lulesh
+
+import (
+	"fmt"
+
+	"activemem/internal/cluster"
+	"activemem/internal/engine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// Params configures the proxy.
+type Params struct {
+	// RanksPerDim: the job runs RanksPerDim³ ranks in a 3-D grid (the
+	// paper's 64-rank runs use 4).
+	RanksPerDim int
+	// Edge is s, the per-rank cube edge in elements.
+	Edge int
+	// Arrays is the number of s³-sized field arrays per rank (~40 in real
+	// LULESH counting nodal and element fields).
+	Arrays int
+	// SweepArrays is how many arrays each of the three per-iteration
+	// sweeps touches (Arrays/3 each leaves every array touched once).
+	SweepArrays int
+	// ComputePerElem is arithmetic cycles per element visit.
+	ComputePerElem int
+	// HaloFields is how many fields each face exchange carries.
+	HaloFields int
+	// BatchElems is how many elements one engine step processes.
+	BatchElems int
+}
+
+// DefaultParams returns paper-study parameters for a cube edge, scaled to a
+// machine whose shared cache holds l3Bytes. At full scale (20 MB) the edge
+// is used as-is; on Scaled(f) machines the edge shrinks by f^⅓ so the
+// footprint-to-L3 ratio is preserved (f=8 halves the edge).
+func DefaultParams(l3Bytes int64, ranksPerDim, edge int) Params {
+	scale := (20 * units.MB) / l3Bytes
+	for s := scale; s >= 8; s /= 8 {
+		edge = (edge + 1) / 2
+	}
+	return Params{
+		RanksPerDim:    ranksPerDim,
+		Edge:           edge,
+		Arrays:         40,
+		SweepArrays:    13,
+		ComputePerElem: 1,
+		HaloFields:     3,
+		BatchElems:     64,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.RanksPerDim <= 0 || p.Edge <= 0 {
+		return fmt.Errorf("lulesh: non-positive geometry")
+	}
+	if p.Arrays <= 0 || p.SweepArrays <= 0 || p.SweepArrays > p.Arrays {
+		return fmt.Errorf("lulesh: bad array counts")
+	}
+	if p.ComputePerElem < 0 || p.HaloFields <= 0 || p.BatchElems <= 0 {
+		return fmt.Errorf("lulesh: bad sweep parameters")
+	}
+	return nil
+}
+
+// FootprintBytes returns the per-rank data size: Arrays × Edge³ × 8.
+func (p Params) FootprintBytes() int64 {
+	e := int64(p.Edge)
+	return int64(p.Arrays) * e * e * e * 8
+}
+
+// App implements cluster.App.
+type App struct {
+	p Params
+}
+
+// New returns the proxy application; it panics on invalid parameters.
+func New(p Params) *App {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &App{p: p}
+}
+
+// Name implements cluster.App.
+func (a *App) Name() string { return "Lulesh" }
+
+// Ranks implements cluster.App.
+func (a *App) Ranks() int { return a.p.RanksPerDim * a.p.RanksPerDim * a.p.RanksPerDim }
+
+// Params returns the proxy parameters.
+func (a *App) Params() Params { return a.p }
+
+// NewRank implements cluster.App.
+func (a *App) NewRank(r int, alloc *mem.Alloc, seed uint64) cluster.Rank {
+	e := int64(a.p.Edge)
+	elems := e * e * e
+	bases := make([]mem.Addr, a.p.Arrays)
+	for i := range bases {
+		bases[i] = alloc.Alloc(elems * 8)
+	}
+	return &rank{app: a, id: r, bases: bases, elems: elems}
+}
+
+// rank is one Lulesh process.
+type rank struct {
+	app   *App
+	id    int
+	bases []mem.Addr
+	elems int64
+
+	// phase progress: three sweeps of SweepArrays arrays each
+	sweep     int
+	arrayIdx  int // index within the sweep's array group
+	elemIdx   int64
+	firstArr  int // rotating start so all arrays are touched across sweeps
+	iterArmed int
+}
+
+// Name implements engine.Workload.
+func (rk *rank) Name() string { return fmt.Sprintf("lulesh[%d]", rk.id) }
+
+// BeginPhase implements cluster.Rank.
+func (rk *rank) BeginPhase(iter int) {
+	rk.sweep, rk.arrayIdx, rk.elemIdx = 0, 0, 0
+	rk.firstArr = 0
+	rk.iterArmed = iter
+}
+
+// FootprintBytes implements cluster.Rank.
+func (rk *rank) FootprintBytes() int64 { return rk.app.p.FootprintBytes() }
+
+// AllreduceBytes implements cluster.Rank: the dt reduction.
+func (rk *rank) AllreduceBytes() int64 { return 8 }
+
+// coords returns the rank's position in the 3-D rank grid.
+func (rk *rank) coords() (x, y, z int) {
+	d := rk.app.p.RanksPerDim
+	return rk.id % d, rk.id / d % d, rk.id / (d * d)
+}
+
+// Messages implements cluster.Rank: one halo face per existing neighbour.
+func (rk *rank) Messages(int) []cluster.Message {
+	p := rk.app.p
+	d := p.RanksPerDim
+	x, y, z := rk.coords()
+	face := int64(p.Edge) * int64(p.Edge) * 8 * int64(p.HaloFields)
+	var out []cluster.Message
+	add := func(nx, ny, nz int) {
+		if nx < 0 || nx >= d || ny < 0 || ny >= d || nz < 0 || nz >= d {
+			return
+		}
+		out = append(out, cluster.Message{To: nx + ny*d + nz*d*d, Bytes: face})
+	}
+	add(x-1, y, z)
+	add(x+1, y, z)
+	add(x, y-1, z)
+	add(x, y+1, z)
+	add(x, y, z-1)
+	add(x, y, z+1)
+	return out
+}
+
+// Step implements engine.Workload: process a batch of elements of the
+// current sweep's current array, with a neighbour access pattern that gives
+// the sweeps stencil-like reuse.
+func (rk *rank) Step(ctx *engine.Ctx) bool {
+	p := rk.app.p
+	arr := rk.bases[(rk.firstArr+rk.sweep*p.SweepArrays+rk.arrayIdx)%p.Arrays]
+	// Pair each sweep array with a "result" array to write, as stencil
+	// kernels do (read coordinates, write forces, ...).
+	dst := rk.bases[(rk.firstArr+rk.sweep*p.SweepArrays+rk.arrayIdx+p.SweepArrays)%p.Arrays]
+
+	n := int64(p.BatchElems)
+	if rem := rk.elems - rk.elemIdx; n > rem {
+		n = rem
+	}
+	e2 := int64(p.Edge) * int64(p.Edge)
+	for i := int64(0); i < n; i++ {
+		idx := rk.elemIdx + i
+		ctx.Load(arr + mem.Addr(idx*8))
+		// Stencil neighbour in the slowest dimension: one plane back.
+		if idx >= e2 {
+			ctx.Load(arr + mem.Addr((idx-e2)*8))
+		}
+		ctx.Store(dst + mem.Addr(idx*8))
+		ctx.Compute(units.Cycles(p.ComputePerElem))
+	}
+	ctx.WorkUnit(n)
+	rk.elemIdx += n
+	if rk.elemIdx >= rk.elems {
+		rk.elemIdx = 0
+		rk.arrayIdx++
+		if rk.arrayIdx >= p.SweepArrays {
+			rk.arrayIdx = 0
+			rk.sweep++
+		}
+	}
+	return rk.sweep < 3
+}

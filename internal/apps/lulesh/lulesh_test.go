@@ -1,0 +1,147 @@
+package lulesh
+
+import (
+	"testing"
+
+	"activemem/internal/cluster"
+	"activemem/internal/core"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams(20*units.MB, 4, 22)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.RanksPerDim = 0 },
+		func(p *Params) { p.Edge = 0 },
+		func(p *Params) { p.Arrays = 0 },
+		func(p *Params) { p.SweepArrays = p.Arrays + 1 },
+		func(p *Params) { p.HaloFields = 0 },
+		func(p *Params) { p.BatchElems = 0 },
+	}
+	for i, m := range mutations {
+		p := DefaultParams(20*units.MB, 4, 22)
+		m(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// The paper's own footprint arithmetic: 22³ ⇒ ≈3.4MB/rank, 36³ ⇒ ≈15MB.
+func TestFootprintMatchesPaperArithmetic(t *testing.T) {
+	p22 := DefaultParams(20*units.MB, 4, 22)
+	fp22 := p22.FootprintBytes()
+	if fp22 < 3*units.MB || fp22 > 4*units.MB {
+		t.Fatalf("22³ footprint = %s, want ~3.4MB", units.FormatBytes(fp22))
+	}
+	p36 := DefaultParams(20*units.MB, 4, 36)
+	fp36 := p36.FootprintBytes()
+	if fp36 < 14*units.MB || fp36 > 16*units.MB {
+		t.Fatalf("36³ footprint = %s, want ~15MB", units.FormatBytes(fp36))
+	}
+}
+
+func TestDefaultParamsScaleEdge(t *testing.T) {
+	full := DefaultParams(20*units.MB, 4, 22)
+	if full.Edge != 22 {
+		t.Fatalf("full-scale edge = %d", full.Edge)
+	}
+	eighth := DefaultParams(20*units.MB/8, 4, 22)
+	if eighth.Edge != 11 {
+		t.Fatalf("1/8-scale edge = %d, want 11", eighth.Edge)
+	}
+	// Footprint-to-L3 ratio approximately preserved.
+	rFull := float64(full.FootprintBytes()) / float64(20*units.MB)
+	rEighth := float64(eighth.FootprintBytes()) / float64(20*units.MB/8)
+	if rEighth < rFull*0.7 || rEighth > rFull*1.3 {
+		t.Fatalf("ratio drift: full %.3f vs eighth %.3f", rFull, rEighth)
+	}
+}
+
+func TestNeighbourTopology(t *testing.T) {
+	app := New(DefaultParams(20*units.MB, 4, 22))
+	if app.Ranks() != 64 {
+		t.Fatalf("4³ grid = %d ranks", app.Ranks())
+	}
+	alloc := mem.NewAlloc(64)
+	corner := app.NewRank(0, alloc, 1)
+	if got := len(corner.Messages(0)); got != 3 {
+		t.Fatalf("corner rank has %d neighbours, want 3", got)
+	}
+	// Rank at (1,1,1) is interior.
+	interior := app.NewRank(1+4+16, alloc, 1)
+	if got := len(interior.Messages(0)); got != 6 {
+		t.Fatalf("interior rank has %d neighbours, want 6", got)
+	}
+	// Halo face bytes: Edge² × 8 × HaloFields.
+	want := int64(22*22) * 8 * 3
+	if got := interior.Messages(0)[0].Bytes; got != want {
+		t.Fatalf("face bytes = %d, want %d", got, want)
+	}
+}
+
+func TestLuleshRunsOnCluster(t *testing.T) {
+	spec := machine.Scaled(8)
+	app := New(Params{RanksPerDim: 2, Edge: 11, Arrays: 40, SweepArrays: 13,
+		ComputePerElem: 4, HaloFields: 3, BatchElems: 64})
+	res, err := cluster.Run(cluster.RunConfig{
+		Spec:           spec,
+		App:            app,
+		RanksPerSocket: 1,
+		Iterations:     4,
+		Warmup:         1,
+		Homogeneous:    true,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// A 426KB working set is fully L3-resident at this scale, so near-zero
+	// steady-state bus traffic is the physically correct outcome.
+	if res.RankGBs > 1.0 {
+		t.Fatalf("cache-resident cube shows %v GB/s of traffic", res.RankGBs)
+	}
+}
+
+// The paper's Fig. 11 bottom-left shape: small cubes tolerate storage
+// interference (footprint ≪ L3), large cubes overflow and degrade.
+func TestLuleshCapacitySensitivityGrowsWithCube(t *testing.T) {
+	spec := machine.Scaled(8)
+	slowdown := func(edge int) float64 {
+		run := func(k int) float64 {
+			app := New(Params{RanksPerDim: 2, Edge: edge, Arrays: 40, SweepArrays: 13,
+				ComputePerElem: 4, HaloFields: 3, BatchElems: 64})
+			res, err := cluster.Run(cluster.RunConfig{
+				Spec:           spec,
+				App:            app,
+				RanksPerSocket: 1,
+				Interference:   cluster.Interference{Kind: core.Storage, Threads: k},
+				Iterations:     4,
+				Warmup:         1,
+				Homogeneous:    true,
+				Seed:           1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Seconds
+		}
+		return run(5)/run(0) - 1
+	}
+	small := slowdown(8)  // 40×8³×8 = 160KB ≪ 2.5MB L3
+	large := slowdown(16) // 40×16³×8 = 1.3MB, hurts once CSThrs pin 5×512KB
+	if large <= small {
+		t.Fatalf("capacity sensitivity not growing with cube: %v vs %v", small, large)
+	}
+	if large < 0.05 {
+		t.Fatalf("large cube barely degrades: %v", large)
+	}
+}

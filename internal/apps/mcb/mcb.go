@@ -1,0 +1,213 @@
+// Package mcb is a proxy for the Monte Carlo Benchmark the paper studies
+// (§IV): a particle-transport code that simulates neutron flow through fuel
+// assemblies. Each rank owns a slice of the particle population and a tally
+// mesh; a cycle tracks every particle through a few random-walk segments
+// (random tally-mesh accesses — the cache-hungry part), streams the
+// particle vault, migrates boundary particles to neighbouring ranks, and
+// joins a termination allreduce.
+//
+// The proxy's footprint reproduces the paper's measured behaviour: the
+// tally mesh dominates per-process L3 use (4–7 MB on the full-scale
+// machine) independent of population, while communication grows with the
+// population until the domain boundary saturates — which is why the paper
+// sees bandwidth sensitivity peak at mid particle counts and fall beyond.
+package mcb
+
+import (
+	"fmt"
+
+	"activemem/internal/cluster"
+	"activemem/internal/engine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// Params configures the proxy. Sizes are for the machine scale in use; use
+// DefaultParams to derive them from an L3 size.
+type Params struct {
+	Ranks          int
+	TotalParticles int
+	// MeshBytes is the per-rank tally mesh (the paper-scale default is
+	// 5.5 MB, between the 4 and 7 MB bounds the paper measures).
+	MeshBytes int64
+	// ParticleBytes is the record size streamed per particle per cycle.
+	ParticleBytes int64
+	// SegmentsPerParticle is how many random-walk segments a cycle tracks.
+	SegmentsPerParticle int
+	// TalliesPerSegment is how many random mesh accesses one segment makes.
+	TalliesPerSegment int
+	// ComputePerSegment is the arithmetic per segment, in cycles.
+	ComputePerSegment int
+	// MigrationFraction is the share of local particles migrating to each
+	// pair of ring neighbours per cycle.
+	MigrationFraction float64
+	// MigrationBytesPerParticle is the wire size of one migrated particle
+	// (state plus buffered tally contributions; larger than the vault
+	// record).
+	MigrationBytesPerParticle int64
+	// MigrationCapBytes bounds the per-neighbour message: the domain
+	// boundary can only hold so many particles, so communication grows
+	// linearly with the population (the paper: "communication and thus
+	// miss rate grows with increasing workloads") until it saturates near
+	// the paper's 90k particles, beyond which tracking compute grows
+	// faster than communication — the unimodal bandwidth sensitivity of
+	// Fig. 9 bottom-right.
+	MigrationCapBytes int64
+	// BatchParticles is how many particles one engine step tracks.
+	BatchParticles int
+}
+
+// DefaultParams returns paper-study parameters scaled to a machine whose
+// shared cache holds l3Bytes (5.5 MB mesh at the full 20 MB).
+func DefaultParams(l3Bytes int64, ranks, totalParticles int) Params {
+	scale := (20 * units.MB) / l3Bytes
+	if scale < 1 {
+		scale = 1
+	}
+	return Params{
+		Ranks:               ranks,
+		TotalParticles:      totalParticles,
+		MeshBytes:           11 * units.MB / 2 / scale,
+		ParticleBytes:       64,
+		SegmentsPerParticle: 2,
+		TalliesPerSegment:   3,
+		// Cross sections, RNG and geometry dominate a segment; tally
+		// misses must stay a minor share — the paper observes MCB losing
+		// "less than 30%" even with almost no L3 left.
+		ComputePerSegment:         1200,
+		MigrationFraction:         0.35,
+		MigrationBytesPerParticle: 512,
+		MigrationCapBytes:         336 * units.KB / scale,
+		BatchParticles:            8,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.Ranks <= 0 || p.TotalParticles <= 0 {
+		return fmt.Errorf("mcb: non-positive population")
+	}
+	if p.MeshBytes <= 0 || p.ParticleBytes <= 0 || p.BatchParticles <= 0 {
+		return fmt.Errorf("mcb: non-positive geometry")
+	}
+	if p.SegmentsPerParticle <= 0 || p.TalliesPerSegment < 0 || p.ComputePerSegment < 0 {
+		return fmt.Errorf("mcb: bad tracking parameters")
+	}
+	return nil
+}
+
+// App implements cluster.App.
+type App struct {
+	p Params
+}
+
+// New returns the proxy application; it panics on invalid parameters.
+func New(p Params) *App {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &App{p: p}
+}
+
+// Name implements cluster.App.
+func (a *App) Name() string { return "MCB" }
+
+// Ranks implements cluster.App.
+func (a *App) Ranks() int { return a.p.Ranks }
+
+// LocalParticles returns the particle count owned by each rank.
+func (a *App) LocalParticles() int { return a.p.TotalParticles / a.p.Ranks }
+
+// NewRank implements cluster.App.
+func (a *App) NewRank(r int, alloc *mem.Alloc, seed uint64) cluster.Rank {
+	local := a.LocalParticles()
+	vaultBytes := int64(local) * a.p.ParticleBytes
+	if vaultBytes <= 0 {
+		vaultBytes = a.p.ParticleBytes
+	}
+	return &rank{
+		app:   a,
+		id:    r,
+		mesh:  alloc.Alloc(a.p.MeshBytes),
+		vault: alloc.Alloc(vaultBytes),
+		local: local,
+	}
+}
+
+// rank is one MCB process.
+type rank struct {
+	app   *App
+	id    int
+	mesh  mem.Addr
+	vault mem.Addr
+	local int
+
+	// phase progress
+	tracked int // particles tracked this phase
+}
+
+// Name implements engine.Workload.
+func (rk *rank) Name() string { return fmt.Sprintf("mcb[%d]", rk.id) }
+
+// BeginPhase implements cluster.Rank.
+func (rk *rank) BeginPhase(int) { rk.tracked = 0 }
+
+// FootprintBytes implements cluster.Rank.
+func (rk *rank) FootprintBytes() int64 {
+	return rk.app.p.MeshBytes + int64(rk.local)*rk.app.p.ParticleBytes
+}
+
+// AllreduceBytes implements cluster.Rank: the termination count.
+func (rk *rank) AllreduceBytes() int64 { return 8 }
+
+// Messages implements cluster.Rank: migrate boundary particles to the ring
+// neighbours; the exchange grows with the population until the boundary
+// saturates (MigrationCapBytes).
+func (rk *rank) Messages(int) []cluster.Message {
+	p := rk.app.p
+	wire := p.MigrationBytesPerParticle
+	if wire <= 0 {
+		wire = p.ParticleBytes
+	}
+	bytes := int64(p.MigrationFraction * float64(rk.local) * float64(wire) / 2)
+	if p.MigrationCapBytes > 0 && bytes > p.MigrationCapBytes {
+		bytes = p.MigrationCapBytes
+	}
+	if bytes <= 0 {
+		return nil
+	}
+	n := p.Ranks
+	return []cluster.Message{
+		{To: (rk.id + 1) % n, Bytes: bytes},
+		{To: (rk.id - 1 + n) % n, Bytes: bytes},
+	}
+}
+
+// Step implements engine.Workload: track a batch of particles.
+func (rk *rank) Step(ctx *engine.Ctx) bool {
+	p := rk.app.p
+	meshElems := p.MeshBytes / 8
+	batch := p.BatchParticles
+	if rem := rk.local - rk.tracked; batch > rem {
+		batch = rem
+	}
+	r := ctx.Rand()
+	for i := 0; i < batch; i++ {
+		// Stream the particle record (load position, store updated state).
+		off := mem.Addr(int64(rk.tracked+i) * p.ParticleBytes)
+		ctx.Load(rk.vault + off)
+		ctx.Store(rk.vault + off)
+		for s := 0; s < p.SegmentsPerParticle; s++ {
+			for t := 0; t < p.TalliesPerSegment; t++ {
+				idx := int64(r.Intn(int(meshElems)))
+				addr := rk.mesh + mem.Addr(idx*8)
+				ctx.Load(addr)
+				ctx.Store(addr) // tally increment
+			}
+			ctx.Compute(units.Cycles(p.ComputePerSegment))
+		}
+	}
+	rk.tracked += batch
+	ctx.WorkUnit(int64(batch))
+	return rk.tracked < rk.local
+}

@@ -1,0 +1,145 @@
+package mcb
+
+import (
+	"testing"
+
+	"activemem/internal/cluster"
+	"activemem/internal/core"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams(20*units.MB, 24, 20000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.Ranks = 0 },
+		func(p *Params) { p.TotalParticles = 0 },
+		func(p *Params) { p.MeshBytes = 0 },
+		func(p *Params) { p.BatchParticles = 0 },
+		func(p *Params) { p.SegmentsPerParticle = 0 },
+	}
+	for i, m := range mutations {
+		p := DefaultParams(20*units.MB, 24, 20000)
+		m(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultParamsScaleAndFootprint(t *testing.T) {
+	full := DefaultParams(20*units.MB, 24, 20000)
+	if full.MeshBytes != 11*units.MB/2 {
+		t.Fatalf("full-scale mesh = %d, want 5.5MB", full.MeshBytes)
+	}
+	eighth := DefaultParams(20*units.MB/8, 24, 20000)
+	if eighth.MeshBytes != 11*units.MB/16 {
+		t.Fatalf("1/8-scale mesh = %d", eighth.MeshBytes)
+	}
+	// Paper (§IV): each MCB process uses 4-7MB of L3 at full scale; the
+	// proxy's footprint must fall in that band for the studied populations.
+	app := New(full)
+	rk := app.NewRank(0, mem.NewAlloc(64), 1)
+	fp := rk.FootprintBytes()
+	if fp < 4*units.MB || fp > 7*units.MB {
+		t.Fatalf("per-rank footprint = %s, want 4-7MB", units.FormatBytes(fp))
+	}
+}
+
+func TestMigrationLinearThenCapped(t *testing.T) {
+	// Communication grows linearly with the population until the domain
+	// boundary saturates (~90k particles at full scale), then stays flat —
+	// the mechanism behind Fig. 9 bottom-right's unimodal sensitivity.
+	mk := func(particles int) int64 {
+		app := New(DefaultParams(20*units.MB, 24, particles))
+		rk := app.NewRank(3, mem.NewAlloc(64), 1)
+		msgs := rk.Messages(0)
+		if len(msgs) != 2 {
+			t.Fatalf("ring rank should have 2 neighbours, got %d", len(msgs))
+		}
+		return msgs[0].Bytes
+	}
+	small, mid := mk(20000), mk(40000)
+	if ratio := float64(mid) / float64(small); ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("below the cap migration should be linear, ratio = %.2f", ratio)
+	}
+	big, bigger := mk(160000), mk(260000)
+	if big != bigger {
+		t.Fatalf("above the cap migration should saturate: %d vs %d", big, bigger)
+	}
+	if big <= mid {
+		t.Fatal("cap should exceed the linear region's values")
+	}
+}
+
+func TestRingNeighbours(t *testing.T) {
+	app := New(DefaultParams(20*units.MB, 8, 20000))
+	rk := app.NewRank(0, mem.NewAlloc(64), 1)
+	msgs := rk.Messages(0)
+	if msgs[0].To != 1 || msgs[1].To != 7 {
+		t.Fatalf("rank 0 neighbours = %d,%d, want 1,7", msgs[0].To, msgs[1].To)
+	}
+	if rk.AllreduceBytes() != 8 {
+		t.Fatal("termination allreduce should be 8 bytes")
+	}
+}
+
+func TestMCBRunsOnCluster(t *testing.T) {
+	spec := machine.Scaled(8)
+	app := New(DefaultParams(spec.L3.Size, 8, 2400))
+	res, err := cluster.Run(cluster.RunConfig{
+		Spec:           spec,
+		App:            app,
+		RanksPerSocket: 1,
+		Iterations:     4,
+		Warmup:         1,
+		Homogeneous:    true,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.RankGBs <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+// The paper's bottom-left Fig. 9 shape: little degradation for few CSThrs,
+// significant (~20-25%) once interference leaves less capacity than the
+// tally mesh needs.
+func TestMCBStorageSensitivityShape(t *testing.T) {
+	spec := machine.Scaled(8)
+	elapsed := func(k int) float64 {
+		app := New(DefaultParams(spec.L3.Size, 8, 2400))
+		res, err := cluster.Run(cluster.RunConfig{
+			Spec:           spec,
+			App:            app,
+			RanksPerSocket: 1,
+			Interference:   cluster.Interference{Kind: core.Storage, Threads: k},
+			Iterations:     12,
+			Warmup:         6,
+			Homogeneous:    true,
+			Seed:           1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Seconds
+	}
+	base := elapsed(0)
+	mild := elapsed(1)
+	heavy := elapsed(5)
+	if mild/base > 1.12 {
+		t.Fatalf("1 CSThr already degrades MCB by %.0f%%", (mild/base-1)*100)
+	}
+	if heavy/base < 1.08 {
+		t.Fatalf("5 CSThrs degrade MCB by only %.0f%%", (heavy/base-1)*100)
+	}
+	if heavy <= mild {
+		t.Fatalf("degradation not increasing: %v vs %v", mild, heavy)
+	}
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"math"
+
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// commModel resolves end-of-phase communication. Three link classes, as on
+// the paper's platform:
+//
+//   - shared-L3 (same socket): a cache-to-cache copy, cheap and invisible
+//     to the memory bus — this is why spreading ranks out increases their
+//     bandwidth use in Figs. 10 and 12;
+//   - inter-socket (same node): DMA through both sockets' memory buses;
+//   - inter-node: InfiniBand QDR — NIC serialisation per node plus memory
+//     bus occupancy on both end sockets.
+type commModel struct {
+	cfg  RunConfig
+	nics []*mem.Bus // per node
+
+	// α latencies in cycles
+	shmLatency    units.Cycles
+	socketLatency units.Cycles
+	nicLatency    units.Cycles
+
+	// shared-L3 copy bandwidth in bytes/cycle (on-chip, generous)
+	l3BytesPerCycle float64
+	// memory-bus peak rate, used as the transfer-time fallback for sockets
+	// that are not simulated (homogeneous mode)
+	busBytesPerCycle float64
+}
+
+func newCommModel(cfg RunConfig) *commModel {
+	clock := cfg.Spec.Clock
+	m := &commModel{
+		cfg:              cfg,
+		shmLatency:       clock.Cycles(0.4e-6),
+		socketLatency:    clock.Cycles(0.8e-6),
+		nicLatency:       cfg.Spec.NICLatency,
+		l3BytesPerCycle:  clock.BytesPerCycle(50),
+		busBytesPerCycle: float64(cfg.Spec.Bus.BytesPerChunk) / float64(cfg.Spec.Bus.CyclesPerChunk),
+	}
+	nicCfg := mem.BusConfig{
+		// Express NICGBs as cycles per 4 KB chunk.
+		BytesPerChunk:  4096,
+		CyclesPerChunk: units.Cycles(math.Ceil(4096 / clock.BytesPerCycle(cfg.Spec.NICGBs))),
+		EpochBits:      12,
+	}
+	for n := 0; n < cfg.Nodes(); n++ {
+		m.nics = append(m.nics, mem.NewBus(nicCfg))
+	}
+	return m
+}
+
+// busOf returns the memory bus of a socket, or nil if that socket is not
+// simulated (homogeneous mode simulates socket 0 only).
+type busLookup func(socket int) *mem.Bus
+
+// memXfer models a DMA of bytes through a socket's memory bus starting at
+// ready: simulated sockets are charged (contending with demand traffic),
+// unsimulated ones pay the peak-rate transfer time without charging anyone.
+func (m *commModel) memXfer(socket int, ready units.Cycles, bytes int64, buses busLookup) units.Cycles {
+	if b := buses(socket); b != nil {
+		_, done := b.Request(ready, bytes)
+		return done
+	}
+	return ready + units.Cycles(float64(bytes)/m.busBytesPerCycle)
+}
+
+// deliver computes the arrival time of one message posted at time ready,
+// charging the buses and NICs it crosses.
+func (m *commModel) deliver(from, to int, bytes int64, ready units.Cycles, buses busLookup) units.Cycles {
+	sFrom, sTo := m.cfg.SocketOf(from), m.cfg.SocketOf(to)
+	if sFrom == sTo {
+		// Shared-L3 copy.
+		return ready + m.shmLatency + units.Cycles(float64(bytes)/m.l3BytesPerCycle)
+	}
+	nFrom, nTo := m.cfg.NodeOf(from), m.cfg.NodeOf(to)
+	if nFrom == nTo {
+		// Inter-socket DMA: the transfer crosses both memory buses.
+		done := m.memXfer(sFrom, ready, bytes, buses)
+		if d := m.memXfer(sTo, ready, bytes, buses); d > done {
+			done = d
+		}
+		return done + m.socketLatency
+	}
+	// Inter-node: source-side DMA and NIC injection, wire latency, then
+	// destination NIC ejection and DMA.
+	srcDone := m.memXfer(sFrom, ready, bytes, buses)
+	_, injDone := m.nics[nFrom].Request(ready, bytes)
+	if srcDone > injDone {
+		injDone = srcDone
+	}
+	_, ejDone := m.nics[nTo].Request(injDone, bytes)
+	dstDone := m.memXfer(sTo, ejDone, bytes, buses)
+	if dstDone > ejDone {
+		ejDone = dstDone
+	}
+	return ejDone + m.nicLatency
+}
+
+// allreduce returns the completion time of a tree allreduce entered by all
+// ranks at their finish times.
+func (m *commModel) allreduce(finish []units.Cycles, bytes int64) units.Cycles {
+	if bytes <= 0 {
+		return 0
+	}
+	var max units.Cycles
+	for _, t := range finish {
+		if t > max {
+			max = t
+		}
+	}
+	hops := units.Cycles(0)
+	// log2(ranks) rounds of the widest link latency present in the job.
+	alpha := m.shmLatency
+	if m.cfg.Sockets() > 1 {
+		alpha = m.socketLatency
+	}
+	if m.cfg.Nodes() > 1 {
+		alpha = m.nicLatency
+	}
+	for n := 1; n < len(finish); n *= 2 {
+		hops += alpha
+	}
+	// Payload term: reductions are latency-dominated for the 8-byte dt.
+	payload := units.Cycles(float64(2*bytes) / m.l3BytesPerCycle)
+	return max + hops + payload
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"activemem/internal/dist"
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/model"
+	"activemem/internal/stats"
+	"activemem/internal/workload/interfere"
+	"activemem/internal/workload/synthetic"
+)
+
+// CalibrationConfig drives the §III-C3 procedure: synthetic benchmarks with
+// known distributions run against k CSThrs; the measured L3 miss rate is
+// inverted through Eq. 4 into the effective cache capacity left to the
+// benchmark.
+type CalibrationConfig struct {
+	MeasureConfig
+	MaxThreads     int
+	BufferBytes    []int64                   // benchmark buffer sizes (paper: 30..74 MB)
+	Dists          []func(n int64) dist.Dist // pattern constructors (paper: Table II)
+	ComputePerLoad int                       // integer adds per load (paper: 1, 10, 100)
+	ElemSize       int64                     // benchmark element width (paper: 4)
+	CS             interfere.CSConfig        // zero value: paper defaults
+	Parallel       bool
+}
+
+// Validate checks the configuration.
+func (c CalibrationConfig) Validate() error {
+	if err := c.MeasureConfig.Validate(); err != nil {
+		return err
+	}
+	if c.MaxThreads < 0 || c.MaxThreads >= c.Spec.CoresPerSocket {
+		return fmt.Errorf("core: calibration max threads %d out of range", c.MaxThreads)
+	}
+	if len(c.BufferBytes) == 0 || len(c.Dists) == 0 {
+		return fmt.Errorf("core: calibration needs buffer sizes and distributions")
+	}
+	if c.ElemSize <= 0 {
+		return fmt.Errorf("core: calibration element size must be positive")
+	}
+	return nil
+}
+
+// DefaultCalibrationGrid fills BufferBytes and Dists with a scaled version
+// of the paper's grid: nBufs buffer sizes spanning 1.5×..3.7× the machine's
+// L3 (the paper's 30–74 MB against 20 MB), and the full Table II pattern
+// set.
+func DefaultCalibrationGrid(spec machine.Spec, nBufs int) ([]int64, []func(n int64) dist.Dist) {
+	if nBufs < 2 {
+		nBufs = 2
+	}
+	lo := spec.L3.Size * 3 / 2
+	hi := spec.L3.Size * 37 / 10
+	bufs := make([]int64, nBufs)
+	for i := range bufs {
+		b := lo + (hi-lo)*int64(i)/int64(nBufs-1)
+		bufs[i] = b &^ 4095 // page-align for tidiness
+	}
+	return bufs, Table2Constructors()
+}
+
+// Table2Constructors returns the ten Table II distribution constructors.
+func Table2Constructors() []func(n int64) dist.Dist {
+	return []func(n int64) dist.Dist{
+		func(n int64) dist.Dist { return dist.NewNormal(n, 4) },
+		func(n int64) dist.Dist { return dist.NewNormal(n, 6) },
+		func(n int64) dist.Dist { return dist.NewNormal(n, 8) },
+		func(n int64) dist.Dist { return dist.NewExponential(n, 4) },
+		func(n int64) dist.Dist { return dist.NewExponential(n, 6) },
+		func(n int64) dist.Dist { return dist.NewExponential(n, 8) },
+		func(n int64) dist.Dist { return dist.NewTriangular(n, 0.4) },
+		func(n int64) dist.Dist { return dist.NewTriangular(n, 0.6) },
+		func(n int64) dist.Dist { return dist.NewTriangular(n, 0.8) },
+		func(n int64) dist.Dist { return dist.NewUniform(n) },
+	}
+}
+
+// CapacitySample is one (buffer size, distribution) cell of the calibration
+// grid at a given interference level.
+type CapacitySample struct {
+	BufferBytes    int64
+	DistName       string
+	MeasuredMiss   float64
+	PredictedMiss  float64 // Eq. 4 at the full physical capacity (Fig. 5)
+	EffectiveBytes float64 // Eq. 4 inverted from the measured miss (Fig. 6)
+}
+
+// CapacityPoint aggregates the grid at one interference level.
+type CapacityPoint struct {
+	Threads   int
+	MeanBytes float64
+	StdBytes  float64
+	Samples   []CapacitySample
+}
+
+// CapacityCalibration is the §III-C3 result: how much effective L3 capacity
+// k CSThrs leave to an application (the paper's ≈{20,15,12,7,4,3} MB for
+// k = 0..5 on Xeon20MB).
+type CapacityCalibration struct {
+	Spec   machine.Spec
+	Points []CapacityPoint // index = CSThr count
+}
+
+// AvailableBytes returns the mean effective capacity at each level, the
+// lookup table the paper's §IV analysis uses.
+func (c CapacityCalibration) AvailableBytes() []float64 {
+	out := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		out[i] = p.MeanBytes
+	}
+	return out
+}
+
+// CalibrateCapacity runs the full calibration grid. Cells are independent
+// experiments, parallelised over a bounded worker pool when requested;
+// results are written by index so the outcome is deterministic regardless
+// of scheduling.
+func CalibrateCapacity(cfg CalibrationConfig) (CapacityCalibration, error) {
+	if err := cfg.Validate(); err != nil {
+		return CapacityCalibration{}, err
+	}
+	cal := CapacityCalibration{Spec: cfg.Spec}
+	cal.Points = make([]CapacityPoint, cfg.MaxThreads+1)
+	type cell struct {
+		k, bi, di int
+	}
+	var cells []cell
+	for k := 0; k <= cfg.MaxThreads; k++ {
+		cal.Points[k] = CapacityPoint{
+			Threads: k,
+			Samples: make([]CapacitySample, len(cfg.BufferBytes)*len(cfg.Dists)),
+		}
+		for bi := range cfg.BufferBytes {
+			for di := range cfg.Dists {
+				cells = append(cells, cell{k, bi, di})
+			}
+		}
+	}
+	errs := make([]error, len(cells))
+	runCell := func(idx int) {
+		c := cells[idx]
+		sample, err := cfg.runOne(c.k, cfg.BufferBytes[c.bi], cfg.Dists[c.di])
+		if err != nil {
+			errs[idx] = err
+			return
+		}
+		cal.Points[c.k].Samples[c.bi*len(cfg.Dists)+c.di] = sample
+	}
+	if cfg.Parallel {
+		workers := 4
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range ch {
+					runCell(idx)
+				}
+			}()
+		}
+		for idx := range cells {
+			ch <- idx
+		}
+		close(ch)
+		wg.Wait()
+	} else {
+		for idx := range cells {
+			runCell(idx)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return CapacityCalibration{}, err
+		}
+	}
+	for k := range cal.Points {
+		vals := make([]float64, 0, len(cal.Points[k].Samples))
+		for _, s := range cal.Points[k].Samples {
+			vals = append(vals, s.EffectiveBytes)
+		}
+		cal.Points[k].MeanBytes, cal.Points[k].StdBytes = stats.MeanStd(vals)
+	}
+	return cal, nil
+}
+
+// runOne measures one calibration cell.
+func (cfg CalibrationConfig) runOne(k int, bufBytes int64, mk func(n int64) dist.Dist) (CapacitySample, error) {
+	d := mk(bufBytes / cfg.ElemSize)
+	app := func(alloc *mem.Alloc, seed uint64) engine.Workload {
+		return synthetic.New(synthetic.Config{
+			Dist:           d,
+			ElemSize:       cfg.ElemSize,
+			ComputePerLoad: cfg.ComputePerLoad,
+		}, alloc)
+	}
+	m, err := MeasureWithInterference(cfg.MeasureConfig, app, Storage, k, interfere.BWConfig{}, cfg.CS)
+	if err != nil {
+		return CapacitySample{}, err
+	}
+	lineSize := cfg.Spec.LineSize()
+	sumSq := dist.SumSquaredLineMass(d, lineSize/cfg.ElemSize)
+	lines, err := model.InvertCapacity(m.L3MissRate, sumSq)
+	if err != nil {
+		return CapacitySample{}, err
+	}
+	physLines := float64(cfg.Spec.L3.Size / lineSize)
+	return CapacitySample{
+		BufferBytes:    bufBytes,
+		DistName:       d.Name(),
+		MeasuredMiss:   m.L3MissRate,
+		PredictedMiss:  model.MissRate(physLines, sumSq),
+		EffectiveBytes: lines * float64(lineSize),
+	}, nil
+}
+
+// BandwidthCalibration is the §III-A result: the bandwidth consumed by k
+// BWThrs and, by subtraction from the peak, the bandwidth left available
+// (the paper's 17 → 14.2 → 11.4 GB/s for 0..2 threads).
+type BandwidthCalibration struct {
+	PeakGBs      float64
+	ConsumedGBs  []float64 // per BWThr count
+	AvailableGBs []float64
+}
+
+// CalibrateBandwidth measures k = 0..maxThreads BWThrs running alone on a
+// socket.
+func CalibrateBandwidth(cfg MeasureConfig, maxThreads int, bw interfere.BWConfig) (BandwidthCalibration, error) {
+	if err := cfg.Validate(); err != nil {
+		return BandwidthCalibration{}, err
+	}
+	if maxThreads < 0 || maxThreads >= cfg.Spec.CoresPerSocket {
+		return BandwidthCalibration{}, fmt.Errorf("core: %d BWThrs exceed socket", maxThreads)
+	}
+	if bw == (interfere.BWConfig{}) {
+		bw = interfere.DefaultBWConfig(cfg.Spec.L3.Size)
+	}
+	cal := BandwidthCalibration{PeakGBs: cfg.Spec.PeakBandwidthGBs()}
+	for k := 0; k <= maxThreads; k++ {
+		consumed := 0.0
+		if k > 0 {
+			h := cfg.Spec.NewSocket(cfg.Seed)
+			e := engine.New(h, cfg.Spec.MSHRs)
+			alloc := mem.NewAlloc(cfg.Spec.LineSize())
+			for i := 0; i < k; i++ {
+				e.PlaceDaemon(i, interfere.NewBWThr(bw, alloc), cfg.Seed+uint64(i))
+			}
+			e.RunUntil(cfg.Warmup)
+			h.ResetStats()
+			e.RunUntil(cfg.Warmup + cfg.Window)
+			consumed = cfg.Spec.Clock.BandwidthGBs(h.Bus.Stats.Bytes, cfg.Window)
+		}
+		cal.ConsumedGBs = append(cal.ConsumedGBs, consumed)
+		avail := cal.PeakGBs - consumed
+		if avail < 0 {
+			avail = 0
+		}
+		cal.AvailableGBs = append(cal.AvailableGBs, avail)
+	}
+	return cal, nil
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"activemem/internal/dist"
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+	"activemem/internal/workload/interfere"
+	"activemem/internal/workload/synthetic"
+)
+
+// uniformApp returns a factory for a uniform-random synthetic benchmark
+// with the given buffer size.
+func uniformApp(bufBytes int64, compute int) WorkloadFactory {
+	return func(alloc *mem.Alloc, seed uint64) engine.Workload {
+		return synthetic.New(synthetic.Config{
+			Dist:           dist.NewUniform(bufBytes / 4),
+			ElemSize:       4,
+			ComputePerLoad: compute,
+		}, alloc)
+	}
+}
+
+func quickCfg(spec machine.Spec) MeasureConfig {
+	return MeasureConfig{Spec: spec, Warmup: 12_000_000, Window: 8_000_000, Seed: 1}
+}
+
+func TestKindString(t *testing.T) {
+	if Storage.String() != "storage" || Bandwidth.String() != "bandwidth" {
+		t.Fatal("kind names")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	spec := machine.Scaled(8)
+	cfg := quickCfg(spec)
+	app := uniformApp(4<<20, 1)
+	if _, err := MeasureWithInterference(cfg, app, Storage, 8, interfere.BWConfig{}, interfere.CSConfig{}); err == nil {
+		t.Error("8 threads on an 8-core socket (1 used by app) accepted")
+	}
+	bad := cfg
+	bad.Window = 0
+	if _, err := MeasureWithInterference(bad, app, Storage, 1, interfere.BWConfig{}, interfere.CSConfig{}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := MeasureWithInterference(cfg, app, Kind(9), 1, interfere.BWConfig{}, interfere.CSConfig{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestMeasureBaselineMetrics(t *testing.T) {
+	spec := machine.Scaled(8)
+	m, err := MeasureWithInterference(quickCfg(spec), uniformApp(5<<20, 1), Storage, 0,
+		interfere.BWConfig{}, interfere.CSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Work <= 0 || m.Rate <= 0 {
+		t.Fatalf("no work measured: %+v", m)
+	}
+	if m.L3MissRate <= 0.2 || m.L3MissRate > 1 {
+		t.Fatalf("uniform 2x-L3 benchmark miss rate = %v, want ~0.5+", m.L3MissRate)
+	}
+	if m.InterfGBs != 0 || m.InterfHeldBytes != 0 {
+		t.Fatalf("phantom interference: %+v", m)
+	}
+	if m.AppGBs <= 0 {
+		t.Fatal("app consumed no bandwidth")
+	}
+}
+
+func TestStorageInterferenceRaisesMissRate(t *testing.T) {
+	spec := machine.Scaled(8)
+	cfg := quickCfg(spec)
+	app := uniformApp(5<<20, 1)
+	m0, err := MeasureWithInterference(cfg, app, Storage, 0, interfere.BWConfig{}, interfere.CSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := MeasureWithInterference(cfg, app, Storage, 3, interfere.BWConfig{}, interfere.CSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.L3MissRate <= m0.L3MissRate {
+		t.Fatalf("3 CSThrs did not raise miss rate: %.3f vs %.3f", m3.L3MissRate, m0.L3MissRate)
+	}
+	if m3.Rate >= m0.Rate {
+		t.Fatalf("3 CSThrs did not slow the app: %.0f vs %.0f", m3.Rate, m0.Rate)
+	}
+	if m3.InterfHeldBytes <= 0 {
+		t.Fatal("CSThr occupancy not recorded")
+	}
+}
+
+func TestBandwidthInterferenceSlowsApp(t *testing.T) {
+	spec := machine.Scaled(8)
+	cfg := quickCfg(spec)
+	app := uniformApp(8<<20, 1) // far beyond L3: bandwidth/latency bound
+	m0, err := MeasureWithInterference(cfg, app, Bandwidth, 0, interfere.BWConfig{}, interfere.CSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MeasureWithInterference(cfg, app, Bandwidth, 2, interfere.BWConfig{}, interfere.CSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Rate >= m0.Rate {
+		t.Fatalf("2 BWThrs did not slow the app: %.0f vs %.0f", m2.Rate, m0.Rate)
+	}
+	if m2.InterfGBs < 2 {
+		t.Fatalf("2 BWThrs consumed only %.2f GB/s", m2.InterfGBs)
+	}
+}
+
+func TestRunSweepSlowdownsMonotoneUnderStorage(t *testing.T) {
+	spec := machine.Scaled(8)
+	s, err := RunSweep(SweepConfig{
+		MeasureConfig: quickCfg(spec),
+		Kind:          Storage,
+		MaxThreads:    4,
+		Parallel:      true,
+	}, "uniform", uniformApp(5<<20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := s.Slowdowns()
+	if sl[0] != 0 {
+		t.Fatalf("baseline slowdown = %v", sl[0])
+	}
+	// Expect broadly increasing degradation; allow small non-monotonicity.
+	if sl[4] < sl[1] {
+		t.Fatalf("slowdowns not increasing: %v", sl)
+	}
+	if sl[4] <= 0.02 {
+		t.Fatalf("4 CSThrs caused negligible slowdown: %v", sl)
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	spec := machine.Scaled(8)
+	cfg := SweepConfig{MeasureConfig: quickCfg(spec), Kind: Storage, MaxThreads: 2}
+	ser, err := RunSweep(cfg, "u", uniformApp(4<<20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = true
+	par, err := RunSweep(cfg, "u", uniformApp(4<<20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range ser.Points {
+		if ser.Points[k] != par.Points[k] {
+			t.Fatalf("parallel sweep diverges at %d:\n%+v\n%+v", k, ser.Points[k], par.Points[k])
+		}
+	}
+}
+
+func TestKneeDetection(t *testing.T) {
+	mk := func(rates ...float64) Sweep {
+		s := Sweep{}
+		for k, r := range rates {
+			s.Points = append(s.Points, Metrics{Threads: k, Rate: r})
+		}
+		return s
+	}
+	// Degradation appears at k=3 (rate 100 -> 80 = 25% slowdown).
+	s := mk(100, 99, 98, 80, 70)
+	lastOK, first := s.Knee(0.05)
+	if lastOK != 2 || first != 3 {
+		t.Fatalf("knee = (%d,%d), want (2,3)", lastOK, first)
+	}
+	// Never degrades.
+	s = mk(100, 99, 100, 99)
+	lastOK, first = s.Knee(0.05)
+	if lastOK != 3 || first != -1 {
+		t.Fatalf("knee = (%d,%d), want (3,-1)", lastOK, first)
+	}
+	// Degrades immediately.
+	s = mk(100, 50)
+	lastOK, first = s.Knee(0.05)
+	if lastOK != 0 || first != 1 {
+		t.Fatalf("knee = (%d,%d), want (0,1)", lastOK, first)
+	}
+}
+
+func TestCalibrateBandwidth(t *testing.T) {
+	spec := machine.Scaled(8)
+	cal, err := CalibrateBandwidth(MeasureConfig{Spec: spec, Warmup: 1_000_000, Window: 4_000_000, Seed: 1},
+		3, interfere.BWConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.AvailableGBs[0]-cal.PeakGBs) > 1e-9 {
+		t.Fatalf("avail[0] = %v, want peak %v", cal.AvailableGBs[0], cal.PeakGBs)
+	}
+	// One BWThr consumes the calibrated ~2.8 GB/s band.
+	if cal.ConsumedGBs[1] < 2.3 || cal.ConsumedGBs[1] > 3.4 {
+		t.Fatalf("1 BWThr consumed %.2f GB/s", cal.ConsumedGBs[1])
+	}
+	for k := 1; k < len(cal.AvailableGBs); k++ {
+		if cal.AvailableGBs[k] >= cal.AvailableGBs[k-1] {
+			t.Fatalf("availability not decreasing: %v", cal.AvailableGBs)
+		}
+	}
+}
+
+func TestCalibrateCapacitySmallGrid(t *testing.T) {
+	spec := machine.Scaled(8)
+	bufs := []int64{spec.L3.Size * 2, spec.L3.Size * 3}
+	cal, err := CalibrateCapacity(CalibrationConfig{
+		MeasureConfig:  MeasureConfig{Spec: spec, Warmup: 30_000_000, Window: 12_000_000, Seed: 1},
+		MaxThreads:     2,
+		BufferBytes:    bufs,
+		Dists:          []func(n int64) dist.Dist{func(n int64) dist.Dist { return dist.NewUniform(n) }},
+		ComputePerLoad: 1,
+		ElemSize:       4,
+		Parallel:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := cal.AvailableBytes()
+	l3 := float64(spec.L3.Size)
+	// No interference: the inversion must recover roughly the physical L3.
+	if avail[0] < 0.75*l3 || avail[0] > 1.15*l3 {
+		t.Fatalf("avail[0] = %.0f, want ~%.0f", avail[0], l3)
+	}
+	// Each CSThr pins ~its 512KB buffer.
+	for k := 1; k <= 2; k++ {
+		if avail[k] >= avail[k-1] {
+			t.Fatalf("availability not decreasing: %v", avail)
+		}
+	}
+	stolen := avail[0] - avail[1]
+	buf := float64(512 * units.KB)
+	if stolen < 0.5*buf || stolen > 2.0*buf {
+		t.Fatalf("1 CSThr stole %.0f bytes, want ~%.0f", stolen, buf)
+	}
+	// Samples carry the Fig. 5 ingredients.
+	s := cal.Points[0].Samples[0]
+	if s.MeasuredMiss <= 0 || s.PredictedMiss <= 0 || s.DistName == "" {
+		t.Fatalf("sample incomplete: %+v", s)
+	}
+}
+
+func TestDefaultCalibrationGrid(t *testing.T) {
+	spec := machine.Scaled(8)
+	bufs, dists := DefaultCalibrationGrid(spec, 5)
+	if len(bufs) != 5 || len(dists) != 10 {
+		t.Fatalf("grid = %d bufs, %d dists", len(bufs), len(dists))
+	}
+	if bufs[0] < spec.L3.Size*14/10 || bufs[4] > spec.L3.Size*4 {
+		t.Fatalf("buffer span wrong: %v", bufs)
+	}
+	for i := 1; i < len(bufs); i++ {
+		if bufs[i] <= bufs[i-1] {
+			t.Fatalf("buffer sizes not increasing: %v", bufs)
+		}
+	}
+	d := dists[9](1 << 16)
+	if d.Name() != "Uni" {
+		t.Fatalf("last dist = %s, want Uni", d.Name())
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c, err := NewCurve([]float64{20, 15, 10, 5}, []float64{0, 0.02, 0.10, 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(25); got != 0 {
+		t.Fatalf("above range = %v", got)
+	}
+	if got := c.At(2); got != 0.30 {
+		t.Fatalf("below range = %v", got)
+	}
+	if got := c.At(12.5); math.Abs(got-0.06) > 1e-9 {
+		t.Fatalf("midpoint = %v, want 0.06", got)
+	}
+	if got := c.At(15); math.Abs(got-0.02) > 1e-9 {
+		t.Fatalf("exact point = %v, want 0.02", got)
+	}
+	if _, err := NewCurve([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("increasing availability accepted")
+	}
+	if _, err := NewCurve([]float64{1}, []float64{0, 0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestBuildProfilePaperExample(t *testing.T) {
+	// Reconstruct the paper's MCB p=4 example: availability 20,15,12 MB;
+	// degradation first at 1 CSThr => bounds [15/4, 20/4] MB.
+	mkSweep := func(rates ...float64) Sweep {
+		s := Sweep{}
+		for k, r := range rates {
+			s.Points = append(s.Points, Metrics{Threads: k, Rate: r})
+		}
+		return s
+	}
+	storage := mkSweep(100, 80, 70)
+	storageAvail := []float64{20e6, 15e6, 12e6}
+	bandwidth := mkSweep(100, 99, 80)
+	bandwidthAvail := []float64{17, 14.2, 11.4}
+	p, err := BuildProfile("mcb", 4, 0.05, storage, storageAvail, bandwidth, bandwidthAvail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.CapacityLow-15e6/4) > 1 || math.Abs(p.CapacityHigh-20e6/4) > 1 {
+		t.Fatalf("capacity bounds = [%.0f, %.0f], want [3.75e6, 5e6]", p.CapacityLow, p.CapacityHigh)
+	}
+	// Bandwidth degrades first at 2 BWThrs: bounds [11.4/4, 14.2/4].
+	if math.Abs(p.BandwidthLow-11.4/4) > 1e-9 || math.Abs(p.BandwidthHigh-14.2/4) > 1e-9 {
+		t.Fatalf("bandwidth bounds = [%v, %v]", p.BandwidthLow, p.BandwidthHigh)
+	}
+	if p.String() == "" {
+		t.Error("empty profile rendering")
+	}
+	// Prediction composes both curves; at full resources it must be ~0.
+	if s := p.PredictSlowdown(20e6, 17); math.Abs(s) > 1e-9 {
+		t.Fatalf("full-resource prediction = %v, want 0", s)
+	}
+	if s := p.PredictSlowdown(12e6, 11.4); s < 0.4 {
+		t.Fatalf("constrained prediction = %v, want >= 0.4 (both curves bind)", s)
+	}
+}
+
+func TestBuildProfileNeverDegraded(t *testing.T) {
+	mkSweep := func(rates ...float64) Sweep {
+		s := Sweep{}
+		for k, r := range rates {
+			s.Points = append(s.Points, Metrics{Threads: k, Rate: r})
+		}
+		return s
+	}
+	flat := mkSweep(100, 100, 100)
+	avail := []float64{20e6, 15e6, 12e6}
+	bw := mkSweep(100, 100, 100)
+	bwAvail := []float64{17, 14.2, 11.4}
+	p, err := BuildProfile("tiny", 1, 0.05, flat, avail, bw, bwAvail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CapacityLow != 0 || p.CapacityHigh != 12e6 {
+		t.Fatalf("never-degraded bounds = [%v, %v], want [0, 12e6]", p.CapacityLow, p.CapacityHigh)
+	}
+}
+
+func TestBuildProfileErrors(t *testing.T) {
+	s := Sweep{Points: []Metrics{{Rate: 1}}}
+	if _, err := BuildProfile("x", 0, 0.05, s, []float64{1}, s, []float64{1}); err == nil {
+		t.Error("zero processes accepted")
+	}
+	if _, err := BuildProfile("x", 1, 0.05, s, nil, s, []float64{1}); err == nil {
+		t.Error("short calibration accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"activemem/internal/units"
+)
+
+// Curve maps resource availability to measured slowdown, built by combining
+// a Sweep with a calibration table. Availability is stored in descending
+// order (index 0 = full resource).
+type Curve struct {
+	Avail    []float64 // available resource per point (bytes or GB/s)
+	Slowdown []float64
+}
+
+// NewCurve pairs sweep slowdowns with per-level availability.
+func NewCurve(avail, slowdown []float64) (Curve, error) {
+	if len(avail) != len(slowdown) || len(avail) == 0 {
+		return Curve{}, fmt.Errorf("core: curve needs equal non-empty series")
+	}
+	for i := 1; i < len(avail); i++ {
+		if avail[i] > avail[i-1] {
+			return Curve{}, fmt.Errorf("core: availability must be non-increasing")
+		}
+	}
+	return Curve{Avail: avail, Slowdown: slowdown}, nil
+}
+
+// At interpolates the slowdown at an arbitrary availability. Beyond the
+// measured range it clamps to the boundary values (the paper's prediction
+// only claims validity within the interfered range).
+func (c Curve) At(avail float64) float64 {
+	n := len(c.Avail)
+	if n == 0 {
+		return 0
+	}
+	if avail >= c.Avail[0] {
+		return c.Slowdown[0]
+	}
+	if avail <= c.Avail[n-1] {
+		return c.Slowdown[n-1]
+	}
+	// Find the bracketing segment (availability descends).
+	i := sort.Search(n, func(i int) bool { return c.Avail[i] <= avail })
+	lo, hi := i-1, i
+	span := c.Avail[lo] - c.Avail[hi]
+	if span <= 0 {
+		return c.Slowdown[hi]
+	}
+	frac := (c.Avail[lo] - avail) / span
+	return c.Slowdown[lo] + frac*(c.Slowdown[hi]-c.Slowdown[lo])
+}
+
+// Profile is the paper's §IV product: per-process resource-use bounds plus
+// sensitivity curves, derived from interference sweeps and calibrations.
+type Profile struct {
+	App       string
+	Processes int // application processes sharing the measured socket
+
+	// Per-process storage use bounds in bytes: the application uses more
+	// than CapacityLow (performance degraded once less was available) and
+	// at most CapacityHigh (no degradation while that much was available).
+	CapacityLow, CapacityHigh float64
+
+	// Per-process bandwidth use bounds in GB/s, same convention.
+	BandwidthLow, BandwidthHigh float64
+
+	StorageCurve   Curve
+	BandwidthCurve Curve
+}
+
+// BuildProfile applies the paper's bound-selection rule to a storage sweep
+// and a bandwidth sweep: with lastOK the most interference with no
+// degradation beyond threshold and firstDegraded the least interference
+// with degradation, per-process use lies in
+// [avail(firstDegraded)/p, avail(lastOK)/p].
+func BuildProfile(app string, processes int, threshold float64,
+	storage Sweep, storageAvail []float64,
+	bandwidth Sweep, bandwidthAvail []float64) (Profile, error) {
+	if processes <= 0 {
+		return Profile{}, fmt.Errorf("core: profile needs positive process count")
+	}
+	if len(storage.Points) > len(storageAvail) || len(bandwidth.Points) > len(bandwidthAvail) {
+		return Profile{}, fmt.Errorf("core: calibration shorter than sweep")
+	}
+	p := Profile{App: app, Processes: processes}
+
+	low, high := boundsFromSweep(storage, storageAvail, threshold)
+	p.CapacityLow, p.CapacityHigh = low/float64(processes), high/float64(processes)
+
+	low, high = boundsFromSweep(bandwidth, bandwidthAvail, threshold)
+	p.BandwidthLow, p.BandwidthHigh = low/float64(processes), high/float64(processes)
+
+	var err error
+	if p.StorageCurve, err = NewCurve(storageAvail[:len(storage.Points)], storage.Slowdowns()); err != nil {
+		return Profile{}, err
+	}
+	if p.BandwidthCurve, err = NewCurve(bandwidthAvail[:len(bandwidth.Points)], bandwidth.Slowdowns()); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// boundsFromSweep returns (lower, upper) total resource-use bounds.
+func boundsFromSweep(s Sweep, avail []float64, threshold float64) (low, high float64) {
+	lastOK, firstDegraded := s.Knee(threshold)
+	high = avail[lastOK]
+	if firstDegraded >= 0 {
+		low = avail[firstDegraded]
+	} else {
+		// Never degraded: the application provably uses no more than the
+		// smallest availability tested; the lower bound is unknown (0).
+		low = 0
+		high = avail[len(s.Points)-1]
+	}
+	return low, high
+}
+
+// PredictSlowdown estimates the application's slowdown on a hypothetical
+// machine offering the given per-socket capacity and bandwidth, composing
+// the two orthogonal sensitivity curves multiplicatively (§III-D shows the
+// interference dimensions are independent).
+func (p Profile) PredictSlowdown(capacityBytes float64, bandwidthGBs float64) float64 {
+	sc := p.StorageCurve.At(capacityBytes)
+	sb := p.BandwidthCurve.At(bandwidthGBs)
+	return (1+sc)*(1+sb) - 1
+}
+
+// String renders a human-readable summary.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d processes/socket):\n", p.App, p.Processes)
+	fmt.Fprintf(&b, "  L3 storage per process:  %s - %s\n",
+		units.FormatBytes(int64(p.CapacityLow)), units.FormatBytes(int64(p.CapacityHigh)))
+	fmt.Fprintf(&b, "  bandwidth per process:   %.2f - %.2f GB/s\n",
+		p.BandwidthLow, p.BandwidthHigh)
+	return b.String()
+}

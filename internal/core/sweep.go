@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"activemem/internal/stats"
+	"activemem/internal/workload/interfere"
+)
+
+// SweepConfig describes an interference sweep: the application is measured
+// with 0..MaxThreads interference threads of one kind, the x-axis of the
+// paper's Figs. 9 and 11.
+type SweepConfig struct {
+	MeasureConfig
+	Kind       Kind
+	MaxThreads int
+	BW         interfere.BWConfig // zero value: paper defaults for the machine
+	CS         interfere.CSConfig // zero value: paper defaults for the machine
+	Parallel   bool               // run interference levels on a worker pool
+}
+
+// Validate checks the configuration.
+func (c SweepConfig) Validate() error {
+	if err := c.MeasureConfig.Validate(); err != nil {
+		return err
+	}
+	if c.MaxThreads < 0 || c.MaxThreads >= c.Spec.CoresPerSocket {
+		return fmt.Errorf("core: sweep max threads %d out of range [0,%d)",
+			c.MaxThreads, c.Spec.CoresPerSocket)
+	}
+	return nil
+}
+
+// Sweep holds the measured points of an interference sweep, indexed by
+// thread count (Points[k] ran with k interference threads).
+type Sweep struct {
+	Kind   Kind
+	App    string
+	Points []Metrics
+}
+
+// RunSweep measures the application at every interference level. Each level
+// uses an identically seeded, fresh socket, so points differ only in the
+// interference applied — the controlled experiment of the paper's Fig. 1.
+func RunSweep(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, error) {
+	if err := cfg.Validate(); err != nil {
+		return Sweep{}, err
+	}
+	s := Sweep{Kind: cfg.Kind, App: appName, Points: make([]Metrics, cfg.MaxThreads+1)}
+	errs := make([]error, cfg.MaxThreads+1)
+	run := func(k int) {
+		s.Points[k], errs[k] = MeasureWithInterference(cfg.MeasureConfig, app, cfg.Kind, k, cfg.BW, cfg.CS)
+	}
+	if cfg.Parallel {
+		var wg sync.WaitGroup
+		for k := 0; k <= cfg.MaxThreads; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				run(k)
+			}(k)
+		}
+		wg.Wait()
+	} else {
+		for k := 0; k <= cfg.MaxThreads; k++ {
+			run(k)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Sweep{}, err
+		}
+	}
+	return s, nil
+}
+
+// SweepFromSeconds builds a Sweep from measured execution times indexed by
+// interference thread count (rate = 1/seconds). Cluster-level experiments,
+// which measure whole-application wall time rather than a work rate, use
+// this to feed the same knee/bounds analysis.
+func SweepFromSeconds(kind Kind, app string, seconds []float64) Sweep {
+	s := Sweep{Kind: kind, App: app}
+	for k, sec := range seconds {
+		m := Metrics{Threads: k, Seconds: sec}
+		if sec > 0 {
+			m.Rate = 1 / sec
+		}
+		s.Points = append(s.Points, m)
+	}
+	return s
+}
+
+// Slowdowns returns the relative performance degradation of each point with
+// respect to the uninterfered baseline: slowdown[k] = rate₀/rate_k − 1.
+func (s Sweep) Slowdowns() []float64 {
+	out := make([]float64, len(s.Points))
+	if len(s.Points) == 0 || s.Points[0].Rate == 0 {
+		return out
+	}
+	base := s.Points[0].Rate
+	for k, p := range s.Points {
+		if p.Rate > 0 {
+			out[k] = base/p.Rate - 1
+		}
+	}
+	return out
+}
+
+// Knee locates the degradation onset: lastOK is the largest thread count
+// whose slowdown stays within threshold, firstDegraded the smallest count
+// that exceeds it (or -1 if none does). This is the selection rule of the
+// paper's §IV resource-use analysis.
+func (s Sweep) Knee(threshold float64) (lastOK, firstDegraded int) {
+	sl := s.Slowdowns()
+	lastOK, firstDegraded = 0, -1
+	for k := 1; k < len(sl); k++ {
+		if sl[k] > threshold {
+			firstDegraded = k
+			break
+		}
+		lastOK = k
+	}
+	return lastOK, firstDegraded
+}
+
+// MaxSlowdown returns the largest slowdown in the sweep.
+func (s Sweep) MaxSlowdown() float64 {
+	return stats.Max(s.Slowdowns())
+}

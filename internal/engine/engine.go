@@ -1,0 +1,319 @@
+// Package engine is the discrete-event simulation core: it runs one
+// Workload per core of a socket, advancing whichever core has the smallest
+// local clock so that all mutations of the shared memory system (L3, bus)
+// happen in global time order. Ties break on core id, making every run
+// bit-reproducible.
+//
+// This stands in for the paper's pinned native threads: an interference
+// thread on core k of the simulated socket perturbs the application on core
+// 0 only through the shared L3 and memory bus, exactly as in the paper's
+// methodology.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"activemem/internal/mem"
+	"activemem/internal/units"
+	"activemem/internal/xrand"
+)
+
+// Workload is a deterministic state machine occupying one core. Step
+// performs a small amount of work (some compute plus a handful of memory
+// accesses) through the Ctx and returns false once the workload is done.
+// Interference daemons always return true.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Step executes one unit of progress. It must advance the context's
+	// clock (via Compute/Load/Store) by at least one cycle to guarantee
+	// global progress.
+	Step(ctx *Ctx) bool
+}
+
+// Ctx gives a workload timed access to its core and socket. All latencies
+// feed the core-local clock.
+type Ctx struct {
+	coreID int
+	hier   *mem.Hierarchy
+	rng    *xrand.Rand
+	now    units.Cycles
+	mshrs  int
+
+	// completion ring for overlapped loads
+	outstanding []units.Cycles
+
+	work     int64 // logical work units completed (workload-defined)
+	accesses int64 // demand accesses issued via this ctx
+	finished bool
+	daemon   bool
+	wl       Workload
+}
+
+// Core returns the core index this context runs on.
+func (c *Ctx) Core() int { return c.coreID }
+
+// Now returns the core-local clock.
+func (c *Ctx) Now() units.Cycles { return c.now }
+
+// Rand returns the context's deterministic RNG stream.
+func (c *Ctx) Rand() *xrand.Rand { return c.rng }
+
+// Hierarchy exposes the socket memory system (for counter snapshots).
+func (c *Ctx) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Compute advances the clock by n cycles of pure computation.
+func (c *Ctx) Compute(n units.Cycles) {
+	if n < 0 {
+		panic("engine: negative compute time")
+	}
+	c.now += n
+}
+
+// Load performs a blocking read of addr; the clock advances by its latency.
+func (c *Ctx) Load(addr mem.Addr) {
+	_, lat := c.hier.Access(c.coreID, addr, c.now, false)
+	c.now += lat
+	c.accesses++
+}
+
+// Store performs a write of addr (write-allocate); the clock advances by its
+// latency.
+func (c *Ctx) Store(addr mem.Addr) {
+	_, lat := c.hier.Access(c.coreID, addr, c.now, true)
+	c.now += lat
+	c.accesses++
+}
+
+// LoadOverlapped issues the given addresses with up to the core's MSHR
+// limit in flight, modelling memory-level parallelism: each access is
+// issued issueGap cycles after the previous one, stalling when the MSHR
+// window is full, and the clock lands at the completion of the last access.
+// This is how BWThr's many concurrent buffers extract bandwidth.
+func (c *Ctx) LoadOverlapped(addrs []mem.Addr, issueGap units.Cycles) {
+	issue := c.now
+	out := c.outstanding[:0]
+	for _, a := range addrs {
+		if len(out) >= c.mshrs {
+			// Wait for the earliest outstanding fill.
+			min := 0
+			for i := 1; i < len(out); i++ {
+				if out[i] < out[min] {
+					min = i
+				}
+			}
+			if out[min] > issue {
+				issue = out[min]
+			}
+			out[min] = out[len(out)-1]
+			out = out[:len(out)-1]
+		}
+		_, lat := c.hier.Access(c.coreID, a, issue, false)
+		out = append(out, issue+lat)
+		issue += issueGap
+		c.accesses++
+	}
+	end := issue
+	for _, t := range out {
+		if t > end {
+			end = t
+		}
+	}
+	c.outstanding = out[:0]
+	c.now = end
+}
+
+// WorkUnit records the completion of n logical work units (iterations,
+// particles, elements — whatever the workload counts).
+func (c *Ctx) WorkUnit(n int64) { c.work += n }
+
+// Work returns the logical work units completed so far.
+func (c *Ctx) Work() int64 { return c.work }
+
+// Accesses returns the number of demand accesses issued through this ctx.
+func (c *Ctx) Accesses() int64 { return c.accesses }
+
+// Finished reports whether the workload has completed.
+func (c *Ctx) Finished() bool { return c.finished }
+
+// Engine schedules the cores of one socket.
+type Engine struct {
+	hier *mem.Hierarchy
+	ctxs []*Ctx
+	pq   ctxHeap
+}
+
+// New creates an engine for a socket hierarchy with the given per-core MSHR
+// limit.
+func New(h *mem.Hierarchy, mshrs int) *Engine {
+	if mshrs <= 0 {
+		mshrs = 1
+	}
+	e := &Engine{hier: h}
+	e.ctxs = make([]*Ctx, h.Cores())
+	for i := range e.ctxs {
+		e.ctxs[i] = &Ctx{coreID: i, hier: h, mshrs: mshrs,
+			outstanding: make([]units.Cycles, 0, mshrs)}
+	}
+	return e
+}
+
+// Place assigns a workload to a core. seed feeds the workload's RNG stream.
+func (e *Engine) Place(core int, w Workload, seed uint64) {
+	e.place(core, w, seed, false)
+}
+
+// PlaceDaemon assigns an interference workload that runs forever; it never
+// counts toward completion conditions.
+func (e *Engine) PlaceDaemon(core int, w Workload, seed uint64) {
+	e.place(core, w, seed, true)
+}
+
+func (e *Engine) place(core int, w Workload, seed uint64, daemon bool) {
+	if core < 0 || core >= len(e.ctxs) {
+		panic(fmt.Sprintf("engine: core %d out of range", core))
+	}
+	ctx := e.ctxs[core]
+	if ctx.wl != nil {
+		panic(fmt.Sprintf("engine: core %d already occupied by %s", core, ctx.wl.Name()))
+	}
+	ctx.wl = w
+	ctx.rng = xrand.New(seed)
+	ctx.daemon = daemon
+}
+
+// Ctx returns the context of a core (nil workload contexts are still valid
+// for clock inspection).
+func (e *Engine) Ctx(core int) *Ctx { return e.ctxs[core] }
+
+// Hierarchy returns the socket memory system.
+func (e *Engine) Hierarchy() *mem.Hierarchy { return e.hier }
+
+// rebuild refreshes the scheduling heap from non-finished, occupied cores.
+func (e *Engine) rebuild() {
+	e.pq = e.pq[:0]
+	for _, c := range e.ctxs {
+		if c.wl != nil && !c.finished {
+			e.pq = append(e.pq, c)
+		}
+	}
+	heap.Init(&e.pq)
+}
+
+// RunUntil advances all occupied cores until every core's clock reaches t
+// (or its workload finishes). It is used for warmup phases.
+func (e *Engine) RunUntil(t units.Cycles) {
+	e.rebuild()
+	for len(e.pq) > 0 {
+		c := e.pq[0]
+		if c.now >= t {
+			return // heap min has reached the horizon, so all cores have
+		}
+		before := c.now
+		if !c.wl.Step(c) {
+			c.finished = true
+			heap.Pop(&e.pq)
+			continue
+		}
+		if c.now == before {
+			panic(fmt.Sprintf("engine: workload %s made no progress on core %d",
+				c.wl.Name(), c.coreID))
+		}
+		heap.Fix(&e.pq, 0)
+	}
+}
+
+// Run advances cores in global time order until stop returns true (checked
+// after every step) or until every non-daemon workload has finished.
+// Daemons keep running (generating interference) as long as any non-daemon
+// is active.
+func (e *Engine) Run(stop func() bool) {
+	e.rebuild()
+	workers := 0
+	for _, c := range e.pq {
+		if !c.daemon {
+			workers++
+		}
+	}
+	if workers == 0 {
+		return
+	}
+	for len(e.pq) > 0 {
+		c := e.pq[0]
+		before := c.now
+		if !c.wl.Step(c) {
+			c.finished = true
+			heap.Pop(&e.pq)
+			if !c.daemon {
+				workers--
+				if workers == 0 {
+					return
+				}
+			}
+		} else {
+			if c.now == before {
+				panic(fmt.Sprintf("engine: workload %s made no progress on core %d",
+					c.wl.Name(), c.coreID))
+			}
+			heap.Fix(&e.pq, 0)
+		}
+		if stop != nil && stop() {
+			return
+		}
+	}
+}
+
+// RunToCompletion advances until every non-daemon workload has finished.
+func (e *Engine) RunToCompletion() { e.Run(nil) }
+
+// Rearm clears a finished workload's completion flag so the next Run
+// schedules it again. Bulk-synchronous cluster phases use this to run one
+// compute phase per iteration on a persistent socket (cache state and
+// clocks survive across phases).
+func (e *Engine) Rearm(core int) {
+	e.ctxs[core].finished = false
+}
+
+// SetClock advances a core's local clock to t, modelling time the workload
+// spent blocked outside the socket (e.g. waiting for messages). It panics
+// if t would move the clock backwards.
+func (e *Engine) SetClock(core int, t units.Cycles) {
+	c := e.ctxs[core]
+	if t < c.now {
+		panic(fmt.Sprintf("engine: SetClock(%d) would rewind %d -> %d", core, c.now, t))
+	}
+	c.now = t
+}
+
+// MaxClock returns the largest core-local clock, i.e. the simulated elapsed
+// time of the socket.
+func (e *Engine) MaxClock() units.Cycles {
+	var m units.Cycles
+	for _, c := range e.ctxs {
+		if c.now > m {
+			m = c.now
+		}
+	}
+	return m
+}
+
+// ctxHeap orders contexts by (clock, core id).
+type ctxHeap []*Ctx
+
+func (h ctxHeap) Len() int { return len(h) }
+func (h ctxHeap) Less(i, j int) bool {
+	if h[i].now != h[j].now {
+		return h[i].now < h[j].now
+	}
+	return h[i].coreID < h[j].coreID
+}
+func (h ctxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *ctxHeap) Push(x any)   { *h = append(*h, x.(*Ctx)) }
+func (h *ctxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"testing"
+
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// countWork steps a fixed number of times, one compute cycle each.
+type countWork struct {
+	steps int
+	cost  units.Cycles
+}
+
+func (w *countWork) Name() string { return "count" }
+func (w *countWork) Step(ctx *Ctx) bool {
+	if w.steps <= 0 {
+		return false
+	}
+	w.steps--
+	ctx.Compute(w.cost)
+	ctx.WorkUnit(1)
+	return w.steps > 0
+}
+
+// loadWork streams over a buffer forever.
+type loadWork struct {
+	base mem.Addr
+	span int64
+	pos  int64
+}
+
+func (w *loadWork) Name() string { return "loader" }
+func (w *loadWork) Step(ctx *Ctx) bool {
+	ctx.Load(w.base + mem.Addr(w.pos%w.span*64))
+	w.pos++
+	ctx.WorkUnit(1)
+	return true
+}
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	spec := machine.Scaled(8)
+	return New(spec.NewSocket(1), spec.MSHRs)
+}
+
+func TestRunToCompletion(t *testing.T) {
+	e := newEngine(t)
+	w := &countWork{steps: 100, cost: 7}
+	e.Place(0, w, 1)
+	e.RunToCompletion()
+	ctx := e.Ctx(0)
+	if ctx.Work() != 100 {
+		t.Fatalf("work = %d, want 100", ctx.Work())
+	}
+	if ctx.Now() != 700 {
+		t.Fatalf("clock = %d, want 700", ctx.Now())
+	}
+	if !ctx.Finished() {
+		t.Fatal("workload not marked finished")
+	}
+}
+
+func TestGlobalTimeOrdering(t *testing.T) {
+	// Two cores with different step costs: the cheap one must step more
+	// often, keeping clocks within one step of each other.
+	e := newEngine(t)
+	e.Place(0, &countWork{steps: 1000, cost: 1}, 1)
+	e.Place(1, &countWork{steps: 10, cost: 100}, 2)
+	e.RunToCompletion()
+	c0, c1 := e.Ctx(0), e.Ctx(1)
+	if c0.Now() != 1000 || c1.Now() != 1000 {
+		t.Fatalf("clocks = %d/%d, want 1000/1000", c0.Now(), c1.Now())
+	}
+}
+
+func TestDaemonRunsWhileWorkerActive(t *testing.T) {
+	e := newEngine(t)
+	e.Place(0, &countWork{steps: 500, cost: 10}, 1)
+	d := &loadWork{base: 1 << 24, span: 8}
+	e.PlaceDaemon(1, d, 2)
+	e.RunToCompletion()
+	if d.pos == 0 {
+		t.Fatal("daemon never ran")
+	}
+	// The daemon must not run meaningfully past the last worker's clock.
+	if e.Ctx(1).Now() > e.Ctx(0).Now()+1000 {
+		t.Fatalf("daemon ran far beyond worker: %d vs %d", e.Ctx(1).Now(), e.Ctx(0).Now())
+	}
+}
+
+func TestDaemonOnlyRunReturnsImmediately(t *testing.T) {
+	e := newEngine(t)
+	e.PlaceDaemon(0, &loadWork{base: 0, span: 8}, 1)
+	e.RunToCompletion() // must not hang
+	if e.Ctx(0).Now() != 0 {
+		t.Fatal("daemon advanced with no workers")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := newEngine(t)
+	e.PlaceDaemon(0, &loadWork{base: 0, span: 1024}, 1)
+	e.PlaceDaemon(1, &loadWork{base: 1 << 24, span: 1024}, 2)
+	e.RunUntil(50_000)
+	if e.Ctx(0).Now() < 50_000 || e.Ctx(1).Now() < 50_000 {
+		t.Fatalf("cores below horizon: %d %d", e.Ctx(0).Now(), e.Ctx(1).Now())
+	}
+	// Neither core should overshoot by more than one step's latency.
+	if e.Ctx(0).Now() > 51_000 {
+		t.Fatalf("core 0 overshot horizon: %d", e.Ctx(0).Now())
+	}
+}
+
+func TestRunStopPredicate(t *testing.T) {
+	e := newEngine(t)
+	e.Place(0, &countWork{steps: 1 << 30, cost: 1}, 1)
+	ctx := e.Ctx(0)
+	e.Run(func() bool { return ctx.Work() >= 1234 })
+	if ctx.Work() != 1234 {
+		t.Fatalf("work = %d, want exactly 1234", ctx.Work())
+	}
+}
+
+func TestPlacePanics(t *testing.T) {
+	e := newEngine(t)
+	e.Place(0, &countWork{steps: 1, cost: 1}, 1)
+	for _, f := range []func(){
+		func() { e.Place(0, &countWork{}, 1) }, // occupied
+		func() { e.Place(-1, &countWork{}, 1) },
+		func() { e.Place(99, &countWork{}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestComputeNegativePanics(t *testing.T) {
+	e := newEngine(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative compute should panic")
+		}
+	}()
+	e.Ctx(0).Compute(-1)
+}
+
+func TestLoadOverlappedFasterThanSerial(t *testing.T) {
+	spec := machine.Scaled(8)
+	// Serial: one load at a time.
+	serial := New(spec.NewSocket(1), spec.MSHRs)
+	ser := serial.Ctx(0)
+	var addrs []mem.Addr
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, mem.Addr(1<<24+i*4096)) // distinct sets, all cold
+	}
+	for _, a := range addrs {
+		ser.Load(a)
+	}
+	// Overlapped: same addresses through the MSHR window.
+	over := New(spec.NewSocket(1), spec.MSHRs)
+	ov := over.Ctx(0)
+	ov.LoadOverlapped(addrs, 4)
+	if ov.Now() >= ser.Now() {
+		t.Fatalf("overlap no faster: %d vs serial %d", ov.Now(), ser.Now())
+	}
+	if ov.Accesses() != 64 {
+		t.Fatalf("accesses = %d, want 64", ov.Accesses())
+	}
+	// Overlap is still bounded below by bus occupancy of 64 lines.
+	minTime := units.Cycles(64 * 10)
+	if ov.Now() < minTime {
+		t.Fatalf("overlapped time %d below bus occupancy bound %d", ov.Now(), minTime)
+	}
+}
+
+func TestLoadOverlappedRespectsMSHRLimit(t *testing.T) {
+	spec := machine.Scaled(8)
+	// With MSHRs=1 overlapped loads degenerate to (almost) serial.
+	e1 := New(spec.NewSocket(1), 1)
+	eN := New(spec.NewSocket(1), 8)
+	var addrs []mem.Addr
+	for i := 0; i < 32; i++ {
+		addrs = append(addrs, mem.Addr(1<<24+i*4096))
+	}
+	e1.Ctx(0).LoadOverlapped(addrs, 1)
+	eN.Ctx(0).LoadOverlapped(addrs, 1)
+	if e1.Ctx(0).Now() <= eN.Ctx(0).Now() {
+		t.Fatalf("MSHR=1 (%d cycles) should be slower than MSHR=8 (%d)",
+			e1.Ctx(0).Now(), eN.Ctx(0).Now())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() (units.Cycles, int64) {
+		spec := machine.Scaled(8)
+		e := New(spec.NewSocket(7), spec.MSHRs)
+		e.Place(0, &countWork{steps: 2000, cost: 3}, 11)
+		e.PlaceDaemon(1, &loadWork{base: 0, span: 4096}, 12)
+		e.PlaceDaemon(2, &loadWork{base: 1 << 25, span: 4096}, 13)
+		e.RunToCompletion()
+		return e.MaxClock(), e.Hierarchy().Bus.Stats.Bytes
+	}
+	t1, b1 := run()
+	t2, b2 := run()
+	if t1 != t2 || b1 != b2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", t1, b1, t2, b2)
+	}
+}
+
+// batchLoad is a bandwidth-hungry daemon: it issues overlapped batches of
+// cold loads, the same mechanism BWThr uses to extract bandwidth.
+type batchLoad struct {
+	base  mem.Addr
+	span  int64 // lines
+	pos   int64
+	addrs []mem.Addr
+}
+
+func (w *batchLoad) Name() string { return "batchload" }
+func (w *batchLoad) Step(ctx *Ctx) bool {
+	if w.addrs == nil {
+		w.addrs = make([]mem.Addr, 16)
+	}
+	for i := range w.addrs {
+		w.addrs[i] = w.base + mem.Addr(w.pos%w.span*64)
+		w.pos += 37 // prime stride in lines defeats page locality
+	}
+	ctx.LoadOverlapped(w.addrs, 2)
+	ctx.WorkUnit(1)
+	return true
+}
+
+func TestInterferenceSlowsSharedSocket(t *testing.T) {
+	// A loader walking a buffer larger than the L3 must slow down when
+	// bandwidth-hungry daemons share the socket: the whole point of the
+	// methodology.
+	spec := machine.Scaled(8)
+	elapsed := func(daemons int) units.Cycles {
+		e := New(spec.NewSocket(3), spec.MSHRs)
+		app := &loadWork{base: 0, span: spec.L3.Size / 64 * 4} // 4x L3 lines
+		e.Place(0, app, 1)
+		for d := 0; d < daemons; d++ {
+			e.PlaceDaemon(1+d, &batchLoad{base: mem.Addr(1 << (30 + d)), span: spec.L3.Size / 64 * 4}, uint64(50+d))
+		}
+		ctx := e.Ctx(0)
+		e.Run(func() bool { return ctx.Work() >= 20_000 })
+		return ctx.Now()
+	}
+	alone := elapsed(0)
+	crowded := elapsed(3)
+	if float64(crowded) < float64(alone)*1.10 {
+		t.Fatalf("interference too weak: alone=%d crowded=%d", alone, crowded)
+	}
+}
+
+// stuckWork neither advances the clock nor finishes: the engine must fail
+// fast instead of spinning forever.
+type stuckWork struct{}
+
+func (stuckWork) Name() string       { return "stuck" }
+func (stuckWork) Step(ctx *Ctx) bool { return true }
+
+func TestNoProgressPanics(t *testing.T) {
+	e := newEngine(t)
+	e.Place(0, stuckWork{}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-advancing workload")
+		}
+	}()
+	e.RunToCompletion()
+}
+
+func TestSetClockForwardOnly(t *testing.T) {
+	e := newEngine(t)
+	e.SetClock(0, 500)
+	if e.Ctx(0).Now() != 500 {
+		t.Fatalf("clock = %d", e.Ctx(0).Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rewinding clock")
+		}
+	}()
+	e.SetClock(0, 100)
+}
+
+func TestRearmAllowsSecondPhase(t *testing.T) {
+	e := newEngine(t)
+	w := &countWork{steps: 10, cost: 5}
+	e.Place(0, w, 1)
+	e.RunToCompletion()
+	if e.Ctx(0).Work() != 10 {
+		t.Fatalf("phase 1 work = %d", e.Ctx(0).Work())
+	}
+	w.steps = 10
+	e.Rearm(0)
+	e.RunToCompletion()
+	if e.Ctx(0).Work() != 20 {
+		t.Fatalf("phase 2 work = %d, want 20", e.Ctx(0).Work())
+	}
+}

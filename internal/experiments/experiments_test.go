@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"activemem/internal/units"
+)
+
+// smoke returns fast options on the 1/8-scale machine.
+func smoke() Options {
+	return Options{Scale: 8, Grid: GridSmoke, Parallel: true, Seed: 1}
+}
+
+func TestGridString(t *testing.T) {
+	if GridSmoke.String() != "smoke" || GridQuick.String() != "quick" ||
+		GridPaper.String() != "paper" || Grid(9).String() != "Grid(9)" {
+		t.Fatal("grid names")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.Spec().Name != "Xeon20MB" {
+		t.Fatalf("default machine = %s", o.Spec().Name)
+	}
+	if !strings.Contains(o.ScaleNote(), "full geometry") {
+		t.Fatalf("scale note = %q", o.ScaleNote())
+	}
+	if !strings.Contains(smoke().ScaleNote(), "multiply capacities by 8") {
+		t.Fatalf("scaled note = %q", smoke().ScaleNote())
+	}
+}
+
+func TestTableIAndII(t *testing.T) {
+	if !strings.Contains(TableI(smoke()), "L3") {
+		t.Fatal("Table I missing L3")
+	}
+	tab := TableII(smoke())
+	if len(tab.Rows) != 10 {
+		t.Fatalf("Table II has %d patterns, want 10", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "Norm 4") || !strings.Contains(tab.String(), "Uni") {
+		t.Fatal("Table II missing patterns")
+	}
+}
+
+func TestSecIIIAShape(t *testing.T) {
+	r, err := SecIIIA(smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := r.Cal
+	if len(cal.ConsumedGBs) != 8 {
+		t.Fatalf("expected 8 levels, got %d", len(cal.ConsumedGBs))
+	}
+	// Single thread in the paper's 2.8 GB/s band; seven near saturation.
+	if cal.ConsumedGBs[1] < 2.3 || cal.ConsumedGBs[1] > 3.4 {
+		t.Errorf("1 BWThr = %.2f GB/s", cal.ConsumedGBs[1])
+	}
+	if cal.ConsumedGBs[7] < 0.9*cal.PeakGBs {
+		t.Errorf("7 BWThrs = %.2f of %.2f peak", cal.ConsumedGBs[7], cal.PeakGBs)
+	}
+	if !strings.Contains(r.Table().String(), "BWThrs") {
+		t.Error("table rendering")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r, err := Fig5(smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("too few rows: %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The paper's headline: mean error < ~10%.
+		if row.MeanAbsErr > 0.12 {
+			t.Errorf("buffer %s: model error %.3f above Fig. 5 band",
+				units.FormatBytes(row.BufferBytes), row.MeanAbsErr)
+		}
+	}
+	// Error shrinks (or at least does not grow) with buffer size.
+	first, last := r.Rows[0].MeanAbsErr, r.Rows[len(r.Rows)-1].MeanAbsErr
+	if last > first+0.02 {
+		t.Errorf("error grew with buffer size: %.3f -> %.3f", first, last)
+	}
+	if !strings.Contains(r.Table().String(), "Mean abs err") {
+		t.Error("table rendering")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r, err := Fig6(smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerCompute) != 1 { // smoke grid: compute=1 only
+		t.Fatalf("compute intensities = %v", r.Computes)
+	}
+	cal := r.PerCompute[0]
+	phys := float64(r.Spec.L3.Size)
+	// No interference recovers roughly the physical capacity.
+	if cal.Points[0].MeanBytes < 0.7*phys || cal.Points[0].MeanBytes > 1.15*phys {
+		t.Errorf("k=0 capacity = %.0f vs physical %.0f", cal.Points[0].MeanBytes, phys)
+	}
+	// Capacity decreases monotonically with CSThr count.
+	for k := 1; k < len(cal.Points); k++ {
+		if cal.Points[k].MeanBytes >= cal.Points[k-1].MeanBytes {
+			t.Errorf("capacity not decreasing at k=%d: %v", k, cal.AvailableBytes())
+		}
+	}
+	if len(r.Tables()) != 1 {
+		t.Error("table rendering")
+	}
+}
+
+func TestFig7Flatness(t *testing.T) {
+	r, err := Fig7(smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	base := r.Rows[0]
+	for _, row := range r.Rows[1:] {
+		// The paper's claim: BWThr is unaffected by CSThrs. Allow 15%.
+		if rel(row.BWGBs, base.BWGBs) > 0.15 {
+			t.Errorf("k=%d: BWThr bandwidth moved %.2f -> %.2f", row.CSThrs, base.BWGBs, row.BWGBs)
+		}
+		if rel(row.SecondsPer1e7, base.SecondsPer1e7) > 0.15 {
+			t.Errorf("k=%d: BWThr loop time moved", row.CSThrs)
+		}
+		if row.L3MissRate < 0.85 {
+			t.Errorf("k=%d: BWThr miss rate %.3f", row.CSThrs, row.L3MissRate)
+		}
+	}
+}
+
+func TestFig8Knee(t *testing.T) {
+	r, err := Fig8(smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.Rows[0]
+	// A lone CSThr uses almost no bandwidth and never misses.
+	if base.CSGBs > 0.3 || base.L3MissRate > 0.02 {
+		t.Fatalf("baseline CSThr: %.3f GB/s, miss %.3f", base.CSGBs, base.L3MissRate)
+	}
+	// One BWThr leaves the CSThr essentially untouched...
+	if rel(r.Rows[1].NsPerOp, base.NsPerOp) > 0.15 {
+		t.Errorf("1 BWThr moved CSThr op time %.2f -> %.2f", base.NsPerOp, r.Rows[1].NsPerOp)
+	}
+	// ...but heavy bandwidth interference degrades it (the §III-D bound).
+	if r.Rows[5].NsPerOp < base.NsPerOp*1.5 {
+		t.Errorf("5 BWThrs barely moved CSThr: %.2f -> %.2f", base.NsPerOp, r.Rows[5].NsPerOp)
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	d := (a - b) / b
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestFig9MCBShapes(t *testing.T) {
+	r, err := Fig9MCB(smoke())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Mappings) == 0 || len(r.Sizes) == 0 {
+		t.Fatal("empty study")
+	}
+	// Per the paper: more ranks per socket ⇒ degradation at fewer CSThrs.
+	p1 := r.Mappings[0]
+	pN := r.Mappings[len(r.Mappings)-1]
+	if pN.P <= p1.P {
+		t.Fatal("mappings not ordered")
+	}
+	slow := func(s []float64, k int) float64 { return s[k]/s[0] - 1 }
+	k := 2
+	if len(p1.Storage) > k && len(pN.Storage) > k {
+		if slow(pN.Storage, k) <= slow(p1.Storage, k)-0.02 {
+			t.Errorf("p=%d not more capacity-sensitive than p=%d at k=%d", pN.P, p1.P, k)
+		}
+	}
+	if len(r.Tables()) != 4 {
+		t.Fatalf("tables = %d, want 4", len(r.Tables()))
+	}
+}
+
+func TestStudyCalibrationsAndProfiles(t *testing.T) {
+	opt := smoke()
+	capAvail, bwAvail, err := StudyCalibrations(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capAvail) != maxStorageThreads+1 || len(bwAvail) != maxBandwidthThreads+1 {
+		t.Fatalf("calibration lengths %d/%d", len(capAvail), len(bwAvail))
+	}
+	for k := 1; k < len(capAvail); k++ {
+		if capAvail[k] >= capAvail[k-1] {
+			t.Fatalf("capacity calibration not decreasing: %v", capAvail)
+		}
+	}
+	study, err := Fig9MCB(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := BuildProfiles(opt, study, capAvail, bwAvail, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Rows) != len(study.Mappings) {
+		t.Fatalf("profile rows = %d", len(prof.Rows))
+	}
+	for _, row := range prof.Rows {
+		if row.CapHighMB < row.CapLowMB || row.BWHighGBs < row.BWLowGBs {
+			t.Errorf("inverted bounds: %+v", row)
+		}
+	}
+	// The paper's Fig. 10 trend: spread-out mappings use more bandwidth
+	// per process.
+	first, last := prof.Rows[0], prof.Rows[len(prof.Rows)-1]
+	if first.P < last.P && first.BWHighGBs <= last.BWHighGBs {
+		t.Errorf("bandwidth per process should fall as ranks pack: %+v vs %+v", first, last)
+	}
+	if !strings.Contains(prof.Table().String(), "x8 equiv") {
+		t.Error("profile table rendering")
+	}
+}

@@ -1,0 +1,87 @@
+// Package experiments implements one driver per table and figure of the
+// paper's evaluation. Each driver returns a structured result with a
+// Tables() rendering, so the cmd/validate and cmd/appstudy binaries, the
+// root benchmark harness and EXPERIMENTS.md all regenerate the same rows.
+package experiments
+
+import (
+	"fmt"
+
+	"activemem/internal/machine"
+	"activemem/internal/units"
+)
+
+// Grid selects experiment size.
+type Grid int
+
+// Grid levels.
+const (
+	// GridSmoke is the benchmark-harness size: a few cells per experiment,
+	// a few seconds of wall time.
+	GridSmoke Grid = iota
+	// GridQuick is the default command-line size: reduced grids that still
+	// show every trend, tens of seconds.
+	GridQuick
+	// GridPaper reproduces the paper's full grids (e.g. the 660 synthetic
+	// benchmark configurations of §III-C); minutes to hours depending on
+	// scale.
+	GridPaper
+)
+
+// String implements fmt.Stringer.
+func (g Grid) String() string {
+	switch g {
+	case GridSmoke:
+		return "smoke"
+	case GridQuick:
+		return "quick"
+	case GridPaper:
+		return "paper"
+	default:
+		return fmt.Sprintf("Grid(%d)", int(g))
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks the simulated machine by a power of two (1 = the full
+	// Xeon20MB geometry). Validation experiments default to 1; application
+	// studies default to 8 (see DESIGN.md's scale note).
+	Scale int
+	// Grid selects the experiment size.
+	Grid Grid
+	// Parallel runs independent experiment cells on a worker pool.
+	Parallel bool
+	// Seed drives all stochastic components.
+	Seed uint64
+}
+
+// withDefaults fills zero values.
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Spec returns the machine specification for the options.
+func (o Options) Spec() machine.Spec {
+	return machine.Scaled(o.withDefaults().Scale)
+}
+
+// ScaleNote renders the geometry reminder printed with scaled results.
+func (o Options) ScaleNote() string {
+	o = o.withDefaults()
+	if o.Scale == 1 {
+		return "machine: Xeon20MB (full geometry)"
+	}
+	spec := o.Spec()
+	return fmt.Sprintf("machine: %s (L3 %s; multiply capacities by %d for Xeon20MB equivalents)",
+		spec.Name, units.FormatBytes(spec.L3.Size), o.Scale)
+}
+
+// mb renders bytes as a megabyte figure.
+func mb(bytes float64) float64 { return bytes / float64(units.MB) }

@@ -1,0 +1,151 @@
+// Package machine defines the simulated hardware platforms: the paper's
+// Xeon E5-2670 socket ("Xeon20MB", Table I), geometrically scaled variants
+// used to keep application studies affordable, and a builder for custom
+// what-if machines (e.g. the thin-memory exascale node of the paper's
+// motivation).
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// Spec describes a machine type. It is a value type: experiments copy and
+// tweak it freely.
+type Spec struct {
+	Name           string
+	CoresPerSocket int
+	SocketsPerNode int
+	Clock          units.Clock
+
+	L1, L2, L3 mem.CacheConfig
+	Bus        mem.BusConfig
+	MemLatency units.Cycles
+	Inclusive  bool
+	Prefetch   mem.PrefetchConfig
+
+	// MSHRs bounds per-core outstanding misses (memory-level parallelism).
+	MSHRs int
+
+	// Interconnect parameters for multi-node runs (cluster package):
+	// NICGBs is per-node injection bandwidth, NICLatency the one-way wire
+	// latency in cycles.
+	NICGBs     float64
+	NICLatency units.Cycles
+
+	// RAM per node, used only for configuration sanity checks.
+	RAMPerNode int64
+}
+
+// Xeon20MB returns the paper's measurement platform (Table I): 8-core
+// 2.6 GHz Sandy Bridge sockets, 2 per node, private 32 KB L1 and 256 KB L2,
+// shared inclusive 20 MB 20-way L3, ≈16.6 GB/s to memory (the paper's
+// STREAM-measured 17 GB/s), and InfiniBand QDR (40 Gb/s) between nodes.
+func Xeon20MB() Spec {
+	clock := units.NewClock(2.6)
+	return Spec{
+		Name:           "Xeon20MB",
+		CoresPerSocket: 8,
+		SocketsPerNode: 2,
+		Clock:          clock,
+		L1: mem.CacheConfig{Name: "L1D", Size: 32 * units.KB, LineSize: 64,
+			Assoc: 8, Latency: 4, Policy: mem.PolicyLRU},
+		L2: mem.CacheConfig{Name: "L2", Size: 256 * units.KB, LineSize: 64,
+			Assoc: 8, Latency: 12, Policy: mem.PolicyLRU},
+		L3: mem.CacheConfig{Name: "L3", Size: 20 * units.MB, LineSize: 64,
+			Assoc: 20, Latency: 36, Policy: mem.PolicyLRU},
+		Bus:        mem.BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64},
+		MemLatency: 180,
+		Inclusive:  true,
+		Prefetch:   mem.DefaultPrefetch(),
+		MSHRs:      10,
+		NICGBs:     5.0, // 40 Gb/s QDR
+		NICLatency: clock.Cycles(1.5e-6),
+		RAMPerNode: 32 * units.GB,
+	}
+}
+
+// Scaled returns the spec shrunk by factor f (a power of two): cache sizes
+// divide by f while line size, associativity, latencies and bus rate stay
+// fixed. Interference phenomena are scale-free in this transformation —
+// buffer-to-cache ratios are what matter — so application studies run on
+// Scaled(8) by default and report capacities alongside their ×f rescaled
+// equivalents.
+func Scaled(f int) Spec {
+	if f <= 0 || f&(f-1) != 0 {
+		panic("machine: scale factor must be a positive power of two")
+	}
+	s := Xeon20MB()
+	if f == 1 {
+		return s
+	}
+	s.Name = fmt.Sprintf("Xeon20MB/%d", f)
+	s.L1.Size /= int64(f)
+	s.L2.Size /= int64(f)
+	s.L3.Size /= int64(f)
+	return s
+}
+
+// Validate checks the spec's internal consistency.
+func (s Spec) Validate() error {
+	if s.CoresPerSocket <= 0 || s.SocketsPerNode <= 0 {
+		return fmt.Errorf("machine: %s: non-positive topology", s.Name)
+	}
+	if s.MSHRs <= 0 {
+		return fmt.Errorf("machine: %s: MSHRs must be positive", s.Name)
+	}
+	cfg := s.HierarchyConfig(0)
+	return cfg.Validate()
+}
+
+// HierarchyConfig assembles the per-socket memory-system configuration.
+func (s Spec) HierarchyConfig(seed uint64) mem.HierarchyConfig {
+	return mem.HierarchyConfig{
+		Cores:       s.CoresPerSocket,
+		L1:          s.L1,
+		L2:          s.L2,
+		L3:          s.L3,
+		Bus:         s.Bus,
+		MemLatency:  s.MemLatency,
+		InclusiveL3: s.Inclusive,
+		Prefetch:    s.Prefetch,
+		Clock:       s.Clock,
+		Seed:        seed,
+	}
+}
+
+// NewSocket instantiates one socket's memory hierarchy.
+func (s Spec) NewSocket(seed uint64) *mem.Hierarchy {
+	return mem.NewHierarchy(s.HierarchyConfig(seed))
+}
+
+// PeakBandwidthGBs returns the socket's peak memory bandwidth.
+func (s Spec) PeakBandwidthGBs() float64 {
+	return s.Bus.PeakGBs(s.Clock)
+}
+
+// LineSize returns the cache line size in bytes.
+func (s Spec) LineSize() int64 { return s.L1.LineSize }
+
+// TableI renders the memory-hierarchy description in the shape of the
+// paper's Table I.
+func (s Spec) TableI() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s memory hierarchy (%d cores/socket, %d sockets/node, %.1f GHz)\n",
+		s.Name, s.CoresPerSocket, s.SocketsPerNode, s.Clock.HzPerSecond/1e9)
+	fmt.Fprintf(&b, "%-8s %-10s %-10s %-14s %s\n", "Cache", "Capacity", "Line Size", "Associativity", "Scope")
+	row := func(c mem.CacheConfig, scope string) {
+		fmt.Fprintf(&b, "%-8s %-10s %-10s %-14s %s\n", c.Name,
+			units.FormatBytes(c.Size), fmt.Sprintf("%d bytes", c.LineSize),
+			fmt.Sprintf("%d-way", c.Assoc), scope)
+	}
+	row(s.L1, "private")
+	row(s.L2, "private")
+	row(s.L3, "shared")
+	fmt.Fprintf(&b, "Memory bus: %.2f GB/s peak, %d cycles DRAM latency\n",
+		s.PeakBandwidthGBs(), s.MemLatency)
+	return b.String()
+}

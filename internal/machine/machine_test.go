@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"activemem/internal/units"
+)
+
+func TestXeon20MBMatchesTableI(t *testing.T) {
+	s := Xeon20MB()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Xeon20MB invalid: %v", err)
+	}
+	if s.L1.Size != 32*units.KB || s.L1.Assoc != 8 {
+		t.Errorf("L1 = %d bytes %d-way, want 32KB 8-way", s.L1.Size, s.L1.Assoc)
+	}
+	if s.L2.Size != 256*units.KB || s.L2.Assoc != 8 {
+		t.Errorf("L2 = %d bytes %d-way, want 256KB 8-way", s.L2.Size, s.L2.Assoc)
+	}
+	if s.L3.Size != 20*units.MB || s.L3.Assoc != 20 {
+		t.Errorf("L3 = %d bytes %d-way, want 20MB 20-way", s.L3.Size, s.L3.Assoc)
+	}
+	if s.L1.LineSize != 64 || s.L2.LineSize != 64 || s.L3.LineSize != 64 {
+		t.Error("line sizes must be 64 bytes")
+	}
+	if s.CoresPerSocket != 8 || s.SocketsPerNode != 2 {
+		t.Errorf("topology = %d cores, %d sockets", s.CoresPerSocket, s.SocketsPerNode)
+	}
+	// Peak bandwidth must approximate the paper's STREAM figure of 17 GB/s.
+	if bw := s.PeakBandwidthGBs(); bw < 16 || bw > 17.5 {
+		t.Errorf("peak bandwidth = %v GB/s, want ~17", bw)
+	}
+	if !s.Inclusive {
+		t.Error("Sandy Bridge L3 is inclusive")
+	}
+}
+
+func TestScaledGeometry(t *testing.T) {
+	for _, f := range []int{1, 2, 4, 8, 16} {
+		s := Scaled(f)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Scaled(%d) invalid: %v", f, err)
+		}
+		if s.L3.Size != 20*units.MB/int64(f) {
+			t.Errorf("Scaled(%d) L3 = %d", f, s.L3.Size)
+		}
+		// Latencies and bus rate are scale-invariant.
+		if s.MemLatency != Xeon20MB().MemLatency || s.Bus != Xeon20MB().Bus {
+			t.Errorf("Scaled(%d) changed latencies or bus", f)
+		}
+	}
+	if Scaled(1).Name != "Xeon20MB" {
+		t.Error("Scaled(1) should be the base machine")
+	}
+}
+
+func TestScaledRejectsBadFactors(t *testing.T) {
+	for _, f := range []int{0, -2, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Scaled(%d) should panic", f)
+				}
+			}()
+			Scaled(f)
+		}()
+	}
+}
+
+func TestNewSocket(t *testing.T) {
+	s := Scaled(8)
+	h := s.NewSocket(1)
+	if h.Cores() != 8 {
+		t.Fatalf("socket cores = %d, want 8", h.Cores())
+	}
+	if h.LineSize() != 64 {
+		t.Fatalf("line size = %d", h.LineSize())
+	}
+	if h.L3.Config().Size != s.L3.Size {
+		t.Fatal("socket L3 size mismatch")
+	}
+}
+
+func TestValidateCatchesBrokenSpecs(t *testing.T) {
+	s := Xeon20MB()
+	s.CoresPerSocket = 0
+	if s.Validate() == nil {
+		t.Error("zero cores accepted")
+	}
+	s = Xeon20MB()
+	s.MSHRs = 0
+	if s.Validate() == nil {
+		t.Error("zero MSHRs accepted")
+	}
+	s = Xeon20MB()
+	s.L3.Size = 12345
+	if s.Validate() == nil {
+		t.Error("broken L3 geometry accepted")
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	out := Xeon20MB().TableI()
+	for _, want := range []string{"L1D", "L2", "L3", "20.0MB", "20-way", "shared", "private"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNICParameters(t *testing.T) {
+	s := Xeon20MB()
+	if s.NICGBs != 5.0 {
+		t.Errorf("NIC bandwidth = %v GB/s, want 5 (40 Gb/s QDR)", s.NICGBs)
+	}
+	// 1.5us at 2.6GHz = 3900 cycles.
+	if s.NICLatency < 3800 || s.NICLatency > 4000 {
+		t.Errorf("NIC latency = %d cycles, want ~3900", s.NICLatency)
+	}
+}

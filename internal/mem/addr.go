@@ -1,0 +1,63 @@
+// Package mem implements the memory-hierarchy substrate of the simulator:
+// set-associative caches with pluggable replacement, an occupancy-accounted
+// memory bus with FIFO queueing, a reference stride prefetcher, and the
+// per-socket Hierarchy that composes them.
+//
+// This package stands in for the paper's physical Xeon E5-2670 socket
+// (Table I) plus its hardware performance counters: interference between
+// workloads emerges from LRU competition in the shared L3 and from queueing
+// on the bandwidth-limited memory bus, which are exactly the mechanisms the
+// paper's interference threads exploit.
+package mem
+
+// Addr is a byte address in the simulated flat address space.
+type Addr int64
+
+// Line is a cache-line number (an Addr divided by the line size).
+type Line int64
+
+// InvalidLine marks an empty cache way or a "no victim" result.
+const InvalidLine Line = -1
+
+// LineOf returns the cache line containing addr for the given line size
+// (which must be a power of two).
+func LineOf(addr Addr, lineSize int64) Line {
+	return Line(int64(addr) &^ (lineSize - 1) / lineSize)
+}
+
+// AddrOf returns the first byte address of line.
+func AddrOf(line Line, lineSize int64) Addr {
+	return Addr(int64(line) * lineSize)
+}
+
+// Alloc is a bump allocator for the simulated address space. Allocations are
+// line-aligned and separated by one guard line so that independent workloads
+// never share a cache line. The zero value allocates from address 0; use
+// NewAlloc to choose the line size.
+type Alloc struct {
+	next     Addr
+	lineSize int64
+}
+
+// NewAlloc returns an allocator that aligns to lineSize (a power of two).
+func NewAlloc(lineSize int64) *Alloc {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		panic("mem: line size must be a positive power of two")
+	}
+	return &Alloc{lineSize: lineSize}
+}
+
+// Alloc reserves size bytes and returns the line-aligned base address.
+func (a *Alloc) Alloc(size int64) Addr {
+	if size <= 0 {
+		panic("mem: allocation size must be positive")
+	}
+	base := a.next
+	// Round the allocation up to whole lines and add a guard line.
+	lines := (size + a.lineSize - 1) / a.lineSize
+	a.next += Addr((lines + 1) * a.lineSize)
+	return base
+}
+
+// Next reports the next address that would be returned; useful in tests.
+func (a *Alloc) Next() Addr { return a.next }

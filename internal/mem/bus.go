@@ -1,0 +1,229 @@
+package mem
+
+import (
+	"fmt"
+
+	"activemem/internal/units"
+)
+
+// BusConfig describes the bandwidth-limited channel between a shared cache
+// and main memory. Transfer occupancy is the rational CyclesPerChunk /
+// BytesPerChunk, e.g. {10, 64}: one 64-byte line every 10 cycles, which at
+// 2.6 GHz is the ≈16.6 GB/s the paper's STREAM run measures on Xeon20MB.
+type BusConfig struct {
+	CyclesPerChunk units.Cycles
+	BytesPerChunk  int64
+
+	// EpochBits sets the capacity-accounting granularity: the bus tracks
+	// used cycles per 2^EpochBits-cycle epoch, so requests from engine
+	// steps that interleave slightly out of global time order can still
+	// fill recent idle capacity (a strict FIFO would strand it). 0 selects
+	// the default of 9 (512-cycle epochs).
+	EpochBits uint
+
+	// LagEpochs is how many epochs behind the newest observed request time
+	// remain open for backfilling; it must exceed the largest engine step
+	// span. 0 selects the default of 16.
+	LagEpochs int64
+}
+
+func (c BusConfig) epochBits() uint {
+	if c.EpochBits == 0 {
+		return 9
+	}
+	return c.EpochBits
+}
+
+func (c BusConfig) lagEpochs() int64 {
+	if c.LagEpochs == 0 {
+		return 16
+	}
+	return c.LagEpochs
+}
+
+// Validate checks the rational rate.
+func (c BusConfig) Validate() error {
+	if c.CyclesPerChunk <= 0 || c.BytesPerChunk <= 0 {
+		return fmt.Errorf("mem: bus rate %d cycles per %d bytes invalid", c.CyclesPerChunk, c.BytesPerChunk)
+	}
+	if c.epochBits() > 20 {
+		return fmt.Errorf("mem: bus epoch bits %d too large", c.EpochBits)
+	}
+	if int64(c.CyclesPerChunk) > 1<<c.epochBits() {
+		return fmt.Errorf("mem: one chunk transfer exceeds an epoch")
+	}
+	return nil
+}
+
+// PeakGBs returns the peak bandwidth for a clock.
+func (c BusConfig) PeakGBs(clock units.Clock) float64 {
+	return clock.BandwidthGBs(c.BytesPerChunk, c.CyclesPerChunk)
+}
+
+// BusStats accumulates bus activity over a measurement window.
+type BusStats struct {
+	Requests   int64
+	Bytes      int64
+	BusyCycles int64 // cycles of transfer capacity consumed
+	WaitCycles int64 // cycles requests spent queued behind earlier transfers
+}
+
+// Bus is a bandwidth-capacity scheduler: each epoch provides 2^EpochBits
+// cycles of transfer capacity, and a request consumes capacity starting at
+// its submission time, spilling into later epochs when the channel is
+// saturated. Queueing delay — the mechanism by which BWThr interference
+// slows an application's cache misses — emerges when demand approaches the
+// epoch capacity.
+type Bus struct {
+	cfg      BusConfig
+	bits     uint
+	epochLen int64
+	lag      int64
+
+	used    []int64 // ring: consumed cycles per epoch
+	head    int64   // first epoch index still open for booking
+	maxSeen int64   // newest request time observed
+	lastEnd units.Cycles
+
+	// Stats accumulates activity; callers may reset it between windows.
+	Stats BusStats
+}
+
+// NewBus builds a bus; it panics on an invalid rate.
+func NewBus(cfg BusConfig) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	b := &Bus{
+		cfg:      cfg,
+		bits:     cfg.epochBits(),
+		epochLen: 1 << cfg.epochBits(),
+		lag:      cfg.lagEpochs(),
+	}
+	b.used = make([]int64, 256)
+	return b
+}
+
+// Config returns the bus rate.
+func (b *Bus) Config() BusConfig { return b.cfg }
+
+// occupancy returns the transfer time for n bytes, rounded up.
+func (b *Bus) occupancy(n int64) units.Cycles {
+	return units.Cycles((n*int64(b.cfg.CyclesPerChunk) + b.cfg.BytesPerChunk - 1) / b.cfg.BytesPerChunk)
+}
+
+// slot returns a pointer to the ring entry for epoch e, growing the ring if
+// the booking horizon exceeds its current span.
+func (b *Bus) slot(e int64) *int64 {
+	for e-b.head >= int64(len(b.used)) {
+		grown := make([]int64, len(b.used)*2)
+		for i := int64(0); i < int64(len(b.used)); i++ {
+			grown[(b.head+i)%int64(len(grown))] = b.used[(b.head+i)%int64(len(b.used))]
+		}
+		b.used = grown
+	}
+	return &b.used[e%int64(len(b.used))]
+}
+
+// advance closes epochs that have fallen out of the lag window behind now.
+func (b *Bus) advance(now units.Cycles) {
+	if int64(now) > b.maxSeen {
+		b.maxSeen = int64(now)
+	}
+	newHead := b.maxSeen>>b.bits - b.lag
+	for b.head < newHead {
+		b.used[b.head%int64(len(b.used))] = 0
+		b.head++
+	}
+	if b.head < 0 {
+		b.head = 0
+	}
+}
+
+// Request schedules a transfer of n bytes submitted at time now and returns
+// when the transfer starts and completes. Each epoch is a capacity bucket:
+// the transfer consumes capacity from the submission epoch onward, and its
+// completion is floored by the cumulative capacity already consumed in its
+// final epoch, so sustained demand beyond the channel rate produces genuine
+// queueing delay. Requests may arrive modestly out of global time order
+// (bounded by the lag window, matching the engine's bounded step spans);
+// capacity older than the lag is forfeited. Intra-epoch ordering of lightly
+// loaded epochs is approximated optimistically, an error bounded by one
+// epoch length.
+func (b *Bus) Request(now units.Cycles, n int64) (start, done units.Cycles) {
+	if n <= 0 {
+		return now, now
+	}
+	occ := b.occupancy(n)
+	b.advance(now)
+	e := int64(now) >> b.bits
+	if e < b.head {
+		e = b.head
+		now = units.Cycles(e << b.bits)
+	}
+	rem := int64(occ)
+	for rem > 0 {
+		slot := b.slot(e)
+		free := b.epochLen - *slot
+		if free > 0 {
+			take := free
+			if take > rem {
+				take = rem
+			}
+			*slot += take
+			rem -= take
+			if rem == 0 {
+				done = units.Cycles(e<<b.bits + *slot)
+				break
+			}
+		}
+		e++
+	}
+	if done < now+occ {
+		done = now + occ
+	}
+	start = done - occ
+	if start < now {
+		start = now
+	}
+	if done > b.lastEnd {
+		b.lastEnd = done
+	}
+	b.Stats.Requests++
+	b.Stats.Bytes += n
+	b.Stats.BusyCycles += int64(occ)
+	b.Stats.WaitCycles += int64(start - now)
+	return start, done
+}
+
+// Backlog returns how far transfer bookings extend beyond now; prefetchers
+// use it to throttle under contention.
+func (b *Bus) Backlog(now units.Cycles) units.Cycles {
+	if b.lastEnd <= now {
+		return 0
+	}
+	return b.lastEnd - now
+}
+
+// Utilization returns the fraction of a window's cycles the bus spent
+// transferring, based on a stats delta for that window.
+func Utilization(s BusStats, windowCycles units.Cycles) float64 {
+	if windowCycles <= 0 {
+		return 0
+	}
+	u := float64(s.BusyCycles) / float64(windowCycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// DeltaBus returns now-minus-then for bus stats snapshots.
+func DeltaBus(then, now BusStats) BusStats {
+	return BusStats{
+		Requests:   now.Requests - then.Requests,
+		Bytes:      now.Bytes - then.Bytes,
+		BusyCycles: now.BusyCycles - then.BusyCycles,
+		WaitCycles: now.WaitCycles - then.WaitCycles,
+	}
+}

@@ -1,0 +1,333 @@
+package mem
+
+import (
+	"fmt"
+
+	"activemem/internal/units"
+	"activemem/internal/xrand"
+)
+
+// Policy selects the replacement policy of a cache. The paper's analysis
+// assumes LRU-like behaviour; FIFO and Random are provided for the ablation
+// benches that check how much of the CSThr pinning effect depends on it.
+type Policy uint8
+
+// Replacement policies.
+const (
+	PolicyLRU Policy = iota
+	PolicyFIFO
+	PolicyRandom
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "LRU"
+	case PolicyFIFO:
+		return "FIFO"
+	case PolicyRandom:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name     string       // e.g. "L1D", "L3"
+	Size     int64        // total capacity in bytes
+	LineSize int64        // bytes per line (power of two)
+	Assoc    int          // ways per set
+	Latency  units.Cycles // hit latency
+	Policy   Policy
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int64 {
+	return c.Size / (c.LineSize * int64(c.Assoc))
+}
+
+// Validate checks the geometry: positive sizes, power-of-two line size and
+// set count, and capacity divisible into whole sets.
+func (c CacheConfig) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("mem: %s: non-positive geometry", c.Name)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("mem: %s: line size %d not a power of two", c.Name, c.LineSize)
+	}
+	if c.Size%(c.LineSize*int64(c.Assoc)) != 0 {
+		return fmt.Errorf("mem: %s: size %d not divisible by assoc*line", c.Name, c.Size)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// CacheStats counts cache events. Demand accesses split into Hits and
+// Misses; Evictions counts replaced valid lines; Writebacks counts dirty
+// lines leaving this cache; Invalidations counts inclusive back-invalidates.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Writebacks    int64
+	Invalidations int64
+}
+
+// Accesses returns demand accesses (hits + misses).
+func (s CacheStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (s CacheStats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+type way struct {
+	line       Line
+	lastUse    int64
+	insertedAt int64
+	dirty      bool
+}
+
+// Cache is a set-associative cache. It tracks only line presence and
+// recency, not data contents. All methods are single-goroutine; a socket's
+// hierarchy is always simulated by one engine.
+type Cache struct {
+	cfg     CacheConfig
+	sets    int64
+	setMask int64
+	ways    []way // sets × assoc, row-major
+	seq     int64 // monotone access sequence used for LRU/FIFO ordering
+	rng     *xrand.Rand
+
+	// Stats accumulates event counts; callers may reset it between
+	// measurement windows.
+	Stats CacheStats
+}
+
+// NewCache builds a cache from cfg; it panics on an invalid geometry
+// (machine construction is programmer error territory, matching how the
+// stdlib treats bad regexp in MustCompile).
+func NewCache(cfg CacheConfig, seed uint64) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    cfg.Sets(),
+		setMask: cfg.Sets() - 1,
+		ways:    make([]way, cfg.Sets()*int64(cfg.Assoc)),
+		rng:     xrand.New(seed),
+	}
+	for i := range c.ways {
+		c.ways[i].line = InvalidLine
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// setOf returns the index of the first way of line's set.
+func (c *Cache) setOf(line Line) int64 {
+	return (int64(line) & c.setMask) * int64(c.cfg.Assoc)
+}
+
+// Lookup reports whether line is present, without disturbing recency or
+// statistics. It is the probe used by prefetch filtering and tests.
+func (c *Cache) Lookup(line Line) bool {
+	base := c.setOf(line)
+	for i := base; i < base+int64(c.cfg.Assoc); i++ {
+		if c.ways[i].line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access to line. On a hit it refreshes recency
+// (and dirtiness for writes) and returns hit=true. On a miss it inserts the
+// line, evicting a victim if the set was full, and returns the victim (or
+// InvalidLine) along with its dirtiness so the caller can cascade
+// writebacks and inclusive invalidations.
+func (c *Cache) Access(line Line, write bool) (hit bool, victim Line, victimDirty bool) {
+	c.seq++
+	base := c.setOf(line)
+	end := base + int64(c.cfg.Assoc)
+	var empty int64 = -1
+	for i := base; i < end; i++ {
+		w := &c.ways[i]
+		if w.line == line {
+			w.lastUse = c.seq
+			if write {
+				w.dirty = true
+			}
+			c.Stats.Hits++
+			return true, InvalidLine, false
+		}
+		if w.line == InvalidLine && empty < 0 {
+			empty = i
+		}
+	}
+	c.Stats.Misses++
+	slot := empty
+	if slot < 0 {
+		slot = c.victim(base, end)
+		v := &c.ways[slot]
+		victim, victimDirty = v.line, v.dirty
+		c.Stats.Evictions++
+		if victimDirty {
+			c.Stats.Writebacks++
+		}
+	} else {
+		victim = InvalidLine
+	}
+	c.ways[slot] = way{line: line, lastUse: c.seq, insertedAt: c.seq, dirty: write}
+	return false, victim, victimDirty
+}
+
+// InsertWriteback installs a line arriving from an upper level's writeback.
+// It marks the line dirty but does not count as a demand hit or miss. The
+// returned victim allows cascading, exactly as for Access.
+func (c *Cache) InsertWriteback(line Line) (victim Line, victimDirty bool) {
+	c.seq++
+	base := c.setOf(line)
+	end := base + int64(c.cfg.Assoc)
+	var empty int64 = -1
+	for i := base; i < end; i++ {
+		w := &c.ways[i]
+		if w.line == line {
+			w.dirty = true
+			// A writeback is not a use by the program; recency unchanged.
+			return InvalidLine, false
+		}
+		if w.line == InvalidLine && empty < 0 {
+			empty = i
+		}
+	}
+	slot := empty
+	if slot < 0 {
+		slot = c.victim(base, end)
+		v := &c.ways[slot]
+		victim, victimDirty = v.line, v.dirty
+		c.Stats.Evictions++
+		if victimDirty {
+			c.Stats.Writebacks++
+		}
+	} else {
+		victim = InvalidLine
+	}
+	c.ways[slot] = way{line: line, lastUse: c.seq, insertedAt: c.seq, dirty: true}
+	return victim, victimDirty
+}
+
+// InsertClean installs a line without marking it dirty and without demand
+// statistics; it is used for prefetch fills.
+func (c *Cache) InsertClean(line Line) (victim Line, victimDirty bool) {
+	c.seq++
+	base := c.setOf(line)
+	end := base + int64(c.cfg.Assoc)
+	var empty int64 = -1
+	for i := base; i < end; i++ {
+		w := &c.ways[i]
+		if w.line == line {
+			return InvalidLine, false
+		}
+		if w.line == InvalidLine && empty < 0 {
+			empty = i
+		}
+	}
+	slot := empty
+	if slot < 0 {
+		slot = c.victim(base, end)
+		v := &c.ways[slot]
+		victim, victimDirty = v.line, v.dirty
+		c.Stats.Evictions++
+		if victimDirty {
+			c.Stats.Writebacks++
+		}
+	} else {
+		victim = InvalidLine
+	}
+	c.ways[slot] = way{line: line, lastUse: c.seq, insertedAt: c.seq}
+	return victim, victimDirty
+}
+
+// victim picks a way to evict in [base, end) according to the policy.
+func (c *Cache) victim(base, end int64) int64 {
+	switch c.cfg.Policy {
+	case PolicyRandom:
+		return base + int64(c.rng.Intn(c.cfg.Assoc))
+	case PolicyFIFO:
+		best := base
+		for i := base + 1; i < end; i++ {
+			if c.ways[i].insertedAt < c.ways[best].insertedAt {
+				best = i
+			}
+		}
+		return best
+	default: // PolicyLRU
+		best := base
+		for i := base + 1; i < end; i++ {
+			if c.ways[i].lastUse < c.ways[best].lastUse {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// Invalidate removes line if present, returning whether it was present and
+// whether it was dirty. Used for inclusive back-invalidation.
+func (c *Cache) Invalidate(line Line) (present, dirty bool) {
+	base := c.setOf(line)
+	for i := base; i < base+int64(c.cfg.Assoc); i++ {
+		w := &c.ways[i]
+		if w.line == line {
+			present, dirty = true, w.dirty
+			*w = way{line: InvalidLine}
+			c.Stats.Invalidations++
+			return
+		}
+	}
+	return false, false
+}
+
+// Occupancy returns the number of valid lines currently held.
+func (c *Cache) Occupancy() int64 {
+	var n int64
+	for i := range c.ways {
+		if c.ways[i].line != InvalidLine {
+			n++
+		}
+	}
+	return n
+}
+
+// CountLinesIn returns how many resident lines fall in [lo, hi). It lets
+// validation tests measure how much capacity a given workload's buffer is
+// actually pinning — the quantity the paper calls the thread's storage use.
+func (c *Cache) CountLinesIn(lo, hi Line) int64 {
+	var n int64
+	for i := range c.ways {
+		if l := c.ways[i].line; l != InvalidLine && l >= lo && l < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates the entire cache without touching statistics.
+func (c *Cache) Flush() {
+	for i := range c.ways {
+		c.ways[i] = way{line: InvalidLine}
+	}
+}

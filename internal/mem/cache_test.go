@@ -1,0 +1,487 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"activemem/internal/units"
+	"activemem/internal/xrand"
+)
+
+func tinyCache(assoc int, policy Policy) *Cache {
+	return NewCache(CacheConfig{
+		Name: "T", Size: int64(assoc) * 4 * 64, LineSize: 64, Assoc: assoc,
+		Latency: 1, Policy: policy,
+	}, 1)
+}
+
+func TestLineOfAddrOf(t *testing.T) {
+	if LineOf(0, 64) != 0 || LineOf(63, 64) != 0 || LineOf(64, 64) != 1 {
+		t.Fatal("LineOf boundaries wrong")
+	}
+	if AddrOf(3, 64) != 192 {
+		t.Fatal("AddrOf wrong")
+	}
+	for a := Addr(0); a < 1024; a += 17 {
+		l := LineOf(a, 64)
+		base := AddrOf(l, 64)
+		if a < base || a >= base+64 {
+			t.Fatalf("addr %d not within its line %d", a, l)
+		}
+	}
+}
+
+func TestAllocAlignmentAndGuard(t *testing.T) {
+	a := NewAlloc(64)
+	p1 := a.Alloc(100) // rounds to 2 lines + guard
+	p2 := a.Alloc(64)
+	if p1%64 != 0 || p2%64 != 0 {
+		t.Fatal("allocations not line aligned")
+	}
+	if p2-p1 < 128+64 {
+		t.Fatalf("no guard line between allocations: %d", p2-p1)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(0) should panic")
+		}
+	}()
+	a.Alloc(0)
+}
+
+func TestNewAllocValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non power of two line size should panic")
+		}
+	}()
+	NewAlloc(48)
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{Name: "ok", Size: 4096, LineSize: 64, Assoc: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{Name: "zero", Size: 0, LineSize: 64, Assoc: 4},
+		{Name: "npo2line", Size: 4096, LineSize: 48, Assoc: 4},
+		{Name: "indivisible", Size: 4096 + 64, LineSize: 64, Assoc: 4},
+		{Name: "npo2sets", Size: 3 * 64 * 4, LineSize: 64, Assoc: 4},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q should be invalid", cfg.Name)
+		}
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := tinyCache(4, PolicyLRU)
+	hit, _, _ := c.Access(10, false)
+	if hit {
+		t.Fatal("first access should miss")
+	}
+	hit, _, _ = c.Access(10, false)
+	if !hit {
+		t.Fatal("second access should hit")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if c.Stats.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", c.Stats.MissRate())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := tinyCache(4, PolicyLRU) // 4 sets, 4 ways
+	sets := c.cfg.Sets()
+	// Fill one set with 4 lines: 0, sets, 2*sets, 3*sets all map to set 0.
+	for i := int64(0); i < 4; i++ {
+		c.Access(Line(i*sets), false)
+	}
+	// Touch line 0 to make it MRU; line sets (i=1) becomes LRU.
+	c.Access(0, false)
+	_, victim, _ := c.Access(Line(4*sets), false) // forces eviction
+	if victim != Line(sets) {
+		t.Fatalf("victim = %d, want %d (the LRU line)", victim, sets)
+	}
+	if !c.Lookup(0) {
+		t.Fatal("MRU line was evicted")
+	}
+}
+
+func TestFIFOEvictionOrder(t *testing.T) {
+	c := tinyCache(4, PolicyFIFO)
+	sets := c.cfg.Sets()
+	for i := int64(0); i < 4; i++ {
+		c.Access(Line(i*sets), false)
+	}
+	// Re-touching line 0 must NOT save it under FIFO.
+	c.Access(0, false)
+	_, victim, _ := c.Access(Line(4*sets), false)
+	if victim != 0 {
+		t.Fatalf("FIFO victim = %d, want 0 (first inserted)", victim)
+	}
+}
+
+func TestRandomPolicyStaysInSet(t *testing.T) {
+	c := tinyCache(4, PolicyRandom)
+	sets := c.cfg.Sets()
+	for i := int64(0); i < 16; i++ {
+		_, victim, _ := c.Access(Line(i*sets), false)
+		if victim != InvalidLine && int64(victim)%sets != 0 {
+			t.Fatalf("random victim %d not from set 0", victim)
+		}
+	}
+}
+
+func TestDirtyVictimReported(t *testing.T) {
+	c := tinyCache(2, PolicyLRU)
+	sets := c.cfg.Sets()
+	c.Access(0, true) // dirty
+	c.Access(Line(sets), false)
+	_, victim, dirty := c.Access(Line(2*sets), false)
+	if victim != 0 || !dirty {
+		t.Fatalf("victim=%d dirty=%v, want 0/true", victim, dirty)
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestWriteMarksDirtyOnHit(t *testing.T) {
+	c := tinyCache(2, PolicyLRU)
+	sets := c.cfg.Sets()
+	c.Access(0, false) // clean insert
+	c.Access(0, true)  // hit, becomes dirty
+	c.Access(Line(sets), false)
+	_, victim, dirty := c.Access(Line(2*sets), false)
+	if victim != 0 || !dirty {
+		t.Fatalf("line dirtied on hit not written back: victim=%d dirty=%v", victim, dirty)
+	}
+}
+
+func TestInsertWritebackSemantics(t *testing.T) {
+	c := tinyCache(2, PolicyLRU)
+	// Insert new dirty line without demand stats.
+	v, d := c.InsertWriteback(5)
+	if v != InvalidLine || d {
+		t.Fatal("insert into empty set should not evict")
+	}
+	if c.Stats.Hits != 0 || c.Stats.Misses != 0 {
+		t.Fatalf("writeback insert polluted demand stats: %+v", c.Stats)
+	}
+	if !c.Lookup(5) {
+		t.Fatal("writeback line not present")
+	}
+	// Writeback to an existing clean line dirties it.
+	c.Access(9, false)
+	c.InsertWriteback(9)
+	sets := c.cfg.Sets()
+	c.Access(9+Line(sets), false)
+	// Fill the set of 9 and evict it; must be dirty. Set index of 9 is 1.
+	_, victim, dirty := c.Access(9+Line(2*sets), false)
+	if victim != 9 || !dirty {
+		t.Fatalf("victim=%d dirty=%v, want 9/true", victim, dirty)
+	}
+}
+
+func TestInsertCleanDoesNotDirty(t *testing.T) {
+	c := tinyCache(2, PolicyLRU)
+	c.InsertClean(3)
+	if !c.Lookup(3) {
+		t.Fatal("clean insert missing")
+	}
+	sets := c.cfg.Sets()
+	c.Access(3+Line(sets), false)
+	_, victim, dirty := c.Access(3+Line(2*sets), false)
+	if victim != 3 || dirty {
+		t.Fatalf("victim=%d dirty=%v, want 3/false", victim, dirty)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := tinyCache(2, PolicyLRU)
+	c.Access(7, true)
+	present, dirty := c.Invalidate(7)
+	if !present || !dirty {
+		t.Fatalf("invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if c.Lookup(7) {
+		t.Fatal("line still present after invalidate")
+	}
+	present, _ = c.Invalidate(7)
+	if present {
+		t.Fatal("double invalidate reported present")
+	}
+	if c.Stats.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", c.Stats.Invalidations)
+	}
+}
+
+func TestOccupancyAndCount(t *testing.T) {
+	c := tinyCache(4, PolicyLRU)
+	for i := Line(0); i < 8; i++ {
+		c.Access(i, false)
+	}
+	if c.Occupancy() != 8 {
+		t.Fatalf("occupancy = %d, want 8", c.Occupancy())
+	}
+	if got := c.CountLinesIn(0, 4); got != 4 {
+		t.Fatalf("CountLinesIn(0,4) = %d, want 4", got)
+	}
+	c.Flush()
+	if c.Occupancy() != 0 {
+		t.Fatal("flush left lines behind")
+	}
+}
+
+// Property: occupancy never exceeds capacity, and the most recently
+// accessed line is always resident.
+func TestCacheInvariants(t *testing.T) {
+	f := func(seed uint64, raw []uint16) bool {
+		c := NewCache(CacheConfig{
+			Name: "P", Size: 8 * 64 * 4, LineSize: 64, Assoc: 4, Latency: 1,
+		}, seed)
+		capacity := c.cfg.Size / c.cfg.LineSize
+		for _, r := range raw {
+			line := Line(r % 512)
+			c.Access(line, r&1 == 0)
+			if !c.Lookup(line) {
+				return false
+			}
+			if c.Occupancy() > capacity {
+				return false
+			}
+		}
+		return c.Stats.Hits+c.Stats.Misses == int64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with unique lines cycling through one set, hit rate is zero when
+// the working set exceeds associativity (classic LRU thrash), and one when
+// it fits.
+func TestLRUThrashAndFit(t *testing.T) {
+	c := tinyCache(4, PolicyLRU)
+	sets := c.cfg.Sets()
+	// Working set of 5 lines in a 4-way set, accessed round robin: all miss.
+	c.Stats = CacheStats{}
+	for pass := 0; pass < 10; pass++ {
+		for i := int64(0); i < 5; i++ {
+			c.Access(Line(i*sets), false)
+		}
+	}
+	if c.Stats.Hits != 0 {
+		t.Fatalf("thrashing set produced %d hits", c.Stats.Hits)
+	}
+	// Working set of 4 lines: all hits after the first pass.
+	c2 := tinyCache(4, PolicyLRU)
+	for pass := 0; pass < 10; pass++ {
+		for i := int64(0); i < 4; i++ {
+			c2.Access(Line(i*sets), false)
+		}
+	}
+	if c2.Stats.Misses != 4 {
+		t.Fatalf("fitting set missed %d times, want 4 cold misses", c2.Stats.Misses)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyLRU.String() != "LRU" || PolicyFIFO.String() != "FIFO" ||
+		PolicyRandom.String() != "Random" || Policy(9).String() != "Policy(9)" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestBusOccupancyAndQueueing(t *testing.T) {
+	b := NewBus(BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64})
+	start, done := b.Request(100, 64)
+	if start != 100 || done != 110 {
+		t.Fatalf("first transfer = [%d,%d], want [100,110]", start, done)
+	}
+	// Saturate the current epoch (512 cycles of capacity): a 32-line burst
+	// books 320 more cycles, then another burst spills into the next epoch
+	// and must wait.
+	b.Request(100, 32*64)
+	start, done = b.Request(100, 32*64)
+	if done <= 512 {
+		t.Fatalf("saturated epoch did not spill: done=%d", done)
+	}
+	if start <= 100 {
+		t.Fatalf("spilled transfer shows no queueing: start=%d", start)
+	}
+	if b.Stats.WaitCycles == 0 {
+		t.Fatal("no wait cycles recorded under saturation")
+	}
+	// Idle gap: request far in the future starts immediately.
+	start, _ = b.Request(100_000, 128)
+	if start != 100_000 {
+		t.Fatalf("idle bus delayed transfer to %d", start)
+	}
+	if b.Stats.Bytes != 64+2*32*64+128 {
+		t.Fatalf("bytes = %d", b.Stats.Bytes)
+	}
+}
+
+func TestBusParallelStreamsShareCapacity(t *testing.T) {
+	// Two interleaved request streams whose combined demand fits the
+	// channel must both proceed without queueing — the case a strict FIFO
+	// tail-append model gets wrong.
+	b := NewBus(BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64})
+	var waits units.Cycles
+	for i := 0; i < 50; i++ {
+		now := units.Cycles(i * 40) // 2 lines per 40 cycles = 50% load
+		s1, _ := b.Request(now, 64)
+		s2, _ := b.Request(now, 64)
+		waits += (s1 - now) + (s2 - now)
+	}
+	if waits > 50 {
+		t.Fatalf("parallel streams at 50%% load accumulated %d wait cycles", waits)
+	}
+}
+
+func TestBusZeroBytesNoOp(t *testing.T) {
+	b := NewBus(BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64})
+	start, done := b.Request(55, 0)
+	if start != 55 || done != 55 {
+		t.Fatalf("zero-byte request = [%d,%d]", start, done)
+	}
+	if b.Stats.Requests != 0 {
+		t.Fatal("zero-byte request counted")
+	}
+}
+
+func TestBusPartialChunkRoundsUp(t *testing.T) {
+	b := NewBus(BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64})
+	_, done := b.Request(0, 1)
+	if done != 1 { // ceil(1*10/64) = 1
+		t.Fatalf("1-byte transfer done at %d, want 1", done)
+	}
+	_, done = b.Request(1000, 65)
+	if done != 1000+11 { // ceil(65*10/64) = 11
+		t.Fatalf("65-byte transfer took %d, want 11", done-1000)
+	}
+}
+
+func TestBusValidate(t *testing.T) {
+	if (BusConfig{CyclesPerChunk: 0, BytesPerChunk: 64}).Validate() == nil {
+		t.Error("zero rate accepted")
+	}
+	if (BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64, EpochBits: 25}).Validate() == nil {
+		t.Error("oversized epoch accepted")
+	}
+	if (BusConfig{CyclesPerChunk: 600, BytesPerChunk: 64, EpochBits: 9}).Validate() == nil {
+		t.Error("chunk longer than epoch accepted")
+	}
+}
+
+func TestBusRingGrowth(t *testing.T) {
+	// A multi-megabyte DMA transfer books far beyond the initial ring span;
+	// the ring must grow rather than corrupt state.
+	b := NewBus(BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64})
+	start, done := b.Request(0, 4<<20) // 4 MB = 655360 cycles of occupancy
+	if start != 0 {
+		t.Fatalf("start = %d", start)
+	}
+	if done < 655360 {
+		t.Fatalf("done = %d, want >= 655360", done)
+	}
+	// A later request queues behind the DMA.
+	s, _ := b.Request(1000, 64)
+	if s <= 1000 {
+		t.Fatalf("request during DMA shows no queueing: start=%d", s)
+	}
+}
+
+func TestBusPeakBandwidth(t *testing.T) {
+	clock := units.NewClock(2.6)
+	cfg := BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64}
+	got := cfg.PeakGBs(clock)
+	if got < 16.5 || got > 16.8 {
+		t.Fatalf("peak = %v GB/s, want ~16.64", got)
+	}
+}
+
+func TestBusBacklogAndUtilization(t *testing.T) {
+	b := NewBus(BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64})
+	b.Request(0, 640) // busy until 100
+	if got := b.Backlog(20); got != 80 {
+		t.Fatalf("backlog = %d, want 80", got)
+	}
+	if got := b.Backlog(200); got != 0 {
+		t.Fatalf("idle backlog = %d, want 0", got)
+	}
+	if u := Utilization(b.Stats, 200); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if u := Utilization(b.Stats, 50); u != 1 {
+		t.Fatalf("utilization should clamp to 1, got %v", u)
+	}
+	if Utilization(b.Stats, 0) != 0 {
+		t.Fatal("zero window should give zero utilization")
+	}
+}
+
+func TestDeltaBus(t *testing.T) {
+	b := NewBus(BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64})
+	b.Request(0, 64)
+	snap := b.Stats
+	b.Request(100, 64)
+	d := DeltaBus(snap, b.Stats)
+	if d.Requests != 1 || d.Bytes != 64 || d.BusyCycles != 10 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+// Property: over any long horizon, the bus never delivers more than its
+// capacity, and completions always cover the request's occupancy.
+func TestBusCapacityConservation(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := xrand.New(uint64(seed))
+		b := NewBus(BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64})
+		now := units.Cycles(0)
+		var lastDone units.Cycles
+		for i := 0; i < 500; i++ {
+			now += units.Cycles(r.Intn(50))
+			bytes := int64(r.Intn(4096) + 1)
+			start, done := b.Request(now, bytes)
+			occ := units.Cycles((bytes*10 + 63) / 64)
+			if start < now || done < start+occ {
+				return false
+			}
+			if done > lastDone {
+				lastDone = done
+			}
+		}
+		// Aggregate throughput cannot exceed capacity: busy cycles must fit
+		// within the span the bus actually used.
+		return b.Stats.BusyCycles <= int64(lastDone)+b.Config().lagEpochs()*512
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cache demand accounting is exact — hits + misses equals
+// accesses, and evictions never exceed misses.
+func TestCacheAccountingProperty(t *testing.T) {
+	f := func(seed uint16, n uint8) bool {
+		r := xrand.New(uint64(seed))
+		c := NewCache(CacheConfig{Name: "p", Size: 4096, LineSize: 64, Assoc: 4}, 1)
+		total := int64(n) + 1
+		for i := int64(0); i < total; i++ {
+			c.Access(Line(r.Intn(256)), r.Intn(2) == 0)
+		}
+		s := c.Stats
+		return s.Hits+s.Misses == total && s.Evictions <= s.Misses &&
+			s.Writebacks <= s.Evictions && c.Occupancy() <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

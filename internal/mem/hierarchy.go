@@ -1,0 +1,352 @@
+package mem
+
+import (
+	"fmt"
+
+	"activemem/internal/units"
+)
+
+// HierarchyConfig describes one socket's memory system: per-core private L1
+// and L2, a shared L3, and the bus to main memory.
+type HierarchyConfig struct {
+	Cores       int
+	L1, L2, L3  CacheConfig
+	Bus         BusConfig
+	MemLatency  units.Cycles // load-to-use latency of main memory beyond L3
+	InclusiveL3 bool         // back-invalidate private caches on L3 eviction
+	Prefetch    PrefetchConfig
+	Clock       units.Clock
+	Seed        uint64
+}
+
+// Validate checks all component configurations.
+func (c HierarchyConfig) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("mem: hierarchy needs at least one core, got %d", c.Cores)
+	}
+	for _, cc := range []CacheConfig{c.L1, c.L2, c.L3} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.L1.LineSize != c.L2.LineSize || c.L2.LineSize != c.L3.LineSize {
+		return fmt.Errorf("mem: mixed line sizes are not supported")
+	}
+	if err := c.Bus.Validate(); err != nil {
+		return err
+	}
+	if c.MemLatency < 0 {
+		return fmt.Errorf("mem: negative memory latency")
+	}
+	return nil
+}
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Access service levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "Mem"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// CoreCounters mirrors the per-thread hardware counters the paper reads:
+// accesses and hits by level, bytes moved on the memory bus, and stall
+// cycles attributable to bus queueing.
+type CoreCounters struct {
+	Loads  int64
+	Stores int64
+
+	L1Hits  int64
+	L2Hits  int64
+	L3Hits  int64
+	MemAccs int64 // demand L3 misses served by memory
+
+	BusBytes      int64 // demand + writeback + prefetch bytes this core put on the bus
+	BusWaitCycles int64 // queueing delay suffered by this core's demand misses
+	Prefetches    int64 // prefetch fills issued on behalf of this core
+}
+
+// Accesses returns total demand accesses.
+func (c CoreCounters) Accesses() int64 { return c.Loads + c.Stores }
+
+// L3Accesses returns demand accesses that reached the L3 lookup.
+func (c CoreCounters) L3Accesses() int64 { return c.L3Hits + c.MemAccs }
+
+// L3MissRate returns the paper's headline metric: demand misses at L3 over
+// demand accesses at L3.
+func (c CoreCounters) L3MissRate() float64 {
+	a := c.L3Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(c.MemAccs) / float64(a)
+}
+
+// Hierarchy simulates one socket's memory system. It is single-goroutine:
+// the engine serialises all cores' accesses in global time order.
+type Hierarchy struct {
+	cfg HierarchyConfig
+
+	L1  []*Cache
+	L2  []*Cache
+	L3  *Cache
+	Bus *Bus
+
+	prefetchers []*Prefetcher
+	inflight    map[Line]units.Cycles // prefetch fills still in flight
+
+	// PerCore holds the per-core counter block, indexed by core id.
+	PerCore []CoreCounters
+
+	// Tracer, when non-nil, observes every demand access (after it is
+	// served) with the core, line and service level. It enables offline
+	// analyses such as reuse-distance profiling (internal/trace) without
+	// burdening the hot path when unset.
+	Tracer func(core int, line Line, level Level)
+}
+
+// NewHierarchy constructs the socket memory system; it panics on an invalid
+// configuration.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		cfg:      cfg,
+		L1:       make([]*Cache, cfg.Cores),
+		L2:       make([]*Cache, cfg.Cores),
+		L3:       NewCache(cfg.L3, cfg.Seed^0x1337),
+		Bus:      NewBus(cfg.Bus),
+		inflight: make(map[Line]units.Cycles),
+		PerCore:  make([]CoreCounters, cfg.Cores),
+	}
+	h.prefetchers = make([]*Prefetcher, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		h.L1[i] = NewCache(cfg.L1, cfg.Seed+uint64(i)*2+1)
+		h.L2[i] = NewCache(cfg.L2, cfg.Seed+uint64(i)*2+2)
+		h.prefetchers[i] = NewPrefetcher(cfg.Prefetch)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// LineSize returns the (uniform) cache line size.
+func (h *Hierarchy) LineSize() int64 { return h.cfg.L1.LineSize }
+
+// Cores returns the number of cores on the socket.
+func (h *Hierarchy) Cores() int { return h.cfg.Cores }
+
+// Clock returns the socket clock.
+func (h *Hierarchy) Clock() units.Clock { return h.cfg.Clock }
+
+// Access simulates a demand load or store by core to addr at time now and
+// returns the level that served it and its total latency. Interference is
+// fully emergent: the shared L3's replacement state and the bus queue are
+// mutated in place.
+func (h *Hierarchy) Access(core int, addr Addr, now units.Cycles, write bool) (Level, units.Cycles) {
+	level, lat := h.access(core, addr, now, write)
+	if h.Tracer != nil {
+		h.Tracer(core, LineOf(addr, h.cfg.L1.LineSize), level)
+	}
+	return level, lat
+}
+
+func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (Level, units.Cycles) {
+	line := LineOf(addr, h.cfg.L1.LineSize)
+	ctr := &h.PerCore[core]
+	if write {
+		ctr.Stores++
+	} else {
+		ctr.Loads++
+	}
+
+	// L1: a miss inserts the line (fill-on-miss) and yields the victim,
+	// which cascades into L2 if dirty.
+	hit1, v1, d1 := h.L1[core].Access(line, write)
+	if hit1 {
+		ctr.L1Hits++
+		return LevelL1, h.cfg.L1.Latency
+	}
+	if v1 != InvalidLine && d1 {
+		h.writebackToL2(core, v1)
+	}
+
+	// Train the prefetcher on L1 demand misses.
+	if pf := h.prefetchers[core].Observe(line); pf != nil {
+		h.issuePrefetches(core, pf, now)
+	}
+
+	// L2.
+	hit2, v2, d2 := h.L2[core].Access(line, false)
+	if v2 != InvalidLine && d2 {
+		h.writebackToL3(core, v2, now)
+	}
+	if hit2 {
+		ctr.L2Hits++
+		lat := h.cfg.L2.Latency
+		if extra, ok := h.inflightDelay(line, now); ok {
+			lat += extra
+		}
+		return LevelL2, lat
+	}
+
+	// L3. On a miss Access inserts the line and hands back the victim for
+	// writeback and inclusive back-invalidation.
+	hit3, v3, d3 := h.L3.Access(line, false)
+	if hit3 {
+		ctr.L3Hits++
+		lat := h.cfg.L3.Latency
+		if extra, ok := h.inflightDelay(line, now); ok {
+			lat += extra
+		}
+		return LevelL3, lat
+	}
+	h.handleL3Victim(core, v3, d3, now)
+
+	// Memory: pay the bus queue plus transfer plus DRAM latency.
+	ctr.MemAccs++
+	start, done := h.Bus.Request(now, h.cfg.L1.LineSize)
+	wait := start - now
+	ctr.BusWaitCycles += int64(wait)
+	ctr.BusBytes += h.cfg.L1.LineSize
+	lat := h.cfg.L3.Latency + wait + (done - start) + h.cfg.MemLatency
+	return LevelMem, lat
+}
+
+// writebackToL2 installs a dirty L1 victim into L2, cascading L2's own
+// victim into L3 when necessary.
+func (h *Hierarchy) writebackToL2(core int, line Line) {
+	victim, dirty := h.L2[core].InsertWriteback(line)
+	if victim != InvalidLine && dirty {
+		h.L3.InsertWriteback(victim)
+		// An L3 insertion from a writeback can itself evict; that victim is
+		// handled lazily as clean traffic (its dirtiness already flowed).
+	}
+}
+
+// writebackToL3 installs a dirty L2 victim into L3, paying bus traffic if
+// L3 in turn evicts a dirty line.
+func (h *Hierarchy) writebackToL3(core int, line Line, now units.Cycles) {
+	victim, dirty := h.L3.InsertWriteback(line)
+	if victim != InvalidLine {
+		h.handleL3Victim(core, victim, dirty, now)
+	}
+}
+
+// inflightDelay returns any residual latency if line is still being filled
+// by a prefetch at time now, consuming the in-flight entry.
+func (h *Hierarchy) inflightDelay(line Line, now units.Cycles) (units.Cycles, bool) {
+	ready, ok := h.inflight[line]
+	if !ok {
+		return 0, false
+	}
+	delete(h.inflight, line)
+	if ready > now {
+		return ready - now, true
+	}
+	return 0, false
+}
+
+// handleL3Victim cascades an L3 eviction: dirty victims are written back
+// over the bus, and under an inclusive L3 the victim is removed from every
+// core's private caches (back-invalidation), which is part of why
+// shared-cache interference hurts so much in practice.
+func (h *Hierarchy) handleL3Victim(core int, victim Line, victimDirty bool, now units.Cycles) {
+	if victim == InvalidLine {
+		return
+	}
+	if h.cfg.InclusiveL3 {
+		for c := 0; c < h.cfg.Cores; c++ {
+			if p, d := h.L1[c].Invalidate(victim); p && d {
+				victimDirty = true
+			}
+			if p, d := h.L2[c].Invalidate(victim); p && d {
+				victimDirty = true
+			}
+		}
+	}
+	if victimDirty {
+		h.Bus.Request(now, h.cfg.L1.LineSize)
+		h.PerCore[core].BusBytes += h.cfg.L1.LineSize
+	}
+}
+
+// issuePrefetches filters candidate lines through the caches and bus
+// backlog, then fills L3 (and the requesting core's L2) with an in-flight
+// ready time. Prefetch traffic occupies the bus like demand traffic.
+func (h *Hierarchy) issuePrefetches(core int, lines []Line, now units.Cycles) {
+	lineSize := h.cfg.L1.LineSize
+	maxLag := units.Cycles(int64(h.cfg.Prefetch.MaxLag) * int64(h.Bus.occupancy(lineSize)))
+	for _, l := range lines {
+		if l < 0 {
+			continue
+		}
+		if h.L3.Lookup(l) || h.L2[core].Lookup(l) {
+			continue
+		}
+		if _, pending := h.inflight[l]; pending {
+			continue
+		}
+		if h.Bus.Backlog(now) > maxLag {
+			return // throttle: the bus is saturated with demand traffic
+		}
+		_, done := h.Bus.Request(now, lineSize)
+		ready := done + h.cfg.MemLatency
+		victim, dirty := h.L3.InsertClean(l)
+		h.handleL3Victim(core, victim, dirty, now)
+		if v2, d2 := h.L2[core].InsertClean(l); v2 != InvalidLine && d2 {
+			h.L3.InsertWriteback(v2)
+		}
+		h.inflight[l] = ready
+		h.PerCore[core].Prefetches++
+		h.PerCore[core].BusBytes += lineSize
+		if len(h.inflight) > 4096 {
+			h.pruneInflight(now)
+		}
+	}
+}
+
+func (h *Hierarchy) pruneInflight(now units.Cycles) {
+	for l, t := range h.inflight {
+		if t <= now {
+			delete(h.inflight, l)
+		}
+	}
+}
+
+// ResetStats clears all counters (cache, bus and per-core) without touching
+// cache contents; the engine calls it at the end of a warmup phase.
+func (h *Hierarchy) ResetStats() {
+	for i := range h.PerCore {
+		h.PerCore[i] = CoreCounters{}
+	}
+	for _, c := range h.L1 {
+		c.Stats = CacheStats{}
+	}
+	for _, c := range h.L2 {
+		c.Stats = CacheStats{}
+	}
+	h.L3.Stats = CacheStats{}
+	h.Bus.Stats = BusStats{}
+}

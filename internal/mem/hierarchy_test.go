@@ -1,0 +1,327 @@
+package mem
+
+import (
+	"testing"
+
+	"activemem/internal/units"
+	"activemem/internal/xrand"
+)
+
+// testHierarchy returns a small two-core hierarchy: L1 1KB/2-way,
+// L2 4KB/4-way, L3 16KB/8-way, 64B lines.
+func testHierarchy(inclusive bool, pf PrefetchConfig) *Hierarchy {
+	return NewHierarchy(HierarchyConfig{
+		Cores:       2,
+		L1:          CacheConfig{Name: "L1", Size: 1 << 10, LineSize: 64, Assoc: 2, Latency: 4},
+		L2:          CacheConfig{Name: "L2", Size: 4 << 10, LineSize: 64, Assoc: 4, Latency: 12},
+		L3:          CacheConfig{Name: "L3", Size: 16 << 10, LineSize: 64, Assoc: 8, Latency: 36},
+		Bus:         BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64},
+		MemLatency:  180,
+		InclusiveL3: inclusive,
+		Prefetch:    pf,
+		Clock:       units.NewClock(2.6),
+		Seed:        42,
+	})
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	bad := HierarchyConfig{Cores: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero cores should be invalid")
+	}
+	cfg := testHierarchy(false, PrefetchConfig{}).Config()
+	cfg.L2.LineSize = 128
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("mixed line sizes should be invalid")
+	}
+	cfg = testHierarchy(false, PrefetchConfig{}).Config()
+	cfg.MemLatency = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative memory latency should be invalid")
+	}
+}
+
+func TestAccessLatencyLevels(t *testing.T) {
+	h := testHierarchy(false, PrefetchConfig{})
+	// Cold access: memory level, full latency.
+	level, lat := h.Access(0, 0, 0, false)
+	if level != LevelMem {
+		t.Fatalf("cold access served by %v", level)
+	}
+	want := units.Cycles(36 + 10 + 180) // L3 lookup + transfer + DRAM
+	if lat != want {
+		t.Fatalf("cold latency = %d, want %d", lat, want)
+	}
+	// Immediate re-access: L1.
+	level, lat = h.Access(0, 0, 20, false)
+	if level != LevelL1 || lat != 4 {
+		t.Fatalf("repeat access = %v/%d, want L1/4", level, lat)
+	}
+}
+
+func TestL2AndL3HitPaths(t *testing.T) {
+	h := testHierarchy(false, PrefetchConfig{})
+	// Touch 32 distinct lines: they fit in L2 (64 lines) but overflow
+	// L1 (16 lines).
+	for i := 0; i < 32; i++ {
+		h.Access(0, Addr(i*64), units.Cycles(i*300), false)
+	}
+	// Line 0 was evicted from L1 but still sits in L2.
+	level, lat := h.Access(0, 0, 100_000, false)
+	if level != LevelL2 || lat != 12 {
+		t.Fatalf("got %v/%d, want L2/12", level, lat)
+	}
+	// Touch 128 distinct lines: overflow L2 (64 lines) but fit L3 (256).
+	h2 := testHierarchy(false, PrefetchConfig{})
+	for i := 0; i < 128; i++ {
+		h2.Access(0, Addr(i*64), units.Cycles(i*300), false)
+	}
+	level, lat = h2.Access(0, 0, 100_000, false)
+	if level != LevelL3 || lat != 36 {
+		t.Fatalf("got %v/%d, want L3/36", level, lat)
+	}
+}
+
+func TestPerCoreCounters(t *testing.T) {
+	h := testHierarchy(false, PrefetchConfig{})
+	h.Access(0, 0, 0, false)
+	h.Access(0, 0, 10, false)
+	h.Access(0, 64, 20, true)
+	c := h.PerCore[0]
+	if c.Loads != 2 || c.Stores != 1 {
+		t.Fatalf("loads/stores = %d/%d", c.Loads, c.Stores)
+	}
+	if c.L1Hits != 1 || c.MemAccs != 2 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.L3MissRate() != 1 {
+		t.Fatalf("L3 miss rate = %v, want 1", c.L3MissRate())
+	}
+	if h.PerCore[1].Accesses() != 0 {
+		t.Fatal("core 1 counters polluted")
+	}
+}
+
+func TestSharedL3VisibleAcrossCores(t *testing.T) {
+	h := testHierarchy(false, PrefetchConfig{})
+	h.Access(0, 0, 0, false) // core 0 pulls the line into L3
+	level, _ := h.Access(1, 0, 1000, false)
+	if level != LevelL3 {
+		t.Fatalf("core 1 found line at %v, want L3 (shared)", level)
+	}
+	// Private levels must NOT be shared.
+	if h.L1[1].Lookup(0) == false {
+		// after the L3 hit the line is filled into core 1's L1
+		t.Fatal("L3 hit should fill core 1's private caches")
+	}
+	if h.L1[1].Lookup(1) {
+		t.Fatal("unrelated line present in core 1's L1")
+	}
+}
+
+func TestBusQueueingSlowsContendedMisses(t *testing.T) {
+	h := testHierarchy(false, PrefetchConfig{})
+	// Uncontended miss first.
+	_, lat0 := h.Access(0, 1<<20, 500, false)
+	// A bulk transfer (e.g. NIC DMA) saturates the bus, then core 1 misses:
+	// its fill queues behind the backlog.
+	h.Bus.Request(510, 8<<10)
+	_, lat1 := h.Access(1, 2<<20, 520, false)
+	if lat1 <= lat0 {
+		t.Fatalf("no queueing: lat0=%d lat1=%d", lat0, lat1)
+	}
+	if h.PerCore[1].BusWaitCycles == 0 {
+		t.Fatal("queued core shows no bus wait")
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	h := testHierarchy(true, PrefetchConfig{})
+	// Core 0 loads line 0; it lives in core 0's L1, L2 and the L3.
+	h.Access(0, 0, 0, false)
+	if !h.L1[0].Lookup(0) || !h.L3.Lookup(0) {
+		t.Fatal("setup failed")
+	}
+	// Force line 0 out of the L3: its set has 8 ways; L3 sets = 32.
+	sets := h.L3.Config().Sets()
+	for i := int64(1); i <= 8; i++ {
+		h.Access(1, Addr(i*sets*64), units.Cycles(i*1000), false)
+	}
+	if h.L3.Lookup(0) {
+		t.Fatal("line 0 should have been evicted from L3")
+	}
+	if h.L1[0].Lookup(0) || h.L2[0].Lookup(0) {
+		t.Fatal("inclusive L3 eviction did not back-invalidate private caches")
+	}
+	if h.L1[0].Stats.Invalidations == 0 && h.L2[0].Stats.Invalidations == 0 {
+		t.Fatal("no invalidations recorded")
+	}
+}
+
+func TestNonInclusiveKeepsPrivateCopies(t *testing.T) {
+	h := testHierarchy(false, PrefetchConfig{})
+	h.Access(0, 0, 0, false)
+	sets := h.L3.Config().Sets()
+	for i := int64(1); i <= 8; i++ {
+		h.Access(1, Addr(i*sets*64), units.Cycles(i*1000), false)
+	}
+	if h.L3.Lookup(0) {
+		t.Fatal("line 0 should have been evicted from L3")
+	}
+	if !h.L1[0].Lookup(0) {
+		t.Fatal("non-inclusive eviction should leave the private copy")
+	}
+}
+
+func TestDirtyEvictionGeneratesBusTraffic(t *testing.T) {
+	h := testHierarchy(false, PrefetchConfig{})
+	// Dirty a line, then push it out of every level by walking a working
+	// set larger than the whole hierarchy.
+	h.Access(0, 0, 0, true)
+	before := h.Bus.Stats.Bytes
+	now := units.Cycles(1000)
+	for i := 1; i <= 512; i++ {
+		h.Access(0, Addr(i*64), now, false)
+		now += 300
+	}
+	// Total demand bytes would be 512 lines; any extra bytes are writebacks.
+	extra := h.Bus.Stats.Bytes - before - 512*64
+	if extra <= 0 {
+		t.Fatalf("no writeback traffic observed (extra=%d)", extra)
+	}
+}
+
+func TestPrefetchReducesSequentialLatency(t *testing.T) {
+	pf := DefaultPrefetch()
+	hOn := testHierarchy(false, pf)
+	hOff := testHierarchy(false, PrefetchConfig{})
+	var totOn, totOff units.Cycles
+	now := units.Cycles(0)
+	for i := 0; i < 512; i++ {
+		addr := Addr(i * 64)
+		_, l1 := hOn.Access(0, addr, now, false)
+		_, l2 := hOff.Access(0, addr, now, false)
+		totOn += l1
+		totOff += l2
+		now += 400
+	}
+	if totOn >= totOff {
+		t.Fatalf("prefetch did not help: on=%d off=%d", totOn, totOff)
+	}
+	if hOn.PerCore[0].Prefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+}
+
+func TestPrefetchThrottledUnderBacklog(t *testing.T) {
+	pf := DefaultPrefetch()
+	h := testHierarchy(false, pf)
+	// Saturate the bus far into the future, then do a strided walk: the
+	// prefetcher must hold back.
+	h.Bus.Request(0, 1<<20) // ~163k cycles of backlog
+	for i := 0; i < 16; i++ {
+		h.Access(0, Addr(i*64), 10, false)
+	}
+	if h.PerCore[0].Prefetches != 0 {
+		t.Fatalf("prefetcher issued %d fills under saturation", h.PerCore[0].Prefetches)
+	}
+}
+
+func TestInflightPrefetchChargesPartialLatency(t *testing.T) {
+	pf := PrefetchConfig{Enabled: true, Streams: 4, Degree: 1, Window: 64, MaxLag: 1 << 20}
+	h := testHierarchy(false, pf)
+	now := units.Cycles(0)
+	// Train a stride-1 stream; the third miss emits a prefetch for line 3.
+	for i := 0; i < 3; i++ {
+		h.Access(0, Addr(i*64), now, false)
+		now += 250
+	}
+	if h.PerCore[0].Prefetches == 0 {
+		t.Fatal("prefetch not issued")
+	}
+	// Access the prefetched line while its fill is still in flight (the
+	// fill completes ~190 cycles after issue): latency must be above an L2
+	// hit but below a full memory access.
+	now -= 200
+	level, lat := h.Access(0, Addr(3*64), now, false)
+	if level == LevelMem {
+		t.Fatalf("prefetched line missed to memory")
+	}
+	if lat <= 12 {
+		t.Fatalf("in-flight prefetch served too fast: %d", lat)
+	}
+	full := units.Cycles(36 + 10 + 180)
+	if lat >= full {
+		t.Fatalf("in-flight prefetch no faster than memory: %d >= %d", lat, full)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	h := testHierarchy(false, DefaultPrefetch())
+	for i := 0; i < 64; i++ {
+		h.Access(0, Addr(i*64), units.Cycles(i*300), false)
+	}
+	h.ResetStats()
+	if h.PerCore[0].Accesses() != 0 || h.Bus.Stats.Bytes != 0 || h.L3.Stats.Accesses() != 0 {
+		t.Fatal("stats not cleared")
+	}
+	// Cache contents must survive the reset.
+	if level, _ := h.Access(0, 0, 1_000_000, false); level == LevelMem {
+		t.Fatal("reset flushed cache contents")
+	}
+}
+
+func TestHierarchyDeterminism(t *testing.T) {
+	run := func() ([]Level, int64) {
+		h := testHierarchy(true, DefaultPrefetch())
+		r := xrand.New(99)
+		levels := make([]Level, 0, 500)
+		now := units.Cycles(0)
+		for i := 0; i < 500; i++ {
+			addr := Addr(r.Intn(1 << 16))
+			lv, lat := h.Access(r.Intn(2), addr, now, r.Intn(4) == 0)
+			levels = append(levels, lv)
+			now += units.Cycles(lat)
+		}
+		return levels, h.Bus.Stats.Bytes
+	}
+	l1, b1 := run()
+	l2, b2 := run()
+	if b1 != b2 {
+		t.Fatalf("bus bytes differ: %d vs %d", b1, b2)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("levels diverge at %d", i)
+		}
+	}
+}
+
+func TestCSThrStyleOccupancyPinning(t *testing.T) {
+	// A rapidly re-touched buffer must pin its lines in the L3 against a
+	// slowly cycling large scan — the core CSThr mechanism. Per the paper's
+	// own design rule the hot buffer must exceed the private caches (else
+	// it never re-touches the L3); here it is 2x the L2 and 1/2 the L3.
+	h := testHierarchy(false, PrefetchConfig{})
+	r := xrand.New(7)
+	const hotLines = 128 // 8KB hot buffer: 2x L2, 1/2 L3
+	hotBase := Addr(0)
+	scanBase := Addr(1 << 20)
+	const scanLines = 1024 // 64KB scan, 4x the L3
+	now := units.Cycles(0)
+	scan := 0
+	for i := 0; i < 200_000; i++ {
+		// Hot thread touches ~8x more often than the scanner.
+		if i%9 != 8 {
+			h.Access(0, hotBase+Addr(r.Intn(hotLines)*64), now, true)
+		} else {
+			h.Access(1, scanBase+Addr(scan%scanLines*64), now, false)
+			scan++
+		}
+		now += 40
+	}
+	held := h.L3.CountLinesIn(LineOf(hotBase, 64), LineOf(hotBase, 64)+hotLines)
+	if held < hotLines*9/10 {
+		t.Fatalf("hot buffer holds only %d/%d lines in L3", held, hotLines)
+	}
+}

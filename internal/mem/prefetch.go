@@ -1,0 +1,127 @@
+package mem
+
+// PrefetchConfig describes the per-core stride prefetcher, a simplified
+// model of the Sandy Bridge L2 streamer. The paper's BWThr deliberately uses
+// a constant (large prime) stride so the streamer amplifies its bandwidth
+// consumption; CSThr uses random accesses precisely so the streamer stays
+// idle. Modelling the prefetcher preserves both design points.
+type PrefetchConfig struct {
+	Enabled bool
+	Streams int   // tracked concurrent streams per core
+	Degree  int   // lines fetched ahead once a stream locks
+	Window  int64 // max |stride| in lines that can train a stream
+	MaxLag  int   // bus backlog (in line-transfer times) above which prefetch is suppressed
+}
+
+// DefaultPrefetch returns the configuration used by the Xeon20MB model.
+func DefaultPrefetch() PrefetchConfig {
+	return PrefetchConfig{Enabled: true, Streams: 32, Degree: 4, Window: 2048, MaxLag: 32}
+}
+
+type pfStream struct {
+	lastLine Line
+	stride   int64
+	hits     int
+	lastUse  int64
+}
+
+// Prefetcher detects constant-stride access streams. Observe is called on
+// demand L1 misses; once a stream has confirmed its stride twice the
+// prefetcher emits the next Degree line addresses.
+type Prefetcher struct {
+	cfg     PrefetchConfig
+	streams []pfStream
+	seq     int64
+	scratch [8]Line
+
+	// Issued counts prefetch candidates emitted (before cache/bus filtering).
+	Issued int64
+}
+
+// NewPrefetcher builds a prefetcher; a disabled config yields a prefetcher
+// whose Observe always returns nil.
+func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
+	p := &Prefetcher{cfg: cfg}
+	if cfg.Enabled {
+		p.streams = make([]pfStream, cfg.Streams)
+	}
+	return p
+}
+
+// Config returns the prefetcher configuration.
+func (p *Prefetcher) Config() PrefetchConfig { return p.cfg }
+
+// Observe trains on a demand-missed line and returns the lines to prefetch
+// (possibly none). The returned slice is only valid until the next call.
+func (p *Prefetcher) Observe(line Line) []Line {
+	if !p.cfg.Enabled {
+		return nil
+	}
+	p.seq++
+	// Find a stream this access continues or retrains.
+	bestIdx, bestDelta := -1, p.cfg.Window+1
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.lastUse == 0 {
+			continue
+		}
+		d := int64(line - s.lastLine)
+		if d < 0 {
+			d = -d
+		}
+		if d <= p.cfg.Window && d < bestDelta {
+			bestIdx, bestDelta = i, d
+		}
+	}
+	if bestIdx >= 0 {
+		s := &p.streams[bestIdx]
+		delta := int64(line - s.lastLine)
+		s.lastUse = p.seq
+		if delta == 0 {
+			return nil
+		}
+		if delta == s.stride {
+			s.hits++
+			s.lastLine = line
+			if s.hits >= 2 {
+				out := p.emit(line, s.stride)
+				return out
+			}
+			return nil
+		}
+		// Retrain with the newly observed stride.
+		s.stride = delta
+		s.hits = 1
+		s.lastLine = line
+		return nil
+	}
+	// Allocate the least recently used stream slot.
+	victim := 0
+	for i := 1; i < len(p.streams); i++ {
+		if p.streams[i].lastUse < p.streams[victim].lastUse {
+			victim = i
+		}
+	}
+	p.streams[victim] = pfStream{lastLine: line, lastUse: p.seq}
+	return nil
+}
+
+func (p *Prefetcher) emit(line Line, stride int64) []Line {
+	n := p.cfg.Degree
+	if n > len(p.scratch) {
+		n = len(p.scratch)
+	}
+	for i := 0; i < n; i++ {
+		p.scratch[i] = line + Line(stride*int64(i+1))
+	}
+	p.Issued += int64(n)
+	return p.scratch[:n]
+}
+
+// Reset clears all trained streams (used between measurement phases).
+func (p *Prefetcher) Reset() {
+	for i := range p.streams {
+		p.streams[i] = pfStream{}
+	}
+	p.seq = 0
+}

@@ -1,0 +1,127 @@
+package mem
+
+import "testing"
+
+func newPF() *Prefetcher {
+	return NewPrefetcher(PrefetchConfig{Enabled: true, Streams: 4, Degree: 2, Window: 256, MaxLag: 4})
+}
+
+func TestPrefetcherDisabled(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{Enabled: false})
+	for i := Line(0); i < 10; i++ {
+		if p.Observe(i) != nil {
+			t.Fatal("disabled prefetcher emitted candidates")
+		}
+	}
+}
+
+func TestPrefetcherLocksOnConstantStride(t *testing.T) {
+	p := newPF()
+	var got []Line
+	for i := 0; i < 5; i++ {
+		got = p.Observe(Line(100 + i*3))
+	}
+	if len(got) != 2 {
+		t.Fatalf("expected 2 prefetch candidates, got %v", got)
+	}
+	// Last observed line is 112, stride 3 -> 115, 118.
+	if got[0] != 115 || got[1] != 118 {
+		t.Fatalf("candidates = %v, want [115 118]", got)
+	}
+	if p.Issued != 6 { // locks at 3rd access, emits on accesses 3,4,5
+		t.Fatalf("issued = %d, want 6", p.Issued)
+	}
+}
+
+func TestPrefetcherIgnoresSameLine(t *testing.T) {
+	p := newPF()
+	p.Observe(50)
+	for i := 0; i < 5; i++ {
+		if out := p.Observe(50); out != nil {
+			t.Fatal("repeated same-line observations should not emit")
+		}
+	}
+}
+
+func TestPrefetcherRetrainsOnStrideChange(t *testing.T) {
+	p := newPF()
+	for i := 0; i < 4; i++ {
+		p.Observe(Line(i * 2)) // stride 2, locked
+	}
+	// Change stride to 5: the first access retrains silently, the second
+	// confirms the new stride and resumes prefetching.
+	base := Line(6)
+	if out := p.Observe(base + 5); out != nil {
+		t.Fatal("retraining access should not emit")
+	}
+	out := p.Observe(base + 10)
+	if len(out) != 2 || out[0] != base+15 || out[1] != base+20 {
+		t.Fatalf("after retrain candidates = %v, want [%d %d]", out, base+15, base+20)
+	}
+}
+
+func TestPrefetcherRandomAccessNeverLocks(t *testing.T) {
+	p := newPF()
+	// Strides vary wildly outside the window: no stream should emit.
+	seq := []Line{10, 5000, 90, 12000, 40, 7000, 130, 9000}
+	for _, l := range seq {
+		if out := p.Observe(l); out != nil {
+			t.Fatalf("random-ish sequence emitted %v", out)
+		}
+	}
+}
+
+func TestPrefetcherTracksParallelStreams(t *testing.T) {
+	p := newPF()
+	// Two interleaved streams far apart, both stride 1. Observe's result is
+	// only valid until the next call, so copy it.
+	var a, b []Line
+	for i := 0; i < 5; i++ {
+		a = append([]Line(nil), p.Observe(Line(1000+i))...)
+		b = append([]Line(nil), p.Observe(Line(90000+i))...)
+	}
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("parallel streams not both locked: %v %v", a, b)
+	}
+	if a[0] != 1005 || b[0] != 90005 {
+		t.Fatalf("stream candidates wrong: %v %v", a, b)
+	}
+}
+
+func TestPrefetcherStreamThrash(t *testing.T) {
+	// More concurrent streams than slots: LRU slot replacement prevents any
+	// stream from ever confirming (the classic pathology the BWThr's 44
+	// buffers induce on a 32-stream machine).
+	p := NewPrefetcher(PrefetchConfig{Enabled: true, Streams: 2, Degree: 2, Window: 16, MaxLag: 4})
+	for round := 0; round < 10; round++ {
+		for s := 0; s < 5; s++ {
+			base := Line(100000 * (s + 1))
+			if out := p.Observe(base + Line(round)); out != nil {
+				t.Fatalf("thrashing streams emitted %v", out)
+			}
+		}
+	}
+}
+
+func TestPrefetcherReset(t *testing.T) {
+	p := newPF()
+	for i := 0; i < 4; i++ {
+		p.Observe(Line(i))
+	}
+	p.Reset()
+	// After reset the locked stream is gone; next observation allocates.
+	if out := p.Observe(4); out != nil {
+		t.Fatal("reset did not clear streams")
+	}
+}
+
+func TestPrefetcherNegativeStride(t *testing.T) {
+	p := newPF()
+	var out []Line
+	for i := 0; i < 5; i++ {
+		out = p.Observe(Line(1000 - i*2))
+	}
+	if len(out) != 2 || out[0] != 990 || out[1] != 988 {
+		t.Fatalf("descending stream candidates = %v", out)
+	}
+}

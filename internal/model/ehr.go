@@ -1,0 +1,125 @@
+// Package model implements the paper's analytic cache model (§III-C1):
+// the Expected Hit Rate of the probabilistic synthetic benchmarks as a
+// function of available cache capacity (Eq. 4), its inversion (used in
+// §III-C3 to convert a measured miss rate into an effective cache size),
+// and a refined "capped" variant that removes the paper's assumption that
+// no single line's residency probability exceeds one.
+//
+// The model works at cache-line granularity: f is the per-line access mass
+// F(j) of a distribution (see dist.LineMasses), and capacities are counted
+// in cache lines.
+package model
+
+import (
+	"errors"
+
+	"activemem/internal/dist"
+)
+
+// EHR returns the expected hit rate of Eq. 4:
+//
+//	EHR = CacheLines · Σ_j F(j)²
+//
+// clamped to [0, 1]. cacheLines is the available capacity in lines and
+// sumSq the Σ F² term (dist.SumSquaredLineMass). The paper derives this for
+// a fully associative cache in steady state with buffer > cache.
+func EHR(cacheLines float64, sumSq float64) float64 {
+	ehr := cacheLines * sumSq
+	if ehr < 0 {
+		return 0
+	}
+	if ehr > 1 {
+		return 1
+	}
+	return ehr
+}
+
+// MissRate returns 1 - EHR(cacheLines, sumSq).
+func MissRate(cacheLines float64, sumSq float64) float64 {
+	return 1 - EHR(cacheLines, sumSq)
+}
+
+// ErrUninvertible reports that a measured miss rate cannot be mapped back to
+// a capacity (e.g. Σf² is zero).
+var ErrUninvertible = errors.New("model: miss rate not invertible")
+
+// InvertCapacity inverts Eq. 4: given a measured miss rate and the Σ F²
+// term of the benchmark's distribution it returns the effective cache
+// capacity, in lines, that would produce that miss rate. This is the §III-C3
+// procedure for measuring how much storage CSThr interference leaves to an
+// application.
+func InvertCapacity(missRate, sumSq float64) (lines float64, err error) {
+	if sumSq <= 0 {
+		return 0, ErrUninvertible
+	}
+	if missRate < 0 {
+		missRate = 0
+	}
+	if missRate > 1 {
+		missRate = 1
+	}
+	return (1 - missRate) / sumSq, nil
+}
+
+// CappedEHR is the refined model: the probability that line j is resident is
+// min(1, cacheLines·F(j)) instead of cacheLines·F(j). For sharply peaked
+// distributions (e.g. "Norm 8") the linear form over-counts hits on hot
+// lines; the cap removes the paper's stated small-buffer bias.
+func CappedEHR(masses []float64, cacheLines float64) float64 {
+	ehr := 0.0
+	for _, f := range masses {
+		p := cacheLines * f
+		if p > 1 {
+			p = 1
+		}
+		ehr += f * p
+	}
+	if ehr > 1 {
+		return 1
+	}
+	return ehr
+}
+
+// CappedMissRate returns 1 - CappedEHR.
+func CappedMissRate(masses []float64, cacheLines float64) float64 {
+	return 1 - CappedEHR(masses, cacheLines)
+}
+
+// InvertCappedCapacity inverts the capped model by bisection: CappedEHR is
+// monotonically non-decreasing in cacheLines, so the capacity matching a
+// measured miss rate is found to within tol lines. maxLines bounds the
+// search (e.g. the physical cache size, or larger when probing overshoot).
+func InvertCappedCapacity(masses []float64, missRate, maxLines, tol float64) (float64, error) {
+	if len(masses) == 0 || maxLines <= 0 {
+		return 0, ErrUninvertible
+	}
+	target := 1 - missRate
+	if target <= 0 {
+		return 0, nil
+	}
+	lo, hi := 0.0, maxLines
+	if CappedEHR(masses, hi) < target {
+		// Even the full capacity cannot reach the hit rate; report the cap.
+		return hi, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if CappedEHR(masses, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// PredictedMissRates evaluates Eq. 4 for each distribution in ds given an
+// available capacity in lines and the elements-per-line geometry. It is the
+// vectorised form used when regenerating Fig. 5.
+func PredictedMissRates(ds []dist.Dist, elemsPerLine int64, cacheLines float64) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = MissRate(cacheLines, dist.SumSquaredLineMass(d, elemsPerLine))
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"activemem/internal/dist"
+)
+
+func TestEHRUniformClassic(t *testing.T) {
+	// Uniform over L lines with capacity C: EHR must equal C/L.
+	const n, epl = 1 << 16, 16
+	d := dist.NewUniform(n)
+	sumSq := dist.SumSquaredLineMass(d, epl)
+	lines := float64(dist.NumLines(d, epl))
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.9} {
+		c := frac * lines
+		if got := EHR(c, sumSq); math.Abs(got-frac) > 1e-9 {
+			t.Errorf("EHR at %.0f%% capacity = %v, want %v", frac*100, got, frac)
+		}
+	}
+}
+
+func TestEHRClamped(t *testing.T) {
+	if EHR(1e12, 1e-3) != 1 {
+		t.Fatal("EHR should clamp to 1")
+	}
+	if EHR(-5, 0.1) != 0 {
+		t.Fatal("EHR should clamp to 0")
+	}
+}
+
+func TestMissRateComplement(t *testing.T) {
+	f := func(cRaw, sRaw uint16) bool {
+		c := float64(cRaw)
+		s := float64(sRaw) / float64(1<<20)
+		return math.Abs(EHR(c, s)+MissRate(c, s)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	const n, epl = 1 << 16, 16
+	for _, d := range dist.Table2(n) {
+		sumSq := dist.SumSquaredLineMass(d, epl)
+		lines := float64(dist.NumLines(d, epl))
+		for _, frac := range []float64{0.2, 0.5, 0.8} {
+			c := frac * lines
+			mr := MissRate(c, sumSq)
+			if mr <= 0 { // capacity exceeds what Eq.4 can express
+				continue
+			}
+			back, err := InvertCapacity(mr, sumSq)
+			if err != nil {
+				t.Fatalf("%s: invert error: %v", d.Name(), err)
+			}
+			if math.Abs(back-c)/c > 1e-9 {
+				t.Errorf("%s: invert(%v) = %v, want %v", d.Name(), mr, back, c)
+			}
+		}
+	}
+}
+
+func TestInvertErrors(t *testing.T) {
+	if _, err := InvertCapacity(0.5, 0); err == nil {
+		t.Fatal("expected error for zero sumSq")
+	}
+	// Out-of-range miss rates are clamped, not errors.
+	c, err := InvertCapacity(1.5, 0.01)
+	if err != nil || c != 0 {
+		t.Fatalf("clamped high miss rate: got (%v, %v)", c, err)
+	}
+	c, err = InvertCapacity(-0.5, 0.01)
+	if err != nil || math.Abs(c-100) > 1e-9 {
+		t.Fatalf("clamped low miss rate: got (%v, %v), want 100", c, err)
+	}
+}
+
+func TestCappedLEQLinear(t *testing.T) {
+	// The capped model can only remove hits, never add them.
+	const n, epl = 1 << 14, 16
+	for _, d := range dist.Table2(n) {
+		masses := dist.LineMasses(d, epl)
+		sumSq := dist.SumSquaredLineMass(d, epl)
+		for _, c := range []float64{10, 100, 500, float64(len(masses))} {
+			lin := EHR(c, sumSq)
+			cap := CappedEHR(masses, c)
+			if cap > lin+1e-9 {
+				t.Errorf("%s: capped %v > linear %v at c=%v", d.Name(), cap, lin, c)
+			}
+		}
+	}
+}
+
+func TestCappedEqualsLinearForUniform(t *testing.T) {
+	// Uniform never saturates any line below full capacity, so the models
+	// agree exactly.
+	const n, epl = 1 << 14, 16
+	d := dist.NewUniform(n)
+	masses := dist.LineMasses(d, epl)
+	sumSq := dist.SumSquaredLineMass(d, epl)
+	lines := float64(dist.NumLines(d, epl))
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		c := frac * lines
+		if math.Abs(CappedEHR(masses, c)-EHR(c, sumSq)) > 1e-9 {
+			t.Errorf("capped != linear for uniform at frac %v", frac)
+		}
+	}
+}
+
+func TestCappedMonotoneInCapacity(t *testing.T) {
+	const n, epl = 1 << 14, 16
+	d := dist.NewNormal(n, 8)
+	masses := dist.LineMasses(d, epl)
+	prev := -1.0
+	for c := 0.0; c <= 2000; c += 100 {
+		v := CappedEHR(masses, c)
+		if v < prev-1e-12 {
+			t.Fatalf("capped EHR not monotone at c=%v", c)
+		}
+		prev = v
+	}
+}
+
+func TestInvertCappedRoundTrip(t *testing.T) {
+	const n, epl = 1 << 14, 16
+	for _, d := range dist.Table2(n) {
+		masses := dist.LineMasses(d, epl)
+		lines := float64(len(masses))
+		for _, frac := range []float64{0.3, 0.6} {
+			c := frac * lines
+			mr := CappedMissRate(masses, c)
+			back, err := InvertCappedCapacity(masses, mr, 2*lines, 1e-4)
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name(), err)
+			}
+			// The capped curve can be flat where lines saturate; allow a
+			// modest relative tolerance.
+			if math.Abs(back-c)/c > 0.02 {
+				t.Errorf("%s: capped invert = %v, want %v", d.Name(), back, c)
+			}
+		}
+	}
+}
+
+func TestInvertCappedEdges(t *testing.T) {
+	if _, err := InvertCappedCapacity(nil, 0.5, 100, 1e-3); err == nil {
+		t.Fatal("empty masses should error")
+	}
+	masses := []float64{0.5, 0.5}
+	c, err := InvertCappedCapacity(masses, 1.0, 100, 1e-3)
+	if err != nil || c != 0 {
+		t.Fatalf("miss rate 1 should invert to 0 capacity, got %v/%v", c, err)
+	}
+	// Unreachable hit rate: returns the cap.
+	c, err = InvertCappedCapacity([]float64{1e-9}, 0.0, 10, 1e-3)
+	if err != nil || c != 10 {
+		t.Fatalf("unreachable target should return maxLines, got %v/%v", c, err)
+	}
+}
+
+func TestPredictedMissRatesOrdering(t *testing.T) {
+	// Under the same capacity, wider distributions (smaller Σf²) must have
+	// higher predicted miss rates; uniform is the widest of Table II.
+	const n, epl = 1 << 16, 16
+	ds := dist.Table2(n)
+	rates := PredictedMissRates(ds, epl, 1024)
+	if len(rates) != len(ds) {
+		t.Fatalf("got %d rates for %d dists", len(rates), len(ds))
+	}
+	var uni float64
+	for i, d := range ds {
+		if d.Name() == "Uni" {
+			uni = rates[i]
+		}
+	}
+	for i, d := range ds {
+		if rates[i] > uni+1e-12 {
+			t.Errorf("%s predicted miss %v exceeds uniform %v", d.Name(), rates[i], uni)
+		}
+	}
+}

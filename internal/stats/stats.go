@@ -1,0 +1,160 @@
+// Package stats provides the small set of summary statistics the
+// measurement methodology needs: means, standard deviations, percentiles,
+// running accumulators and relative-change helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs (0 for fewer than
+// two samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MeanStd returns both the mean and the population standard deviation.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between order statistics. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// RelChange returns (now-base)/base, i.e. the fractional change of now with
+// respect to base. A base of 0 yields 0 to keep downstream comparisons sane.
+func RelChange(base, now float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (now - base) / base
+}
+
+// Running accumulates count, mean and variance incrementally (Welford's
+// algorithm). The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (0 before any observation).
+func (r *Running) Mean() float64 { return r.mean }
+
+// StdDev returns the running population standard deviation.
+func (r *Running) StdDev() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n))
+}
+
+// LinearFit fits y = a + b*x by least squares and returns (a, b). It returns
+// (0, 0) when fewer than two points are given or x has zero variance.
+func LinearFit(x, y []float64) (a, b float64) {
+	n := len(x)
+	if n < 2 || n != len(y) {
+		return 0, 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b
+}
+
+// AbsDiffs returns |a[i]-b[i]| for each i; the slices must be equal length.
+func AbsDiffs(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("stats: AbsDiffs length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = math.Abs(a[i] - b[i])
+	}
+	return out
+}

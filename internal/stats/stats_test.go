@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"activemem/internal/xrand"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single sample stddev should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !close(got, 2, 1e-12) {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty min/max should be infinities")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !close(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if got := RelChange(10, 12); !close(got, 0.2, 1e-12) {
+		t.Fatalf("RelChange = %v, want 0.2", got)
+	}
+	if RelChange(0, 5) != 0 {
+		t.Fatal("zero base should give 0")
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	r := xrand.New(1)
+	xs := make([]float64, 500)
+	var run Running
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		run.Add(xs[i])
+	}
+	if !close(run.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("running mean %v != batch %v", run.Mean(), Mean(xs))
+	}
+	if !close(run.StdDev(), StdDev(xs), 1e-9) {
+		t.Errorf("running std %v != batch %v", run.StdDev(), StdDev(xs))
+	}
+	if run.N() != 500 {
+		t.Errorf("N = %d, want 500", run.N())
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := LinearFit(x, y)
+	if !close(a, 1, 1e-9) || !close(b, 2, 1e-9) {
+		t.Fatalf("fit = (%v, %v), want (1, 2)", a, b)
+	}
+	if a, b := LinearFit([]float64{1}, []float64{1}); a != 0 || b != 0 {
+		t.Fatal("degenerate fit should be (0,0)")
+	}
+	if a, b := LinearFit([]float64{2, 2}, []float64{1, 5}); a != 0 || b != 0 {
+		t.Fatal("zero-variance x should give (0,0)")
+	}
+}
+
+func TestAbsDiffs(t *testing.T) {
+	got := AbsDiffs([]float64{1, 5}, []float64{4, 3})
+	if got[0] != 3 || got[1] != 2 {
+		t.Fatalf("AbsDiffs = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	AbsDiffs([]float64{1}, []float64{1, 2})
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileProperties(t *testing.T) {
+	r := xrand.New(9)
+	f := func(seed uint32) bool {
+		rr := xrand.New(uint64(seed))
+		n := rr.Intn(50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.Float64()*100 - 50
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 || v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: nil}
+	_ = r
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package trace provides offline analysis of memory-access traces, chiefly
+// exact LRU stack (reuse) distance profiles. Reuse distance — the number of
+// distinct cache lines touched between two accesses to the same line — is
+// the theoretical backbone of the paper's interference thread designs:
+// CSThr pins capacity because its reuse distances stay below the cache's
+// line count, while BWThr streams because its distances exceed any cache.
+// Attaching a Recorder to a hierarchy's Tracer hook makes those design
+// claims directly measurable.
+//
+// The stack-distance computation is the classical Bennett–Kruskal
+// algorithm: a Fenwick tree over access positions marks each line's most
+// recent occurrence, so the distinct-line count between two positions is a
+// prefix-sum difference, O(log n) per access.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"activemem/internal/mem"
+)
+
+// ColdDistance marks a first-ever access to a line.
+const ColdDistance = -1
+
+// Recorder accumulates a reuse-distance histogram over a stream of line
+// accesses. The zero value is not ready; use NewRecorder.
+type Recorder struct {
+	last   map[mem.Line]int // line -> position of its most recent access
+	tree   []int            // Fenwick tree over positions (1-based)
+	pos    int              // accesses recorded so far
+	cold   int64            // first-touch accesses
+	counts []int64          // log2-bucketed reuse distances: bucket i = [2^i, 2^(i+1))
+	zero   int64            // distance-0 accesses (consecutive same-line)
+}
+
+// NewRecorder returns a recorder sized for up to capacity accesses; further
+// accesses grow the structure automatically.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Recorder{
+		last:   make(map[mem.Line]int, capacity/4),
+		tree:   make([]int, capacity+1),
+		counts: make([]int64, 40),
+	}
+}
+
+// fenwick ops (1-based positions).
+func (r *Recorder) add(i, v int) {
+	for ; i < len(r.tree); i += i & -i {
+		r.tree[i] += v
+	}
+}
+
+func (r *Recorder) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & -i {
+		s += r.tree[i]
+	}
+	return s
+}
+
+// Record observes one access and returns its reuse distance (ColdDistance
+// for a first touch).
+func (r *Recorder) Record(line mem.Line) int {
+	r.pos++
+	if r.pos >= len(r.tree) {
+		grown := make([]int, len(r.tree)*2)
+		copy(grown, r.tree)
+		// Fenwick trees cannot be grown by copying; rebuild from last map.
+		for i := range grown {
+			grown[i] = 0
+		}
+		r.tree = grown
+		for _, p := range r.last {
+			r.add(p, 1)
+		}
+	}
+	prev, seen := r.last[line]
+	dist := ColdDistance
+	if seen {
+		// Distinct lines since prev = marked occurrences in (prev, pos).
+		dist = r.sum(r.pos-1) - r.sum(prev)
+		r.add(prev, -1)
+		r.record(dist)
+	} else {
+		r.cold++
+	}
+	r.last[line] = r.pos
+	r.add(r.pos, 1)
+	return dist
+}
+
+func (r *Recorder) record(dist int) {
+	if dist <= 0 {
+		r.zero++
+		return
+	}
+	b := int(math.Log2(float64(dist)))
+	if b >= len(r.counts) {
+		b = len(r.counts) - 1
+	}
+	r.counts[b]++
+}
+
+// Accesses returns the number of recorded accesses.
+func (r *Recorder) Accesses() int64 { return int64(r.pos) }
+
+// ColdFraction returns the share of first-touch accesses.
+func (r *Recorder) ColdFraction() float64 {
+	if r.pos == 0 {
+		return 0
+	}
+	return float64(r.cold) / float64(r.pos)
+}
+
+// HitFraction returns the share of (warm) accesses whose reuse distance is
+// strictly below the given cache size in lines — the hit rate an ideal
+// fully-associative LRU cache of that size would achieve on this trace
+// (Mattson's stack algorithm).
+func (r *Recorder) HitFraction(cacheLines int64) float64 {
+	warm := int64(r.pos) - r.cold
+	if warm <= 0 {
+		return 0
+	}
+	var below int64 = r.zero
+	for b, c := range r.counts {
+		hi := int64(1) << uint(b+1) // bucket covers [2^b, 2^(b+1))
+		if hi <= cacheLines {
+			below += c
+		} else if int64(1)<<uint(b) < cacheLines {
+			// Partial bucket: apportion uniformly.
+			lo := int64(1) << uint(b)
+			below += c * (cacheLines - lo) / (hi - lo)
+		}
+	}
+	return float64(below) / float64(warm)
+}
+
+// MedianDistance returns the approximate median warm reuse distance
+// (bucket midpoint), or ColdDistance when no warm access exists.
+func (r *Recorder) MedianDistance() int64 {
+	warm := int64(r.pos) - r.cold
+	if warm <= 0 {
+		return ColdDistance
+	}
+	target := (warm + 1) / 2
+	cum := r.zero
+	if cum >= target {
+		return 0
+	}
+	for b, c := range r.counts {
+		cum += c
+		if cum >= target {
+			return (int64(1)<<uint(b) + int64(1)<<uint(b+1)) / 2
+		}
+	}
+	return ColdDistance
+}
+
+// Histogram renders the log2 reuse-distance histogram.
+func (r *Recorder) Histogram() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reuse distance histogram (%d accesses, %.1f%% cold)\n",
+		r.pos, r.ColdFraction()*100)
+	if r.zero > 0 {
+		fmt.Fprintf(&b, "  0          %d\n", r.zero)
+	}
+	for i, c := range r.counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  [2^%-2d,2^%-2d) %d\n", i, i+1, c)
+	}
+	return b.String()
+}
+
+// Attach wires the recorder to a hierarchy's Tracer hook, recording the
+// line stream of a single core (-1 records every core). It returns a
+// detach function restoring the previous hook.
+func (r *Recorder) Attach(h *mem.Hierarchy, core int) (detach func()) {
+	prev := h.Tracer
+	h.Tracer = func(c int, line mem.Line, level mem.Level) {
+		if core < 0 || c == core {
+			r.Record(line)
+		}
+		if prev != nil {
+			prev(c, line, level)
+		}
+	}
+	return func() { h.Tracer = prev }
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/workload/interfere"
+	"activemem/internal/xrand"
+)
+
+func TestColdAccesses(t *testing.T) {
+	r := NewRecorder(16)
+	for l := mem.Line(0); l < 10; l++ {
+		if d := r.Record(l); d != ColdDistance {
+			t.Fatalf("first touch of %d had distance %d", l, d)
+		}
+	}
+	if r.ColdFraction() != 1 {
+		t.Fatalf("cold fraction = %v", r.ColdFraction())
+	}
+	if r.MedianDistance() != ColdDistance {
+		t.Fatal("all-cold trace should have no median")
+	}
+}
+
+func TestExactDistances(t *testing.T) {
+	r := NewRecorder(16)
+	// Sequence: A B C A  -> A's reuse distance is 2 (B, C distinct between).
+	r.Record(1)
+	r.Record(2)
+	r.Record(3)
+	if d := r.Record(1); d != 2 {
+		t.Fatalf("distance = %d, want 2", d)
+	}
+	// A A -> distance 0.
+	if d := r.Record(1); d != 0 {
+		t.Fatalf("immediate reuse distance = %d, want 0", d)
+	}
+	// B . . B with a repeated middle line counts distinct lines only:
+	// sequence so far ... 2? Touch 2: distinct since its last access
+	// (position 2) are {3, 1} = 2.
+	if d := r.Record(2); d != 2 {
+		t.Fatalf("distance = %d, want 2 (distinct lines, not accesses)", d)
+	}
+}
+
+func TestDistanceCountsDistinctNotTotal(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(7)
+	for i := 0; i < 10; i++ {
+		r.Record(8) // many accesses, one distinct line
+	}
+	if d := r.Record(7); d != 1 {
+		t.Fatalf("distance = %d, want 1", d)
+	}
+}
+
+// Property: a cyclic scan over N lines has reuse distance exactly N-1 for
+// every warm access.
+func TestCyclicScanDistance(t *testing.T) {
+	const n = 37
+	r := NewRecorder(1024)
+	for pass := 0; pass < 5; pass++ {
+		for l := mem.Line(0); l < n; l++ {
+			d := r.Record(l)
+			if pass > 0 && d != n-1 {
+				t.Fatalf("cyclic distance = %d, want %d", d, n-1)
+			}
+		}
+	}
+}
+
+// Mattson: HitFraction(c) for a uniform random trace over N lines
+// approximates c/N — the same law the paper's Eq. 4 builds on.
+func TestHitFractionMatchesUniformLaw(t *testing.T) {
+	const n = 1024
+	rng := xrand.New(3)
+	r := NewRecorder(1 << 16)
+	for i := 0; i < 60_000; i++ {
+		r.Record(mem.Line(rng.Intn(n)))
+	}
+	for _, frac := range []float64{0.25, 0.5} {
+		c := int64(frac * n)
+		got := r.HitFraction(c)
+		if math.Abs(got-frac) > 0.08 {
+			t.Errorf("HitFraction(%d) = %.3f, want ~%.2f", c, got, frac)
+		}
+	}
+	// Monotone in cache size, and 1 when the cache covers the whole set.
+	if r.HitFraction(2*n) < 0.999 {
+		t.Errorf("full-coverage hit fraction = %v", r.HitFraction(2*n))
+	}
+	if r.HitFraction(64) > r.HitFraction(512) {
+		t.Error("hit fraction not monotone in capacity")
+	}
+}
+
+func TestRecorderGrowth(t *testing.T) {
+	r := NewRecorder(16) // tiny: must grow many times
+	const n = 100
+	for pass := 0; pass < 20; pass++ {
+		for l := mem.Line(0); l < n; l++ {
+			d := r.Record(l)
+			if pass > 0 && d != n-1 {
+				t.Fatalf("after growth distance = %d, want %d", d, n-1)
+			}
+		}
+	}
+	if r.Accesses() != 20*n {
+		t.Fatalf("accesses = %d", r.Accesses())
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	r := NewRecorder(64)
+	r.Record(1)
+	r.Record(2)
+	r.Record(1)
+	r.Record(1)
+	out := r.Histogram()
+	if !strings.Contains(out, "cold") || !strings.Contains(out, "0          1") {
+		t.Fatalf("histogram:\n%s", out)
+	}
+}
+
+// The design claim the package exists to verify: CSThr's reuse distances
+// sit below the L3's line count (it can pin), BWThr's far above (it can
+// only stream).
+func TestInterferenceThreadReuseProfiles(t *testing.T) {
+	spec := machine.Scaled(8)
+	l3Lines := spec.L3.Size / 64
+
+	profile := func(place func(e *engine.Engine, alloc *mem.Alloc)) *Recorder {
+		h := spec.NewSocket(1)
+		e := engine.New(h, spec.MSHRs)
+		alloc := mem.NewAlloc(64)
+		place(e, alloc)
+		rec := NewRecorder(1 << 18)
+		detach := rec.Attach(h, 0)
+		defer detach()
+		e.RunUntil(12_000_000)
+		return rec
+	}
+
+	cs := profile(func(e *engine.Engine, alloc *mem.Alloc) {
+		e.PlaceDaemon(0, interfere.NewCSThr(interfere.DefaultCSConfig(spec.L3.Size), alloc), 2)
+	})
+	bw := profile(func(e *engine.Engine, alloc *mem.Alloc) {
+		e.PlaceDaemon(0, interfere.NewBWThr(interfere.DefaultBWConfig(spec.L3.Size), alloc), 2)
+	})
+
+	if med := cs.MedianDistance(); med >= l3Lines {
+		t.Fatalf("CSThr median reuse distance %d not below L3's %d lines", med, l3Lines)
+	}
+	if med := bw.MedianDistance(); med < l3Lines {
+		t.Fatalf("BWThr median reuse distance %d not beyond L3's %d lines", med, l3Lines)
+	}
+	// Mattson hit projection agrees: CSThr would hit an L3-sized cache,
+	// BWThr would not.
+	if h := cs.HitFraction(l3Lines); h < 0.9 {
+		t.Errorf("CSThr projected L3 hit fraction = %.3f", h)
+	}
+	// The ideal fully-associative projection leaves BWThr a modest hit
+	// fraction (~0.2); the measured set-associative miss rate is higher
+	// still (~0.96+, see the interfere tests), so streaming dominates.
+	if h := bw.HitFraction(l3Lines); h > 0.3 {
+		t.Errorf("BWThr projected L3 hit fraction = %.3f", h)
+	}
+}
+
+func TestAttachFiltersCore(t *testing.T) {
+	spec := machine.Scaled(8)
+	h := spec.NewSocket(1)
+	rec := NewRecorder(64)
+	detach := rec.Attach(h, 1) // record core 1 only
+	h.Access(0, 0, 0, false)
+	h.Access(1, 64, 10, false)
+	h.Access(0, 128, 20, false)
+	if rec.Accesses() != 1 {
+		t.Fatalf("recorded %d accesses, want 1", rec.Accesses())
+	}
+	detach()
+	h.Access(1, 192, 30, false)
+	if rec.Accesses() != 1 {
+		t.Fatal("detach did not remove the hook")
+	}
+}

@@ -1,0 +1,68 @@
+// Package units centralises the size and time units used by the simulator:
+// byte sizes, core clock frequency, and conversions between cycle counts and
+// wall-clock time or bandwidth figures.
+//
+// The simulator's native time unit is the integer core cycle; everything the
+// outside world sees (seconds, GB/s) is derived through a Clock.
+package units
+
+import "fmt"
+
+// Byte size constants.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// Cycles is a duration expressed in core clock cycles.
+type Cycles int64
+
+// Clock converts between cycles and seconds for a core frequency.
+type Clock struct {
+	// HzPerSecond is the number of cycles per second (e.g. 2.6e9).
+	HzPerSecond float64
+}
+
+// NewClock returns a Clock for a frequency given in GHz.
+func NewClock(gigahertz float64) Clock {
+	return Clock{HzPerSecond: gigahertz * 1e9}
+}
+
+// Seconds converts a cycle count to seconds.
+func (c Clock) Seconds(cy Cycles) float64 {
+	return float64(cy) / c.HzPerSecond
+}
+
+// Cycles converts a duration in seconds to (truncated) cycles.
+func (c Clock) Cycles(seconds float64) Cycles {
+	return Cycles(seconds * c.HzPerSecond)
+}
+
+// BandwidthGBs converts (bytes transferred, elapsed cycles) into GB/s.
+// It returns 0 for a zero elapsed time.
+func (c Clock) BandwidthGBs(bytes int64, elapsed Cycles) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / c.Seconds(elapsed) / 1e9
+}
+
+// BytesPerCycle returns the per-cycle byte rate equivalent to a GB/s figure.
+func (c Clock) BytesPerCycle(gbs float64) float64 {
+	return gbs * 1e9 / c.HzPerSecond
+}
+
+// FormatBytes renders a byte count with a binary-unit suffix, e.g. "20.0MB".
+func FormatBytes(n int64) string {
+	switch {
+	case n >= GB:
+		return fmt.Sprintf("%.1fGB", float64(n)/float64(GB))
+	case n >= MB:
+		return fmt.Sprintf("%.1fMB", float64(n)/float64(MB))
+	case n >= KB:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(KB))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

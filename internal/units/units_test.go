@@ -1,0 +1,68 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockRoundTrip(t *testing.T) {
+	c := NewClock(2.6)
+	f := func(raw uint32) bool {
+		cy := Cycles(raw)
+		back := c.Cycles(c.Seconds(cy))
+		// Truncation may lose at most one cycle.
+		return back == cy || back == cy-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	c := NewClock(2.6)
+	got := c.Seconds(2_600_000_000)
+	if math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("2.6e9 cycles at 2.6GHz = %v s, want 1", got)
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	c := NewClock(2.6)
+	// 16.64 GB/s: 64 bytes every 10 cycles.
+	got := c.BandwidthGBs(64, 10)
+	want := 64.0 / 10 * 2.6 // bytes/cycle * GHz = GB/s
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("bandwidth = %v, want %v", got, want)
+	}
+	if c.BandwidthGBs(100, 0) != 0 {
+		t.Fatal("zero elapsed should give zero bandwidth")
+	}
+}
+
+func TestBytesPerCycleInverse(t *testing.T) {
+	c := NewClock(2.6)
+	bpc := c.BytesPerCycle(16.64)
+	back := c.BandwidthGBs(int64(bpc*1e6), Cycles(1e6))
+	if math.Abs(back-16.64) > 0.01 {
+		t.Fatalf("round trip bandwidth = %v, want 16.64", back)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{KB, "1.0KB"},
+		{520 * KB, "520.0KB"},
+		{20 * MB, "20.0MB"},
+		{3 * GB / 2, "1.5GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

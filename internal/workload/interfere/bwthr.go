@@ -1,0 +1,224 @@
+// Package interfere implements the paper's two interference thread designs:
+//
+//   - BWThr (Fig. 2): streams over many buffers with a large-prime stride so
+//     that essentially every access misses the entire cache hierarchy,
+//     consuming a calibrated slice of memory bandwidth while pinning almost
+//     no useful L3 capacity (its lines are never re-touched before eviction).
+//   - CSThr (Fig. 3): random read-modify-writes over a fixed buffer sized
+//     above the private caches, so every operation hits the shared L3 and
+//     LRU keeps the buffer resident — pinning a predictable fraction of L3
+//     capacity while consuming almost no memory bandwidth.
+//
+// Both are engine daemons: they run on spare cores for as long as the
+// application under measurement is active.
+package interfere
+
+import (
+	"fmt"
+
+	"activemem/internal/engine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// BWConfig parameterises a bandwidth interference thread.
+type BWConfig struct {
+	// NumBufs is the number of concurrently strided buffers; the paper
+	// found 44 sufficient to saturate per-core memory parallelism.
+	NumBufs int
+	// BufBytes is the size of each buffer (the paper uses 520 KB).
+	BufBytes int64
+	// ElemSize is the element width (8 for the paper's long long).
+	ElemSize int64
+	// StridePrime is the large prime multiplying the iteration counter; it
+	// must be coprime with the buffer's element count so every slot is
+	// visited once per period.
+	StridePrime int64
+	// IssueGap is the per-access issue overhead in cycles, modelling the
+	// paper's non-inlinable identity() call plus index arithmetic. It is
+	// the calibration constant that sets per-thread bandwidth (§III-A
+	// measures 2.8 GB/s per BWThr on Xeon20MB).
+	IssueGap units.Cycles
+}
+
+// DefaultBWConfig returns the paper's BWThr parameters scaled to a machine
+// whose shared cache holds l3Bytes: on the full 20 MB Xeon20MB this is 44
+// buffers of 520 KB; on a Scaled(f) machine buffers shrink by f so the
+// total footprint keeps the same ratio to the L3. The stride is chosen by
+// StrideFor so that BWThr misses the whole hierarchy on essentially every
+// access, the property the paper's large prime provides.
+func DefaultBWConfig(l3Bytes int64) BWConfig {
+	scale := (20 * units.MB) / l3Bytes
+	if scale < 1 {
+		scale = 1
+	}
+	bufBytes := 520 * units.KB / scale
+	if scale > 1 {
+		// At reduced geometries the modular line-touch gaps get coarser
+		// (they cannot exceed elems/elemsPerLine), so the paper's 1.14×
+		// footprint-to-L3 ratio leaves no margin; widen the buffers to
+		// restore the guaranteed all-miss property.
+		bufBytes = bufBytes * 3 / 2
+	}
+	return BWConfig{
+		NumBufs:     44,
+		BufBytes:    bufBytes,
+		ElemSize:    8,
+		StridePrime: StrideFor(bufBytes / 8),
+		IssueGap:    55,
+	}
+}
+
+// StrideFor picks a stride p, coprime with elems, that maximises the
+// minimum spacing between touches of any single cache line. Element j of
+// the buffer is touched at iteration j·q mod elems (q = p⁻¹), so the
+// touches of one line's elemsPerLine elements occur at iterations
+// {δ·q mod elems : δ = 0..7}; the smallest circular gap of that set is the
+// line's reuse distance in iterations. Maximising it guarantees the thread
+// streams far more data than any cache holds before a line is re-touched,
+// pinning the miss rate at ~100% across machine scales. (The paper's large
+// prime serves the same purpose; primality is incidental — coprimality and
+// the reuse-spacing property are what matter.)
+func StrideFor(elems int64) int64 {
+	return tuneStride(elems, 8)
+}
+
+// tuneStride scans coprime candidates and returns the one with the largest
+// minimum line-touch gap. The theoretical optimum is elems/elemsPerLine
+// (pigeonhole); the scan stops early once it is within ~6% of it.
+func tuneStride(elems, elemsPerLine int64) int64 {
+	if elems <= 2*elemsPerLine {
+		return 1
+	}
+	target := elems * 118 / (elemsPerLine * 125) // ≈ 0.94 * elems/epl
+	best, bestGap := int64(1), int64(0)
+	var touches [16]int64
+	n := int(elemsPerLine)
+	for p := elems*37/100 + 1; p > elems/20; p-- {
+		if gcd(p, elems) != 1 {
+			continue
+		}
+		q := modInverse(p, elems)
+		for d := 0; d < n; d++ {
+			touches[d] = int64(d) * q % elems
+		}
+		sortSmall(touches[:n])
+		gap := elems - touches[n-1] + touches[0] // wraparound gap
+		for d := 1; d < n; d++ {
+			if g := touches[d] - touches[d-1]; g < gap {
+				gap = g
+			}
+		}
+		if gap > bestGap {
+			best, bestGap = p, gap
+			if bestGap >= target {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// sortSmall insertion-sorts a tiny slice (at most 16 entries).
+func sortSmall(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// modInverse returns a^-1 mod n for gcd(a, n) == 1, via extended Euclid.
+func modInverse(a, n int64) int64 {
+	t, newT := int64(0), int64(1)
+	r, newR := n, a
+	for newR != 0 {
+		quot := r / newR
+		t, newT = newT, t-quot*newT
+		r, newR = newR, r-quot*newR
+	}
+	if t < 0 {
+		t += n
+	}
+	return t
+}
+
+// Validate checks the configuration.
+func (c BWConfig) Validate() error {
+	if c.NumBufs <= 0 || c.BufBytes <= 0 || c.ElemSize <= 0 {
+		return fmt.Errorf("interfere: BWThr: non-positive geometry")
+	}
+	if c.BufBytes%c.ElemSize != 0 {
+		return fmt.Errorf("interfere: BWThr: buffer not a whole number of elements")
+	}
+	elems := c.BufBytes / c.ElemSize
+	if c.StridePrime <= 0 || gcd(c.StridePrime, elems) != 1 {
+		return fmt.Errorf("interfere: BWThr: stride %d not coprime with %d elements",
+			c.StridePrime, elems)
+	}
+	if c.IssueGap <= 0 {
+		return fmt.Errorf("interfere: BWThr: non-positive issue gap")
+	}
+	return nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// BWThr is the bandwidth interference workload. One Step performs one
+// iteration of the paper's main loop: a strided access to each buffer,
+// issued with MSHR-limited overlap. Work units count individual accesses.
+type BWThr struct {
+	cfg   BWConfig
+	bases []mem.Addr
+	elems int64
+	iter  int64
+	addrs []mem.Addr
+}
+
+// NewBWThr allocates the thread's buffers from alloc and returns the
+// workload. It panics on an invalid configuration.
+func NewBWThr(cfg BWConfig, alloc *mem.Alloc) *BWThr {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w := &BWThr{
+		cfg:   cfg,
+		elems: cfg.BufBytes / cfg.ElemSize,
+		bases: make([]mem.Addr, cfg.NumBufs),
+		addrs: make([]mem.Addr, cfg.NumBufs),
+	}
+	for i := range w.bases {
+		w.bases[i] = alloc.Alloc(cfg.BufBytes)
+	}
+	return w
+}
+
+// Name implements engine.Workload.
+func (w *BWThr) Name() string { return "BWThr" }
+
+// Config returns the thread's parameters.
+func (w *BWThr) Config() BWConfig { return w.cfg }
+
+// FootprintBytes returns the total buffer footprint.
+func (w *BWThr) FootprintBytes() int64 {
+	return int64(w.cfg.NumBufs) * w.cfg.BufBytes
+}
+
+// Step implements engine.Workload: one pass touching every buffer at the
+// current strided index.
+func (w *BWThr) Step(ctx *engine.Ctx) bool {
+	idx := (w.iter * w.cfg.StridePrime) % w.elems
+	off := mem.Addr(idx * w.cfg.ElemSize)
+	for k, base := range w.bases {
+		w.addrs[k] = base + off
+	}
+	ctx.LoadOverlapped(w.addrs, w.cfg.IssueGap)
+	ctx.WorkUnit(int64(len(w.addrs)))
+	w.iter++
+	return true
+}

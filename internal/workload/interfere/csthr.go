@@ -1,0 +1,105 @@
+package interfere
+
+import (
+	"fmt"
+
+	"activemem/internal/engine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// CSConfig parameterises a cache storage interference thread.
+type CSConfig struct {
+	// BufBytes is the pinned buffer size (the paper uses 4 MB per thread on
+	// the 20 MB L3).
+	BufBytes int64
+	// ElemSize is the element width (4 for the paper's int).
+	ElemSize int64
+	// ComputeCycles models the arithmetic between the read and the write of
+	// the buf[i]++ operation.
+	ComputeCycles units.Cycles
+	// BatchSize is how many read-modify-write operations one engine step
+	// performs; it only affects simulation granularity, not behaviour.
+	BatchSize int
+}
+
+// DefaultCSConfig returns the paper's CSThr parameters scaled to a machine
+// whose shared cache holds l3Bytes: 4 MB on the full Xeon20MB (one fifth of
+// the L3), scaled proportionally on smaller machines.
+func DefaultCSConfig(l3Bytes int64) CSConfig {
+	scale := (20 * units.MB) / l3Bytes
+	if scale < 1 {
+		scale = 1
+	}
+	return CSConfig{
+		BufBytes:      4 * units.MB / scale,
+		ElemSize:      4,
+		ComputeCycles: 1,
+		BatchSize:     16,
+	}
+}
+
+// Validate checks the configuration.
+func (c CSConfig) Validate() error {
+	if c.BufBytes <= 0 || c.ElemSize <= 0 || c.BatchSize <= 0 {
+		return fmt.Errorf("interfere: CSThr: non-positive geometry")
+	}
+	if c.BufBytes%c.ElemSize != 0 {
+		return fmt.Errorf("interfere: CSThr: buffer not a whole number of elements")
+	}
+	if c.ComputeCycles < 0 {
+		return fmt.Errorf("interfere: CSThr: negative compute")
+	}
+	return nil
+}
+
+// CSThr is the cache storage interference workload: an endless loop of
+// buf[random]++ over its buffer. Work units count read-modify-write triples
+// (the metric of the paper's Fig. 8).
+type CSThr struct {
+	cfg   CSConfig
+	base  mem.Addr
+	elems int64
+}
+
+// NewCSThr allocates the thread's buffer from alloc and returns the
+// workload. It panics on an invalid configuration.
+func NewCSThr(cfg CSConfig, alloc *mem.Alloc) *CSThr {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &CSThr{
+		cfg:   cfg,
+		base:  alloc.Alloc(cfg.BufBytes),
+		elems: cfg.BufBytes / cfg.ElemSize,
+	}
+}
+
+// Name implements engine.Workload.
+func (w *CSThr) Name() string { return "CSThr" }
+
+// Config returns the thread's parameters.
+func (w *CSThr) Config() CSConfig { return w.cfg }
+
+// BufferRange returns the cache-line interval [lo, hi) covered by the
+// thread's buffer, for occupancy accounting against a line size.
+func (w *CSThr) BufferRange(lineSize int64) (lo, hi mem.Line) {
+	lo = mem.LineOf(w.base, lineSize)
+	hi = mem.LineOf(w.base+mem.Addr(w.cfg.BufBytes-1), lineSize) + 1
+	return lo, hi
+}
+
+// Step implements engine.Workload: BatchSize random read-increment-write
+// operations.
+func (w *CSThr) Step(ctx *engine.Ctx) bool {
+	r := ctx.Rand()
+	for b := 0; b < w.cfg.BatchSize; b++ {
+		idx := int64(r.Intn(int(w.elems)))
+		addr := w.base + mem.Addr(idx*w.cfg.ElemSize)
+		ctx.Load(addr)
+		ctx.Compute(w.cfg.ComputeCycles)
+		ctx.Store(addr)
+	}
+	ctx.WorkUnit(int64(w.cfg.BatchSize))
+	return true
+}

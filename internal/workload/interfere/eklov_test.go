@@ -1,0 +1,93 @@
+package interfere
+
+import (
+	"testing"
+
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+func TestPirateConfigValidation(t *testing.T) {
+	if err := DefaultPirateConfig(20 * units.MB).Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []PirateConfig{
+		{BufBytes: 0, ElemSize: 4, BatchSize: 1},
+		{BufBytes: 10, ElemSize: 4, BatchSize: 1},
+		{BufBytes: 64, ElemSize: 4, BatchSize: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBanditConfigValidation(t *testing.T) {
+	if err := DefaultBanditConfig(20 * units.MB).Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := []BanditConfig{
+		{Chains: 0, BufBytes: 1 << 20, StrideLines: 17},
+		{Chains: 4, BufBytes: 32, StrideLines: 17},
+		{Chains: 4, BufBytes: 1 << 20, StrideLines: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// The Pirate holds its working set like CSThr does — the baselines agree on
+// the basic mechanism...
+func TestPirateHoldsWorkingSet(t *testing.T) {
+	spec := machine.Scaled(8)
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	alloc := mem.NewAlloc(64)
+	p := NewPirate(DefaultPirateConfig(spec.L3.Size), alloc)
+	e.PlaceDaemon(0, p, 2)
+	e.RunUntil(10_000_000)
+	lo, hi := p.BufferRange(64)
+	held := h.L3.CountLinesIn(lo, hi)
+	if held < int64(hi-lo)*9/10 {
+		t.Fatalf("pirate holds %d/%d lines", held, int64(hi-lo))
+	}
+}
+
+// ...but the Bandit consumes bandwidth with an unvalidated capacity side
+// effect: its working set competes for the L3, which is exactly the paper's
+// §V criticism (CSThr/BWThr validate orthogonality; the bandit does not).
+func TestBanditStealsBandwidthWithCapacityBleed(t *testing.T) {
+	spec := machine.Scaled(8)
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	alloc := mem.NewAlloc(64)
+	bd := NewBandit(DefaultBanditConfig(spec.L3.Size), alloc)
+	e.PlaceDaemon(0, bd, 2)
+	e.RunUntil(2_000_000)
+	h.ResetStats()
+	e.RunUntil(8_000_000)
+	gbs := spec.Clock.BandwidthGBs(h.PerCore[0].BusBytes, 6_000_000)
+	if gbs < 1.0 {
+		t.Fatalf("bandit consumed only %.2f GB/s", gbs)
+	}
+	// The bandit's own footprint occupies a visible chunk of the L3.
+	occ := h.L3.Occupancy()
+	if occ < (spec.L3.Size/64)/10 {
+		t.Fatalf("bandit occupies only %d L3 lines", occ)
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	alloc := mem.NewAlloc(64)
+	if NewPirate(DefaultPirateConfig(20*units.MB), alloc).Name() != "CachePirate" {
+		t.Error("pirate name")
+	}
+	if NewBandit(DefaultBanditConfig(20*units.MB), alloc).Name() != "BandwidthBandit" {
+		t.Error("bandit name")
+	}
+}

@@ -1,0 +1,246 @@
+package interfere
+
+import (
+	"testing"
+
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// measure runs daemons on a fresh Xeon20MB socket for warmup cycles, resets
+// statistics, runs a window, and returns the hierarchy plus window length.
+func measure(t *testing.T, spec machine.Spec, place func(e *engine.Engine, alloc *mem.Alloc),
+	warmup, window units.Cycles) *mem.Hierarchy {
+	t.Helper()
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	alloc := mem.NewAlloc(spec.LineSize())
+	place(e, alloc)
+	e.RunUntil(warmup)
+	h.ResetStats()
+	e.RunUntil(warmup + window)
+	return h
+}
+
+func TestBWConfigValidation(t *testing.T) {
+	good := DefaultBWConfig(20 * units.MB)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []BWConfig{
+		{NumBufs: 0, BufBytes: 1024, ElemSize: 8, StridePrime: 7, IssueGap: 1},
+		{NumBufs: 1, BufBytes: 1023, ElemSize: 8, StridePrime: 7, IssueGap: 1},
+		{NumBufs: 1, BufBytes: 1024, ElemSize: 8, StridePrime: 4, IssueGap: 1}, // shares factor 4 with 128
+		{NumBufs: 1, BufBytes: 1024, ElemSize: 8, StridePrime: 7, IssueGap: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCSConfigValidation(t *testing.T) {
+	if err := DefaultCSConfig(20 * units.MB).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []CSConfig{
+		{BufBytes: 0, ElemSize: 4, BatchSize: 1},
+		{BufBytes: 10, ElemSize: 4, BatchSize: 1},
+		{BufBytes: 16, ElemSize: 4, BatchSize: 0},
+		{BufBytes: 16, ElemSize: 4, BatchSize: 1, ComputeCycles: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigsScale(t *testing.T) {
+	full := DefaultBWConfig(20 * units.MB)
+	eighth := DefaultBWConfig(20 * units.MB / 8)
+	if full.BufBytes != 520*units.KB {
+		t.Errorf("full-scale BWThr buffer = %d", full.BufBytes)
+	}
+	// Scaled buffers are 1/8 of the paper's 520 KB plus the 1.5x margin
+	// widening documented in DefaultBWConfig.
+	if eighth.BufBytes != 65*units.KB*3/2 {
+		t.Errorf("1/8-scale BWThr buffer = %d, want %d", eighth.BufBytes, 65*units.KB*3/2)
+	}
+	if DefaultCSConfig(20*units.MB).BufBytes != 4*units.MB {
+		t.Error("full-scale CSThr buffer should be 4MB")
+	}
+	if DefaultCSConfig(20*units.MB/8).BufBytes != 512*units.KB {
+		t.Error("1/8-scale CSThr buffer should be 512KB")
+	}
+}
+
+// §III-A: a single BWThr on Xeon20MB consumes ≈2.8 GB/s. The simulator is
+// calibrated via BWConfig.IssueGap; this test pins the band.
+func TestBWThrSingleThreadBandwidth(t *testing.T) {
+	spec := machine.Xeon20MB()
+	const warmup, window = 2_000_000, 6_000_000
+	h := measure(t, spec, func(e *engine.Engine, alloc *mem.Alloc) {
+		e.PlaceDaemon(1, NewBWThr(DefaultBWConfig(spec.L3.Size), alloc), 9)
+	}, warmup, window)
+	bw := spec.Clock.BandwidthGBs(h.PerCore[1].BusBytes, window)
+	if bw < 2.3 || bw > 3.4 {
+		t.Fatalf("single BWThr bandwidth = %.2f GB/s, want 2.3-3.4 (paper: 2.8)", bw)
+	}
+	// The design requires BWThr to miss essentially always in L3.
+	if mr := h.PerCore[1].L3MissRate(); mr < 0.95 {
+		t.Fatalf("BWThr L3 miss rate = %.3f, want ~1", mr)
+	}
+}
+
+// §III-A: seven BWThrs consume approximately 100% of the 17 GB/s.
+func TestBWThrSevenThreadsSaturate(t *testing.T) {
+	spec := machine.Xeon20MB()
+	const warmup, window = 2_000_000, 6_000_000
+	h := measure(t, spec, func(e *engine.Engine, alloc *mem.Alloc) {
+		for i := 0; i < 7; i++ {
+			e.PlaceDaemon(1+i, NewBWThr(DefaultBWConfig(spec.L3.Size), alloc), uint64(9+i))
+		}
+	}, warmup, window)
+	util := mem.Utilization(h.Bus.Stats, window)
+	if util < 0.90 {
+		t.Fatalf("7 BWThrs bus utilization = %.2f, want >= 0.90", util)
+	}
+}
+
+// BWThr's working set (44 × 520 KB ≈ 22.9 MB) deliberately exceeds the L3.
+func TestBWThrFootprintExceedsL3(t *testing.T) {
+	spec := machine.Xeon20MB()
+	w := NewBWThr(DefaultBWConfig(spec.L3.Size), mem.NewAlloc(64))
+	if w.FootprintBytes() <= spec.L3.Size {
+		t.Fatalf("BWThr footprint %d must exceed L3 %d", w.FootprintBytes(), spec.L3.Size)
+	}
+}
+
+// §III-B: a lone CSThr pins its whole buffer in the L3 and uses almost no
+// memory bandwidth (Fig. 8's left panel at zero BWThrs).
+func TestCSThrPinsBufferUsingNoBandwidth(t *testing.T) {
+	spec := machine.Xeon20MB()
+	// Warmup must cover the coupon-collector bound: touching all 65536
+	// lines of the 4MB buffer needs ~N ln N ≈ 727k random accesses.
+	const warmup, window = 45_000_000, 5_000_000
+	var cs *CSThr
+	h := measure(t, spec, func(e *engine.Engine, alloc *mem.Alloc) {
+		cs = NewCSThr(DefaultCSConfig(spec.L3.Size), alloc)
+		e.PlaceDaemon(1, cs, 9)
+	}, warmup, window)
+	lo, hi := cs.BufferRange(64)
+	held := h.L3.CountLinesIn(lo, hi)
+	total := int64(hi - lo)
+	if held < total*95/100 {
+		t.Fatalf("CSThr holds %d/%d lines, want >= 95%%", held, total)
+	}
+	bw := spec.Clock.BandwidthGBs(h.PerCore[1].BusBytes, window)
+	if bw > 0.3 {
+		t.Fatalf("CSThr bandwidth = %.3f GB/s, want ~0", bw)
+	}
+	// Steady state: CSThr misses the L3 almost never.
+	if mr := h.PerCore[1].L3MissRate(); mr > 0.02 {
+		t.Fatalf("CSThr L3 miss rate = %.4f, want ~0", mr)
+	}
+}
+
+// Multiple CSThrs each pin their own buffer (they use disjoint address
+// ranges), stacking their capacity theft as the paper's §III-C3 calibration
+// assumes.
+func TestCSThrsStackOccupancy(t *testing.T) {
+	// Run on the 1/8-scale machine so the coupon-collector warmup stays
+	// cheap; occupancy stacking is scale-free.
+	spec := machine.Scaled(8)
+	const warmup, window = 10_000_000, 2_000_000
+	var threads []*CSThr
+	h := measure(t, spec, func(e *engine.Engine, alloc *mem.Alloc) {
+		for i := 0; i < 3; i++ {
+			cs := NewCSThr(DefaultCSConfig(spec.L3.Size), alloc)
+			threads = append(threads, cs)
+			e.PlaceDaemon(1+i, cs, uint64(9+i))
+		}
+	}, warmup, window)
+	var held int64
+	for _, cs := range threads {
+		lo, hi := cs.BufferRange(64)
+		held += h.L3.CountLinesIn(lo, hi)
+	}
+	want := int64(3) * (512 * units.KB / 64)
+	if held < want*90/100 {
+		t.Fatalf("3 CSThrs hold %d lines, want >= 90%% of %d", held, want)
+	}
+}
+
+func TestBWThrDeterminism(t *testing.T) {
+	spec := machine.Scaled(8)
+	run := func() int64 {
+		h := spec.NewSocket(5)
+		e := engine.New(h, spec.MSHRs)
+		alloc := mem.NewAlloc(64)
+		e.PlaceDaemon(0, NewBWThr(DefaultBWConfig(spec.L3.Size), alloc), 3)
+		e.PlaceDaemon(1, NewCSThr(DefaultCSConfig(spec.L3.Size), alloc), 4)
+		e.RunUntil(500_000)
+		return h.Bus.Stats.Bytes
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic bus bytes: %d vs %d", a, b)
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	alloc := mem.NewAlloc(64)
+	if NewBWThr(DefaultBWConfig(20*units.MB), alloc).Name() != "BWThr" {
+		t.Error("BWThr name")
+	}
+	if NewCSThr(DefaultCSConfig(20*units.MB), alloc).Name() != "CSThr" {
+		t.Error("CSThr name")
+	}
+}
+
+func TestBWThrVisitsAllSlots(t *testing.T) {
+	// The stride must visit every element of a buffer exactly once per
+	// period (coprimality), or the bandwidth pattern would degenerate.
+	for _, elems := range []int64{512, 8320, 66560} {
+		stride := StrideFor(elems)
+		seen := make(map[int64]bool, elems)
+		for i := int64(0); i < elems; i++ {
+			seen[(i*stride)%elems] = true
+		}
+		if int64(len(seen)) != elems {
+			t.Fatalf("elems=%d: stride %d visits only %d slots", elems, stride, len(seen))
+		}
+	}
+}
+
+func TestStrideForMaximisesLineReuseGap(t *testing.T) {
+	// The touches of one cache line's 8 elements occur at iterations
+	// {δ·q mod n}; the smallest circular gap of that set is the line's
+	// reuse distance. StrideFor must push it near the pigeonhole optimum
+	// n/8 — that is what makes BWThr miss everywhere.
+	for _, elems := range []int64{6240, 8320, 12480, 16640, 49920, 66560} {
+		p := StrideFor(elems)
+		q := modInverse(p, elems)
+		if (p*q)%elems != 1 {
+			t.Fatalf("elems=%d: %d is not the inverse of %d", elems, q, p)
+		}
+		touches := make([]int64, 8)
+		for d := range touches {
+			touches[d] = int64(d) * q % elems
+		}
+		sortSmall(touches)
+		gap := elems - touches[7] + touches[0]
+		for d := 1; d < 8; d++ {
+			if g := touches[d] - touches[d-1]; g < gap {
+				gap = g
+			}
+		}
+		// Require at least 70% of the theoretical optimum n/8.
+		if gap*8*10 < elems*7 {
+			t.Fatalf("elems=%d: min line-touch gap %d below 70%% of n/8", elems, gap)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package pchase implements a pointer-chase workload: a random permutation
+// cycle over the lines of a buffer, each load depending on the previous one.
+// It measures pure access latency (no memory-level parallelism) and is used
+// by the extension benches to show how interference affects latency-bound
+// rather than bandwidth-bound code — the other axis of the paper's
+// resource space.
+package pchase
+
+import (
+	"fmt"
+
+	"activemem/internal/engine"
+	"activemem/internal/mem"
+	"activemem/internal/xrand"
+)
+
+// Config parameterises the chase.
+type Config struct {
+	// BufBytes is the buffer the chase cycles through.
+	BufBytes int64
+	// LineSize is the machine's cache line size; the permutation has one
+	// node per line so every hop touches a new line.
+	LineSize int64
+	// Hops is the quota of dependent loads before completion; 0 runs
+	// forever.
+	Hops int64
+	// Seed shuffles the permutation.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BufBytes <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("pchase: non-positive geometry")
+	}
+	if c.BufBytes < c.LineSize {
+		return fmt.Errorf("pchase: buffer smaller than one line")
+	}
+	if c.Hops < 0 {
+		return fmt.Errorf("pchase: negative hop quota")
+	}
+	return nil
+}
+
+// Chase is the workload. Work units count hops.
+type Chase struct {
+	cfg  Config
+	base mem.Addr
+	next []int32 // permutation: next[i] is the line index after i
+	cur  int32
+}
+
+// New allocates the buffer, builds a random single-cycle permutation over
+// its lines (a "sattolo cycle", guaranteeing one cycle through all lines),
+// and returns the workload.
+func New(cfg Config, alloc *mem.Alloc) *Chase {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.BufBytes / cfg.LineSize
+	perm := make([]int32, lines)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	r := xrand.New(cfg.Seed)
+	// Sattolo's algorithm: a uniformly random cyclic permutation.
+	for i := len(perm) - 1; i > 0; i-- {
+		j := r.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return &Chase{cfg: cfg, base: alloc.Alloc(cfg.BufBytes), next: perm}
+}
+
+// Name implements engine.Workload.
+func (c *Chase) Name() string { return "pchase" }
+
+// Step implements engine.Workload: one dependent load.
+func (c *Chase) Step(ctx *engine.Ctx) bool {
+	ctx.Load(c.base + mem.Addr(int64(c.cur)*c.cfg.LineSize))
+	c.cur = c.next[c.cur]
+	ctx.WorkUnit(1)
+	return c.cfg.Hops == 0 || ctx.Work() < c.cfg.Hops
+}

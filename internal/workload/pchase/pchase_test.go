@@ -1,0 +1,101 @@
+package pchase
+
+import (
+	"testing"
+
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if (Config{BufBytes: 1 << 16, LineSize: 64}).Validate() != nil {
+		t.Error("valid config rejected")
+	}
+	bad := []Config{
+		{BufBytes: 0, LineSize: 64},
+		{BufBytes: 32, LineSize: 64},
+		{BufBytes: 1 << 16, LineSize: 0},
+		{BufBytes: 1 << 16, LineSize: 64, Hops: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPermutationIsSingleCycle(t *testing.T) {
+	c := New(Config{BufBytes: 1 << 14, LineSize: 64, Seed: 5}, mem.NewAlloc(64))
+	lines := len(c.next)
+	seen := make([]bool, lines)
+	cur := int32(0)
+	for i := 0; i < lines; i++ {
+		if seen[cur] {
+			t.Fatalf("permutation revisits line %d after %d hops (cycle too short)", cur, i)
+		}
+		seen[cur] = true
+		cur = c.next[cur]
+	}
+	if cur != 0 {
+		t.Fatal("permutation did not return to start after visiting every line")
+	}
+}
+
+// Average hop latency must track the level the buffer fits in: a tiny
+// buffer chases within L1/L2; a buffer far beyond the L3 pays memory
+// latency on every hop.
+func TestLatencyTracksBufferSize(t *testing.T) {
+	spec := machine.Scaled(8)
+	avgHop := func(bufBytes int64) float64 {
+		h := spec.NewSocket(1)
+		e := engine.New(h, spec.MSHRs)
+		ch := New(Config{BufBytes: bufBytes, LineSize: 64, Seed: 5}, mem.NewAlloc(64))
+		e.PlaceDaemon(0, ch, 3)
+		warm := units.Cycles(5_000_000)
+		e.RunUntil(warm)
+		start := e.Ctx(0).Work()
+		h.ResetStats()
+		e.RunUntil(warm + 3_000_000)
+		hops := e.Ctx(0).Work() - start
+		if hops == 0 {
+			return 0
+		}
+		return 3_000_000 / float64(hops)
+	}
+	small := avgHop(2 << 10)  // fits L1 (4KB at 1/8 scale)
+	mid := avgHop(1 << 20)    // fits L3 (2.5MB), exceeds L2 (32KB)
+	large := avgHop(20 << 20) // 8x the L3
+	if !(small < mid && mid < large) {
+		t.Fatalf("latencies not ordered: L1=%.1f L3=%.1f mem=%.1f", small, mid, large)
+	}
+	if small > 10 {
+		t.Errorf("L1-resident chase = %.1f cycles/hop, want ~4", small)
+	}
+	if mid < 30 || mid > 80 {
+		t.Errorf("L3-resident chase = %.1f cycles/hop, want ~36-50", mid)
+	}
+	if large < 180 {
+		t.Errorf("memory chase = %.1f cycles/hop, want >= 200", large)
+	}
+}
+
+func TestHopQuota(t *testing.T) {
+	spec := machine.Scaled(8)
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	ch := New(Config{BufBytes: 1 << 16, LineSize: 64, Hops: 777, Seed: 1}, mem.NewAlloc(64))
+	e.Place(0, ch, 3)
+	e.RunToCompletion()
+	if got := e.Ctx(0).Work(); got != 777 {
+		t.Fatalf("hops = %d, want 777", got)
+	}
+}
+
+func TestChaseName(t *testing.T) {
+	ch := New(Config{BufBytes: 1 << 12, LineSize: 64}, mem.NewAlloc(64))
+	if ch.Name() != "pchase" {
+		t.Fatalf("name = %q", ch.Name())
+	}
+}

@@ -1,0 +1,98 @@
+// Package stream implements a STREAM-triad-like workload
+// (a[i] = b[i] + s*c[i]) used, as in the paper (§III-A), to calibrate the
+// peak sustainable memory bandwidth of a machine: the paper quotes 17 GB/s
+// for Xeon20MB and expresses BWThr consumption as a fraction of it.
+package stream
+
+import (
+	"fmt"
+
+	"activemem/internal/engine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// Config parameterises the triad.
+type Config struct {
+	// ArrayBytes is the size of each of the three arrays; it should be
+	// several times the L3 so the kernel streams from memory.
+	ArrayBytes int64
+	// ElemSize is the element width (8 for doubles).
+	ElemSize int64
+	// BatchElems is how many elements one engine step processes.
+	BatchElems int
+	// Passes is the number of full passes over the arrays before the
+	// workload completes; 0 means run forever.
+	Passes int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ArrayBytes <= 0 || c.ElemSize <= 0 || c.BatchElems <= 0 {
+		return fmt.Errorf("stream: non-positive geometry")
+	}
+	if c.ArrayBytes%c.ElemSize != 0 {
+		return fmt.Errorf("stream: array not a whole number of elements")
+	}
+	if c.Passes < 0 {
+		return fmt.Errorf("stream: negative pass count")
+	}
+	return nil
+}
+
+// Triad is the workload. Work units count processed elements.
+type Triad struct {
+	cfg     Config
+	a, b, c mem.Addr
+	elems   int64
+	pos     int64
+	pass    int
+	addrs   []mem.Addr
+}
+
+// New allocates the three arrays from alloc and returns the workload.
+func New(cfg Config, alloc *mem.Alloc) *Triad {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Triad{
+		cfg:   cfg,
+		a:     alloc.Alloc(cfg.ArrayBytes),
+		b:     alloc.Alloc(cfg.ArrayBytes),
+		c:     alloc.Alloc(cfg.ArrayBytes),
+		elems: cfg.ArrayBytes / cfg.ElemSize,
+		addrs: make([]mem.Addr, 0, 2*cfg.BatchElems),
+	}
+}
+
+// Name implements engine.Workload.
+func (t *Triad) Name() string { return "stream-triad" }
+
+// Step implements engine.Workload: load a batch of b and c elements with
+// full overlap, then store the a elements.
+func (t *Triad) Step(ctx *engine.Ctx) bool {
+	n := int64(t.cfg.BatchElems)
+	if n > t.elems-t.pos {
+		n = t.elems - t.pos
+	}
+	t.addrs = t.addrs[:0]
+	for i := int64(0); i < n; i++ {
+		off := mem.Addr((t.pos + i) * t.cfg.ElemSize)
+		t.addrs = append(t.addrs, t.b+off, t.c+off)
+	}
+	ctx.LoadOverlapped(t.addrs, 1)
+	for i := int64(0); i < n; i++ {
+		ctx.Store(t.a + mem.Addr((t.pos+i)*t.cfg.ElemSize))
+	}
+	ctx.Compute(units.Cycles(2 * n)) // multiply-add per element
+	ctx.WorkUnit(n)
+	t.pos += n
+	if t.pos >= t.elems {
+		t.pos = 0
+		t.pass++
+		if t.cfg.Passes > 0 && t.pass >= t.cfg.Passes {
+			return false
+		}
+	}
+	return true
+}

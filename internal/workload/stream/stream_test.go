@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"testing"
+
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if (Config{ArrayBytes: 1 << 20, ElemSize: 8, BatchElems: 16}).Validate() != nil {
+		t.Error("valid config rejected")
+	}
+	bad := []Config{
+		{ArrayBytes: 0, ElemSize: 8, BatchElems: 16},
+		{ArrayBytes: 100, ElemSize: 8, BatchElems: 16},
+		{ArrayBytes: 1 << 20, ElemSize: 8, BatchElems: 0},
+		{ArrayBytes: 1 << 20, ElemSize: 8, BatchElems: 16, Passes: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPassesComplete(t *testing.T) {
+	spec := machine.Scaled(8)
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	tr := New(Config{ArrayBytes: 1 << 16, ElemSize: 8, BatchElems: 16, Passes: 2}, mem.NewAlloc(64))
+	e.Place(0, tr, 3)
+	e.RunToCompletion()
+	wantElems := int64(2 * (1 << 16) / 8)
+	if got := e.Ctx(0).Work(); got != wantElems {
+		t.Fatalf("work = %d, want %d", got, wantElems)
+	}
+}
+
+// The triad is the machine's bandwidth calibrator. As in the real STREAM,
+// the quoted socket figure (the paper's ~17 GB/s) is an all-cores run: one
+// triad per core must saturate the bus, while a single core sustains only a
+// fraction (real Sandy Bridge single-thread STREAM is likewise ~1/3 of
+// socket peak).
+func TestTriadApproachesPeakBandwidth(t *testing.T) {
+	spec := machine.Xeon20MB()
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	alloc := mem.NewAlloc(64)
+	for core := 0; core < spec.CoresPerSocket; core++ {
+		tr := New(Config{ArrayBytes: 16 << 20, ElemSize: 8, BatchElems: 16}, alloc)
+		e.PlaceDaemon(core, tr, uint64(3+core))
+	}
+	const warmup, window = 1_000_000, 5_000_000
+	e.RunUntil(warmup)
+	h.ResetStats()
+	e.RunUntil(warmup + window)
+	gbs := spec.Clock.BandwidthGBs(h.Bus.Stats.Bytes, units.Cycles(window))
+	peak := spec.PeakBandwidthGBs()
+	if gbs < 0.90*peak {
+		t.Fatalf("all-cores triad bandwidth = %.2f GB/s, want >= 90%% of peak %.2f", gbs, peak)
+	}
+	if gbs > 1.02*peak {
+		t.Fatalf("triad bandwidth = %.2f GB/s exceeds peak %.2f", gbs, peak)
+	}
+}
+
+func TestSingleCoreTriadIsSubstantialFraction(t *testing.T) {
+	spec := machine.Xeon20MB()
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	tr := New(Config{ArrayBytes: 64 << 20, ElemSize: 8, BatchElems: 16}, mem.NewAlloc(64))
+	e.PlaceDaemon(0, tr, 3)
+	const warmup, window = 1_000_000, 5_000_000
+	e.RunUntil(warmup)
+	h.ResetStats()
+	e.RunUntil(warmup + window)
+	gbs := spec.Clock.BandwidthGBs(h.Bus.Stats.Bytes, units.Cycles(window))
+	if gbs < 3.5 || gbs > 12 {
+		t.Fatalf("single-core triad = %.2f GB/s, want 3.5-12 (SNB-like)", gbs)
+	}
+}
+
+func TestTriadName(t *testing.T) {
+	tr := New(Config{ArrayBytes: 1 << 16, ElemSize: 8, BatchElems: 8}, mem.NewAlloc(64))
+	if tr.Name() != "stream-triad" {
+		t.Fatalf("name = %q", tr.Name())
+	}
+}

@@ -1,0 +1,85 @@
+// Package synthetic implements the probabilistic memory access benchmark of
+// the paper's Fig. 4: an endless loop that samples a buffer index from a
+// probability distribution (Table II), loads it, and performs a configurable
+// number of integer additions. The paper uses 660 configurations of this
+// benchmark (10 distributions × 3 compute intensities × 22 buffer sizes) to
+// validate the EHR model and to calibrate CSThr's effective capacity theft.
+package synthetic
+
+import (
+	"fmt"
+
+	"activemem/internal/dist"
+	"activemem/internal/engine"
+	"activemem/internal/mem"
+	"activemem/internal/units"
+)
+
+// Config parameterises one synthetic benchmark instance.
+type Config struct {
+	// Dist is the index distribution; its N() is the buffer element count.
+	Dist dist.Dist
+	// ElemSize is the element width (4 for the paper's int).
+	ElemSize int64
+	// ComputePerLoad is the number of integer additions between loads
+	// (1, 10 or 100 in the paper), at one cycle each.
+	ComputePerLoad int
+	// Accesses is the work quota after which the workload reports
+	// completion; 0 means run forever (daemon mode).
+	Accesses int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Dist == nil {
+		return fmt.Errorf("synthetic: nil distribution")
+	}
+	if c.ElemSize <= 0 {
+		return fmt.Errorf("synthetic: non-positive element size")
+	}
+	if c.ComputePerLoad < 0 || c.Accesses < 0 {
+		return fmt.Errorf("synthetic: negative compute or quota")
+	}
+	return nil
+}
+
+// Bench is the Fig. 4 benchmark workload.
+type Bench struct {
+	cfg  Config
+	base mem.Addr
+}
+
+// New allocates the benchmark's buffer from alloc and returns the workload.
+// It panics on an invalid configuration.
+func New(cfg Config, alloc *mem.Alloc) *Bench {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bench{cfg: cfg, base: alloc.Alloc(cfg.Dist.N() * cfg.ElemSize)}
+}
+
+// Name implements engine.Workload.
+func (b *Bench) Name() string {
+	return fmt.Sprintf("synthetic(%s,c=%d)", b.cfg.Dist.Name(), b.cfg.ComputePerLoad)
+}
+
+// Config returns the benchmark's parameters.
+func (b *Bench) Config() Config { return b.cfg }
+
+// BufBytes returns the buffer footprint.
+func (b *Bench) BufBytes() int64 { return b.cfg.Dist.N() * b.cfg.ElemSize }
+
+// SumSquaredLineMass returns the Σ F(j)² term of the benchmark's
+// distribution at the given line size — the quantity the EHR model needs.
+func (b *Bench) SumSquaredLineMass(lineSize int64) float64 {
+	return dist.SumSquaredLineMass(b.cfg.Dist, lineSize/b.cfg.ElemSize)
+}
+
+// Step implements engine.Workload: sample, load, compute.
+func (b *Bench) Step(ctx *engine.Ctx) bool {
+	idx := b.cfg.Dist.Sample(ctx.Rand())
+	ctx.Load(b.base + mem.Addr(idx*b.cfg.ElemSize))
+	ctx.Compute(units.Cycles(b.cfg.ComputePerLoad))
+	ctx.WorkUnit(1)
+	return b.cfg.Accesses == 0 || ctx.Work() < b.cfg.Accesses
+}

@@ -1,0 +1,116 @@
+package synthetic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"activemem/internal/dist"
+	"activemem/internal/engine"
+	"activemem/internal/machine"
+	"activemem/internal/mem"
+	"activemem/internal/model"
+)
+
+func TestConfigValidation(t *testing.T) {
+	d := dist.NewUniform(1 << 16)
+	if (Config{Dist: d, ElemSize: 4}).Validate() != nil {
+		t.Error("valid config rejected")
+	}
+	bad := []Config{
+		{Dist: nil, ElemSize: 4},
+		{Dist: d, ElemSize: 0},
+		{Dist: d, ElemSize: 4, ComputePerLoad: -1},
+		{Dist: d, ElemSize: 4, Accesses: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestQuotaCompletion(t *testing.T) {
+	spec := machine.Scaled(8)
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	alloc := mem.NewAlloc(64)
+	b := New(Config{Dist: dist.NewUniform(1 << 12), ElemSize: 4, ComputePerLoad: 1, Accesses: 5000}, alloc)
+	e.Place(0, b, 3)
+	e.RunToCompletion()
+	if got := e.Ctx(0).Work(); got != 5000 {
+		t.Fatalf("work = %d, want 5000", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	b := New(Config{Dist: dist.NewNormal(1<<12, 4), ElemSize: 4, ComputePerLoad: 10},
+		mem.NewAlloc(64))
+	if !strings.Contains(b.Name(), "Norm 4") || !strings.Contains(b.Name(), "c=10") {
+		t.Fatalf("name = %q", b.Name())
+	}
+}
+
+func TestSumSquaredLineMassDelegates(t *testing.T) {
+	d := dist.NewUniform(1 << 14)
+	b := New(Config{Dist: d, ElemSize: 4, ComputePerLoad: 1}, mem.NewAlloc(64))
+	want := dist.SumSquaredLineMass(d, 16)
+	if got := b.SumSquaredLineMass(64); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Σf² = %v, want %v", got, want)
+	}
+	if b.BufBytes() != 4*(1<<14) {
+		t.Fatalf("BufBytes = %d", b.BufBytes())
+	}
+}
+
+// End-to-end sanity of the whole §III-C pipeline at small scale: run the
+// uniform benchmark with a buffer ~2x the L3 and compare the measured L3
+// miss rate against Eq. 4's prediction. The paper's Fig. 5 tolerates ~10%
+// absolute error (set-associativity bias); we allow the same.
+func TestMissRateMatchesEHRModel(t *testing.T) {
+	spec := machine.Scaled(8)  // 2.5 MB L3
+	bufBytes := int64(5 << 20) // 5 MB buffer, 2x the L3
+	d := dist.NewUniform(bufBytes / 4)
+	alloc := mem.NewAlloc(64)
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	bench := New(Config{Dist: d, ElemSize: 4, ComputePerLoad: 1}, alloc)
+	e.PlaceDaemon(0, bench, 7)
+	// Warm up ~2 buffer's worth of accesses, then measure.
+	e.RunUntil(60_000_000)
+	h.ResetStats()
+	e.RunUntil(90_000_000)
+	measured := h.PerCore[0].L3MissRate()
+	cacheLines := float64(spec.L3.Size / 64)
+	predicted := model.MissRate(cacheLines, dist.SumSquaredLineMass(d, 16))
+	if math.Abs(measured-predicted) > 0.10 {
+		t.Fatalf("measured miss %.3f vs Eq.4 %.3f: error above Fig.5 band", measured, predicted)
+	}
+	// Set-associative LRU must miss at least as much as the ideal
+	// fully-associative model (the paper's stated bias direction).
+	if measured < predicted-0.02 {
+		t.Fatalf("measured %.3f below fully-associative ideal %.3f", measured, predicted)
+	}
+}
+
+// Narrower distributions must produce lower miss rates under identical
+// capacity (the §III-C2 ordering).
+func TestMissRateOrderingAcrossDistributions(t *testing.T) {
+	spec := machine.Scaled(8)
+	bufBytes := int64(5 << 20)
+	missFor := func(d dist.Dist) float64 {
+		alloc := mem.NewAlloc(64)
+		h := spec.NewSocket(1)
+		e := engine.New(h, spec.MSHRs)
+		e.PlaceDaemon(0, New(Config{Dist: d, ElemSize: 4, ComputePerLoad: 1}, alloc), 7)
+		e.RunUntil(40_000_000)
+		h.ResetStats()
+		e.RunUntil(60_000_000)
+		return h.PerCore[0].L3MissRate()
+	}
+	uni := missFor(dist.NewUniform(bufBytes / 4))
+	norm8 := missFor(dist.NewNormal(bufBytes/4, 8))
+	if norm8 >= uni {
+		t.Fatalf("Norm 8 miss %.3f should be below uniform %.3f", norm8, uni)
+	}
+}

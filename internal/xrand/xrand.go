@@ -1,0 +1,155 @@
+// Package xrand provides a small, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// The generator is xoshiro256++ seeded through splitmix64. It is implemented
+// locally (rather than using math/rand) so that experiment results are
+// bit-reproducible across Go releases: every stochastic component of the
+// simulator derives its stream from an explicit 64-bit seed.
+package xrand
+
+import "math"
+
+// Rand is a deterministic xoshiro256++ generator. The zero value is not
+// ready for use; construct one with New.
+type Rand struct {
+	s [4]uint64
+	// cached second Box-Muller variate
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a generator seeded from seed via splitmix64, so that nearby
+// seeds produce uncorrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	r.haveGauss = false
+}
+
+// Split returns a new generator whose stream is a deterministic function of
+// r's current state and id. It is used to hand independent streams to
+// workloads, ranks and sockets without sharing state.
+func (r *Rand) Split(id uint64) *Rand {
+	return New(r.Uint64() ^ (id+1)*0xd1342543de82ef95)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, debiased.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	_ = lo
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform float64 in (0, 1); it never returns exactly 0,
+// which makes it safe as input to logarithms and inverse CDFs.
+func (r *Rand) Float64Open() float64 {
+	for {
+		f := r.Float64()
+		if f > 0 {
+			return f
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller, with the second
+// variate cached).
+func (r *Rand) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	u1 := r.Float64Open()
+	u2 := r.Float64()
+	rad := math.Sqrt(-2 * math.Log(u1))
+	theta := 2 * math.Pi * u2
+	r.gauss = rad * math.Sin(theta)
+	r.haveGauss = true
+	return rad * math.Cos(theta)
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1) by inverse
+// transform sampling.
+func (r *Rand) ExpFloat64() float64 {
+	return -math.Log(r.Float64Open())
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
