@@ -21,6 +21,14 @@
 // (internal/core), and the cluster-level application studies of §IV
 // (internal/cluster, internal/apps/...). The cmd/validate and cmd/appstudy
 // binaries regenerate every table and figure of the paper's evaluation.
+//
+// Every experiment campaign — sweeps, calibration grids, app studies —
+// schedules its independent cells through the shared executor subsystem
+// (internal/lab): a bounded worker pool with content-addressed result
+// memoization, so e.g. one MeasureProfile call simulates the uninterfered
+// baseline exactly once even though the storage sweep, the bandwidth sweep
+// and the bounds analysis all consume it, and produces bit-identical
+// results at every concurrency (MeasureOptions.Concurrency).
 package activemem
 
 import (
@@ -29,6 +37,7 @@ import (
 	"activemem/internal/core"
 	"activemem/internal/dist"
 	"activemem/internal/engine"
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
 	"activemem/internal/model"
@@ -187,6 +196,13 @@ type MeasureOptions struct {
 	Seed uint64
 	// Processes divides the derived bounds (default 1).
 	Processes int
+	// Concurrency bounds how many experiment cells run at once: 0 selects
+	// GOMAXPROCS, 1 runs serially. The measured profile is bit-identical
+	// at every setting.
+	Concurrency int
+	// Progress, when non-nil, is called as cells of each experiment batch
+	// complete (with the number done and the batch size).
+	Progress func(done, total int)
 }
 
 func (o *MeasureOptions) defaults() MeasureOptions {
@@ -227,22 +243,25 @@ func measureWindows(m Machine) (warmup, window units.Cycles) {
 
 // MeasureProfile runs the full Active Measurement workflow on one socket of
 // m: a storage-interference sweep, a bandwidth-interference sweep, the
-// §III-A and §III-C3 calibrations, and the §IV bounds analysis.
+// §III-A and §III-C3 calibrations, and the §IV bounds analysis. All
+// experiment cells run on one bounded executor whose memo cache
+// deduplicates the shared uninterfered baseline across the sweeps.
 func MeasureProfile(m Machine, name string, app WorkloadFactory, opts *MeasureOptions) (Profile, error) {
 	o := opts.defaults()
+	ex := lab.New(lab.Config{Workers: o.Concurrency, Progress: o.Progress})
 	warmup, window := measureWindows(m)
 	cfg := core.MeasureConfig{Spec: m, Warmup: warmup, Window: window, Seed: o.Seed}
 
 	storage, err := core.RunSweep(core.SweepConfig{
 		MeasureConfig: cfg, Kind: core.Storage,
-		MaxThreads: o.MaxStorageThreads, Parallel: true,
+		MaxThreads: o.MaxStorageThreads, Exec: ex,
 	}, name, app)
 	if err != nil {
 		return Profile{}, err
 	}
 	bandwidth, err := core.RunSweep(core.SweepConfig{
 		MeasureConfig: cfg, Kind: core.Bandwidth,
-		MaxThreads: o.MaxBandwidthThreads, Parallel: true,
+		MaxThreads: o.MaxBandwidthThreads, Exec: ex,
 	}, name, app)
 	if err != nil {
 		return Profile{}, err
@@ -255,7 +274,7 @@ func MeasureProfile(m Machine, name string, app WorkloadFactory, opts *MeasureOp
 		Dists: []func(int64) dist.Dist{
 			func(n int64) dist.Dist { return dist.NewUniform(n) },
 		},
-		ComputePerLoad: 1, ElemSize: 4, Parallel: true,
+		ComputePerLoad: 1, ElemSize: 4, Exec: ex,
 	})
 	if err != nil {
 		return Profile{}, err

@@ -2,8 +2,13 @@ package activemem
 
 import (
 	"math"
+	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
+
+	"activemem/internal/engine"
+	"activemem/internal/mem"
 )
 
 func TestNewMachines(t *testing.T) {
@@ -94,6 +99,40 @@ func TestMeasureProfileEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(prof.String(), "uniform-2x") {
 		t.Fatal("profile rendering")
+	}
+}
+
+// TestMeasureProfileBaselineOnceAndDeterministic proves the executor
+// contract at the facade: one MeasureProfile call instantiates the
+// application workload exactly once per distinct experiment — the storage
+// sweep's six levels plus the bandwidth sweep's three, minus the shared
+// k=0 baseline the memo cache deduplicates — and a wide worker pool
+// reproduces the serial profile bit for bit.
+func TestMeasureProfileBaselineOnceAndDeterministic(t *testing.T) {
+	m := NewScaledXeon(8)
+	wl := PatternWorkload(PatternUniform, m.L3.Size*2, 1)
+	measure := func(concurrency int) (Profile, int64) {
+		var calls atomic.Int64
+		counting := func(alloc *mem.Alloc, seed uint64) engine.Workload {
+			calls.Add(1)
+			return wl(alloc, seed)
+		}
+		prof, err := MeasureProfile(m, "counted", counting,
+			&MeasureOptions{Concurrency: concurrency})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof, calls.Load()
+	}
+	serial, serialCalls := measure(1)
+	parallel, parallelCalls := measure(8)
+	// 6 storage levels + 3 bandwidth levels − 1 shared baseline = 8.
+	if serialCalls != 8 || parallelCalls != 8 {
+		t.Fatalf("app simulated %d/%d times (serial/parallel), want 8: baseline not shared",
+			serialCalls, parallelCalls)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel profile diverges from serial:\n%+v\n%+v", serial, parallel)
 	}
 }
 

@@ -29,7 +29,7 @@ import (
 	"activemem/internal/workload/stream"
 )
 
-var benchOpt = experiments.Options{Scale: 8, Grid: experiments.GridSmoke, Parallel: true, Seed: 1}
+var benchOpt = experiments.Options{Scale: 8, Grid: experiments.GridSmoke, Seed: 1}
 
 // printOnce guards the row dumps so repeated b.N iterations stay readable.
 var printOnce sync.Map

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	activemem [-workload uniform|norm4|norm8|exp4|pchase] [-buf BYTES]
-//	          [-compute N] [-scale N] [-threshold F]
+//	          [-compute N] [-scale N] [-threshold F] [-j N] [-progress]
 //	          [-predict-l3 MB] [-predict-bw GBS] [-seed N]
 //
 // Example:
@@ -24,6 +24,7 @@ import (
 	"activemem/internal/core"
 	"activemem/internal/dist"
 	"activemem/internal/engine"
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
 	"activemem/internal/report"
@@ -45,9 +46,12 @@ func main() {
 		predictL3 = flag.Float64("predict-l3", 0, "predict slowdown with this much L3 (MB, 0 = skip)")
 		predictBW = flag.Float64("predict-bw", 0, "predict slowdown with this much bandwidth (GB/s)")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
+		jobs      = flag.Int("j", 0, "parallel experiment cells (0 = all CPUs, 1 = serial)")
+		progress  = flag.Bool("progress", false, "report per-batch experiment progress on stderr")
 	)
 	flag.Parse()
 
+	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress)})
 	spec := machine.Scaled(*scale)
 	if *buf == 0 {
 		*buf = spec.L3.Size * 2
@@ -66,11 +70,11 @@ func main() {
 		name, units.FormatBytes(*buf), *compute)
 
 	storage, err := core.RunSweep(core.SweepConfig{
-		MeasureConfig: cfg, Kind: core.Storage, MaxThreads: 5, Parallel: true,
+		MeasureConfig: cfg, Kind: core.Storage, MaxThreads: 5, Exec: ex,
 	}, name, factory)
 	check(err)
 	bandwidth, err := core.RunSweep(core.SweepConfig{
-		MeasureConfig: cfg, Kind: core.Bandwidth, MaxThreads: 2, Parallel: true,
+		MeasureConfig: cfg, Kind: core.Bandwidth, MaxThreads: 2, Exec: ex,
 	}, name, factory)
 	check(err)
 
@@ -83,7 +87,7 @@ func main() {
 	capCal, err := core.CalibrateCapacity(core.CalibrationConfig{
 		MeasureConfig: cfg, MaxThreads: 5, BufferBytes: bufs,
 		Dists:          []func(int64) dist.Dist{ds[9]},
-		ComputePerLoad: 1, ElemSize: 4, Parallel: true,
+		ComputePerLoad: 1, ElemSize: 4, Exec: ex,
 	})
 	check(err)
 	bwCal, err := core.CalibrateBandwidth(core.MeasureConfig{

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	appstudy [-app mcb|lulesh|both] [-scale N] [-grid smoke|quick|paper]
-//	         [-seed N] [-serial] [-csvdir DIR]
+//	         [-seed N] [-j N] [-progress] [-csvdir DIR]
 //
 // The default -scale 8 runs a 1/8-geometry Xeon20MB with proportionally
 // scaled inputs (see DESIGN.md); the printed profiles include the ×scale
@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"activemem/internal/experiments"
+	"activemem/internal/lab"
 	"activemem/internal/report"
 )
 
@@ -28,20 +29,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("appstudy: ")
 	var (
-		app    = flag.String("app", "both", "application: mcb, lulesh or both")
-		scale  = flag.Int("scale", 8, "machine scale divisor (power of two; 1 = full Xeon20MB)")
-		grid   = flag.String("grid", "quick", "experiment size: smoke, quick or paper")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		serial = flag.Bool("serial", false, "disable the experiment worker pool")
-		csvdir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		app      = flag.String("app", "both", "application: mcb, lulesh or both")
+		scale    = flag.Int("scale", 8, "machine scale divisor (power of two; 1 = full Xeon20MB)")
+		grid     = flag.String("grid", "quick", "experiment size: smoke, quick or paper")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		jobs     = flag.Int("j", 0, "parallel experiment cells (0 = all CPUs, 1 = serial)")
+		progress = flag.Bool("progress", false, "report per-batch experiment progress on stderr")
+		csvdir   = flag.String("csvdir", "", "also write each table as CSV into this directory")
 	)
 	flag.Parse()
 
+	// One executor for the whole study: its memo cache deduplicates the
+	// shared baselines and the p=1 sweeps repeated by the size panels.
 	opt := experiments.Options{
-		Scale:    *scale,
-		Grid:     parseGrid(*grid),
-		Parallel: !*serial,
-		Seed:     *seed,
+		Scale: *scale,
+		Grid:  parseGrid(*grid),
+		Exec:  lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress)}),
+		Seed:  *seed,
 	}
 	fmt.Println(opt.ScaleNote())
 	fmt.Printf("grid: %s\n\n", opt.Grid)

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	validate [-scale N] [-grid smoke|quick|paper] [-fig all|table1,table2,3a,5,6,7,8]
-//	         [-seed N] [-serial] [-csvdir DIR]
+//	         [-seed N] [-j N] [-progress] [-csvdir DIR]
 //
 // The default -scale 1 runs the full Xeon20MB geometry. -grid paper runs
 // the paper's complete 660-configuration synthetic grid (slow at scale 1).
@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"activemem/internal/experiments"
+	"activemem/internal/lab"
 	"activemem/internal/report"
 )
 
@@ -28,20 +29,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("validate: ")
 	var (
-		scale  = flag.Int("scale", 1, "machine scale divisor (power of two; 1 = full Xeon20MB)")
-		grid   = flag.String("grid", "quick", "experiment size: smoke, quick or paper")
-		figs   = flag.String("fig", "all", "comma-separated figures: table1,table2,3a,5,6,7,8 or all")
-		seed   = flag.Uint64("seed", 1, "experiment seed")
-		serial = flag.Bool("serial", false, "disable the experiment worker pool")
-		csvdir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		scale    = flag.Int("scale", 1, "machine scale divisor (power of two; 1 = full Xeon20MB)")
+		grid     = flag.String("grid", "quick", "experiment size: smoke, quick or paper")
+		figs     = flag.String("fig", "all", "comma-separated figures: table1,table2,3a,5,6,7,8 or all")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		jobs     = flag.Int("j", 0, "parallel experiment cells (0 = all CPUs, 1 = serial)")
+		progress = flag.Bool("progress", false, "report per-batch experiment progress on stderr")
+		csvdir   = flag.String("csvdir", "", "also write each table as CSV into this directory")
 	)
 	flag.Parse()
 
+	// One executor for every figure: its memo cache deduplicates identical
+	// cells across figures (Fig. 5's grid is the k=0 slice of Fig. 6's).
 	opt := experiments.Options{
-		Scale:    *scale,
-		Grid:     parseGrid(*grid),
-		Parallel: !*serial,
-		Seed:     *seed,
+		Scale: *scale,
+		Grid:  parseGrid(*grid),
+		Exec:  lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress)}),
+		Seed:  *seed,
 	}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {

@@ -1,0 +1,3 @@
+module activemem
+
+go 1.24

@@ -1,10 +1,9 @@
 package cluster
 
 import (
-	"sync"
-
 	"activemem/internal/core"
 	"activemem/internal/engine"
+	"activemem/internal/lab"
 	"activemem/internal/mem"
 	"activemem/internal/units"
 	"activemem/internal/workload/interfere"
@@ -87,17 +86,16 @@ func Run(cfg RunConfig) (Result, error) {
 	var commCritical units.Cycles
 	wallPrev, wallBoundary := prewarm, prewarm
 
+	// Compute phases are independent per socket; the executor bounds their
+	// concurrency (and runs the common single-socket homogeneous case
+	// inline, with no goroutine at all).
+	ex := lab.New(lab.Config{Workers: cfg.Concurrency})
+
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		// Compute phases: independent sockets, simulated concurrently.
-		var wg sync.WaitGroup
-		for _, sim := range sims {
-			wg.Add(1)
-			go func(sim *socketSim) {
-				defer wg.Done()
-				runPhase(cfg, sim, ranks, start, durSim, iter)
-			}(sim)
-		}
-		wg.Wait()
+		_ = ex.Run(len(sims), func(s int) error {
+			runPhase(cfg, sims[s], ranks, start, durSim, iter)
+			return nil
+		})
 
 		// Per-rank finish times: simulated durations (replicated across
 		// sockets in homogeneous mode) plus OS noise. Noise is drawn for

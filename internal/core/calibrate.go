@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"activemem/internal/dist"
 	"activemem/internal/engine"
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
 	"activemem/internal/model"
@@ -26,7 +26,10 @@ type CalibrationConfig struct {
 	ComputePerLoad int                       // integer adds per load (paper: 1, 10, 100)
 	ElemSize       int64                     // benchmark element width (paper: 4)
 	CS             interfere.CSConfig        // zero value: paper defaults
-	Parallel       bool
+	// Exec schedules the grid's cells; nil selects a fresh executor bounded
+	// at GOMAXPROCS. A shared executor memoizes cells across grids (e.g.
+	// the k=0 slice of a Fig. 6 grid reuses an identical Fig. 5 grid).
+	Exec *lab.Executor
 }
 
 // Validate checks the configuration.
@@ -117,13 +120,14 @@ func (c CapacityCalibration) AvailableBytes() []float64 {
 }
 
 // CalibrateCapacity runs the full calibration grid. Cells are independent
-// experiments, parallelised over a bounded worker pool when requested;
-// results are written by index so the outcome is deterministic regardless
-// of scheduling.
+// experiments scheduled on the configured executor's bounded pool; results
+// are written by index so the outcome is deterministic regardless of
+// scheduling, and memoized so identical cells simulate once per executor.
 func CalibrateCapacity(cfg CalibrationConfig) (CapacityCalibration, error) {
 	if err := cfg.Validate(); err != nil {
 		return CapacityCalibration{}, err
 	}
+	ex := executor(cfg.Exec)
 	cal := CapacityCalibration{Spec: cfg.Spec}
 	cal.Points = make([]CapacityPoint, cfg.MaxThreads+1)
 	type cell struct {
@@ -141,43 +145,17 @@ func CalibrateCapacity(cfg CalibrationConfig) (CapacityCalibration, error) {
 			}
 		}
 	}
-	errs := make([]error, len(cells))
-	runCell := func(idx int) {
+	err := ex.Run(len(cells), func(idx int) error {
 		c := cells[idx]
-		sample, err := cfg.runOne(c.k, cfg.BufferBytes[c.bi], cfg.Dists[c.di])
+		sample, err := cfg.runOne(ex, c.k, cfg.BufferBytes[c.bi], cfg.Dists[c.di])
 		if err != nil {
-			errs[idx] = err
-			return
+			return err
 		}
 		cal.Points[c.k].Samples[c.bi*len(cfg.Dists)+c.di] = sample
-	}
-	if cfg.Parallel {
-		workers := 4
-		var wg sync.WaitGroup
-		ch := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for idx := range ch {
-					runCell(idx)
-				}
-			}()
-		}
-		for idx := range cells {
-			ch <- idx
-		}
-		close(ch)
-		wg.Wait()
-	} else {
-		for idx := range cells {
-			runCell(idx)
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return CapacityCalibration{}, err
-		}
+		return nil
+	})
+	if err != nil {
+		return CapacityCalibration{}, err
 	}
 	for k := range cal.Points {
 		vals := make([]float64, 0, len(cal.Points[k].Samples))
@@ -189,8 +167,8 @@ func CalibrateCapacity(cfg CalibrationConfig) (CapacityCalibration, error) {
 	return cal, nil
 }
 
-// runOne measures one calibration cell.
-func (cfg CalibrationConfig) runOne(k int, bufBytes int64, mk func(n int64) dist.Dist) (CapacitySample, error) {
+// runOne measures one calibration cell through the executor's memo cache.
+func (cfg CalibrationConfig) runOne(ex *lab.Executor, k int, bufBytes int64, mk func(n int64) dist.Dist) (CapacitySample, error) {
 	d := mk(bufBytes / cfg.ElemSize)
 	app := func(alloc *mem.Alloc, seed uint64) engine.Workload {
 		return synthetic.New(synthetic.Config{
@@ -199,7 +177,11 @@ func (cfg CalibrationConfig) runOne(k int, bufBytes int64, mk func(n int64) dist
 			ComputePerLoad: cfg.ComputePerLoad,
 		}, alloc)
 	}
-	m, err := MeasureWithInterference(cfg.MeasureConfig, app, Storage, k, interfere.BWConfig{}, cfg.CS)
+	// The name pins the benchmark's full identity (pattern, element count,
+	// width, compute intensity) so memo keys never collide across cells.
+	appName := fmt.Sprintf("synthetic(%s,n=%d,elem=%d,c=%d)",
+		d.Name(), d.N(), cfg.ElemSize, cfg.ComputePerLoad)
+	m, err := measureMemo(ex, cfg.MeasureConfig, appName, app, Storage, k, interfere.BWConfig{}, cfg.CS)
 	if err != nil {
 		return CapacitySample{}, err
 	}

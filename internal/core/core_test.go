@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"activemem/internal/dist"
 	"activemem/internal/engine"
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
 	"activemem/internal/units"
@@ -125,7 +127,6 @@ func TestRunSweepSlowdownsMonotoneUnderStorage(t *testing.T) {
 		MeasureConfig: quickCfg(spec),
 		Kind:          Storage,
 		MaxThreads:    4,
-		Parallel:      true,
 	}, "uniform", uniformApp(5<<20, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -145,12 +146,13 @@ func TestRunSweepSlowdownsMonotoneUnderStorage(t *testing.T) {
 
 func TestSweepParallelMatchesSerial(t *testing.T) {
 	spec := machine.Scaled(8)
-	cfg := SweepConfig{MeasureConfig: quickCfg(spec), Kind: Storage, MaxThreads: 2}
+	cfg := SweepConfig{MeasureConfig: quickCfg(spec), Kind: Storage, MaxThreads: 2,
+		Exec: lab.New(lab.Config{Workers: 1})}
 	ser, err := RunSweep(cfg, "u", uniformApp(4<<20, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg.Parallel = true
+	cfg.Exec = lab.New(lab.Config{Workers: 8})
 	par, err := RunSweep(cfg, "u", uniformApp(4<<20, 1))
 	if err != nil {
 		t.Fatal(err)
@@ -159,6 +161,102 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 		if ser.Points[k] != par.Points[k] {
 			t.Fatalf("parallel sweep diverges at %d:\n%+v\n%+v", k, ser.Points[k], par.Points[k])
 		}
+	}
+}
+
+// TestCalibrationParallelMatchesSerial is the calibration-grid counterpart:
+// a worker pool of any width must reproduce the serial grid bit for bit.
+func TestCalibrationParallelMatchesSerial(t *testing.T) {
+	spec := machine.Scaled(8)
+	mk := func(workers int) CapacityCalibration {
+		cal, err := CalibrateCapacity(CalibrationConfig{
+			MeasureConfig:  MeasureConfig{Spec: spec, Warmup: 12_000_000, Window: 6_000_000, Seed: 1},
+			MaxThreads:     2,
+			BufferBytes:    []int64{spec.L3.Size * 2, spec.L3.Size * 3},
+			Dists:          []func(n int64) dist.Dist{func(n int64) dist.Dist { return dist.NewUniform(n) }},
+			ComputePerLoad: 1,
+			ElemSize:       4,
+			Exec:           lab.New(lab.Config{Workers: workers}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cal
+	}
+	ser, par := mk(1), mk(8)
+	if !reflect.DeepEqual(ser, par) {
+		t.Fatalf("parallel calibration diverges from serial:\n%+v\n%+v", ser, par)
+	}
+}
+
+// TestSharedBaselineMeasuredOnce proves the memoization contract: a storage
+// and a bandwidth sweep of the same application on one executor share their
+// k=0 baseline, so 3+3 requested cells simulate only 5 experiments.
+func TestSharedBaselineMeasuredOnce(t *testing.T) {
+	spec := machine.Scaled(8)
+	ex := lab.New(lab.Config{Workers: 4})
+	cfg := quickCfg(spec)
+	app := uniformApp(4<<20, 1)
+	st, err := RunSweep(SweepConfig{MeasureConfig: cfg, Kind: Storage, MaxThreads: 2, Exec: ex}, "u", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := RunSweep(SweepConfig{MeasureConfig: cfg, Kind: Bandwidth, MaxThreads: 2, Exec: ex}, "u", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ex.Stats()
+	if stats.Computed != 5 || stats.Hits != 1 {
+		t.Fatalf("executor ran %d experiments with %d hits, want 5 with 1 (shared baseline)",
+			stats.Computed, stats.Hits)
+	}
+	if st.Points[0] != bw.Points[0] {
+		t.Fatalf("baselines diverge: %+v vs %+v", st.Points[0], bw.Points[0])
+	}
+}
+
+// TestExperimentKeyDiscriminates pins the memo-key semantics: k=0 cells
+// collapse onto one kind-independent baseline, everything else separates.
+func TestExperimentKeyDiscriminates(t *testing.T) {
+	spec := machine.Scaled(8)
+	cfg := quickCfg(spec)
+	noBW, noCS := interfere.BWConfig{}, interfere.CSConfig{}
+	if ExperimentKey(cfg, "u", Storage, 0, noBW, noCS) != ExperimentKey(cfg, "u", Bandwidth, 0, noBW, noCS) {
+		t.Fatal("k=0 baseline key depends on interference kind")
+	}
+	if ExperimentKey(cfg, "u", Storage, 1, noBW, noCS) == ExperimentKey(cfg, "u", Bandwidth, 1, noBW, noCS) {
+		t.Fatal("k=1 keys collide across kinds")
+	}
+	if ExperimentKey(cfg, "u", Storage, 1, noBW, noCS) == ExperimentKey(cfg, "u", Storage, 2, noBW, noCS) {
+		t.Fatal("keys collide across thread counts")
+	}
+	if ExperimentKey(cfg, "u", Storage, 1, noBW, noCS) == ExperimentKey(cfg, "v", Storage, 1, noBW, noCS) {
+		t.Fatal("keys collide across workloads")
+	}
+	// A zero-valued interference config resolves to the machine default, so
+	// explicit-default and zero-valued requests share one key.
+	if ExperimentKey(cfg, "u", Storage, 1, noBW, interfere.DefaultCSConfig(spec.L3.Size)) !=
+		ExperimentKey(cfg, "u", Storage, 1, noBW, noCS) {
+		t.Fatal("explicit default CS config changes the key")
+	}
+	other := cfg
+	other.Seed = 2
+	if ExperimentKey(cfg, "u", Storage, 0, noBW, noCS) == ExperimentKey(other, "u", Storage, 0, noBW, noCS) {
+		t.Fatal("keys collide across seeds")
+	}
+	// Invalid kinds must not alias a valid cell (they fail at run time and
+	// their cached error must never poison a real sweep).
+	if ExperimentKey(cfg, "u", Kind(9), 1, noBW, noCS) == ExperimentKey(cfg, "u", Storage, 1, noBW, noCS) {
+		t.Fatal("invalid kind aliases a storage cell")
+	}
+}
+
+func TestRunSweepRejectsUnknownKind(t *testing.T) {
+	spec := machine.Scaled(8)
+	_, err := RunSweep(SweepConfig{MeasureConfig: quickCfg(spec), Kind: Kind(9), MaxThreads: 1},
+		"u", uniformApp(4<<20, 1))
+	if err == nil {
+		t.Fatal("unknown sweep kind accepted")
 	}
 }
 
@@ -221,7 +319,6 @@ func TestCalibrateCapacitySmallGrid(t *testing.T) {
 		Dists:          []func(n int64) dist.Dist{func(n int64) dist.Dist { return dist.NewUniform(n) }},
 		ComputePerLoad: 1,
 		ElemSize:       4,
-		Parallel:       true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,62 @@
+package core
+
+// This file connects the measurement primitives to the internal/lab
+// executor: it defines the content-addressed key of one measurement run and
+// the memoized entry point that sweeps and calibration grids share. Keying
+// at this level is what deduplicates the uninterfered k=0 baseline across
+// the storage sweep, the bandwidth sweep and calibration cells of one
+// executor.
+
+import (
+	"activemem/internal/lab"
+	"activemem/internal/workload/interfere"
+)
+
+// ExperimentKey fingerprints one MeasureWithInterference invocation:
+// machine spec, warmup/window, seed, workload identity, interference kind
+// and thread count, and the resolved interference configuration. Runs with
+// k == 0 share a single baseline key regardless of kind, because no
+// interference thread is placed and the kind cannot affect the result.
+//
+// appName must uniquely identify the workload's behaviour: two different
+// workloads must never share a name within one lab.Executor.
+func ExperimentKey(cfg MeasureConfig, appName string, kind Kind, k int,
+	bw interfere.BWConfig, cs interfere.CSConfig) lab.Key {
+	base := []any{cfg.Spec, cfg.Warmup, cfg.Window, cfg.Seed, appName}
+	if k == 0 {
+		return lab.KeyOf(append(base, "baseline")...)
+	}
+	switch kind {
+	case Bandwidth:
+		if bw == (interfere.BWConfig{}) {
+			bw = interfere.DefaultBWConfig(cfg.Spec.L3.Size)
+		}
+		return lab.KeyOf(append(base, "bwthr", k, bw)...)
+	case Storage:
+		if cs == (interfere.CSConfig{}) {
+			cs = interfere.DefaultCSConfig(cfg.Spec.L3.Size)
+		}
+		return lab.KeyOf(append(base, "csthr", k, cs)...)
+	default:
+		// An invalid kind still gets its own key, so the run-time error it
+		// produces can never collide with (or poison) a valid cell.
+		return lab.KeyOf(append(base, "invalid-kind", int(kind), k)...)
+	}
+}
+
+// measureMemo runs MeasureWithInterference through ex's memo cache, so an
+// identical measurement requested twice on one executor simulates once.
+func measureMemo(ex *lab.Executor, cfg MeasureConfig, appName string, app WorkloadFactory,
+	kind Kind, k int, bw interfere.BWConfig, cs interfere.CSConfig) (Metrics, error) {
+	return lab.Memo(ex, ExperimentKey(cfg, appName, kind, k, bw, cs), func() (Metrics, error) {
+		return MeasureWithInterference(cfg, app, kind, k, bw, cs)
+	})
+}
+
+// executor resolves a possibly-nil shared executor into a usable one.
+func executor(ex *lab.Executor) *lab.Executor {
+	if ex != nil {
+		return ex
+	}
+	return lab.New(lab.Config{})
+}

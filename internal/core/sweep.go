@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
+	"activemem/internal/lab"
 	"activemem/internal/stats"
 	"activemem/internal/workload/interfere"
 )
@@ -17,13 +17,20 @@ type SweepConfig struct {
 	MaxThreads int
 	BW         interfere.BWConfig // zero value: paper defaults for the machine
 	CS         interfere.CSConfig // zero value: paper defaults for the machine
-	Parallel   bool               // run interference levels on a worker pool
+	// Exec schedules the sweep's levels; nil selects a fresh executor
+	// bounded at GOMAXPROCS. Passing one executor to several sweeps shares
+	// its memo cache, so the k=0 baseline of a storage and a bandwidth
+	// sweep of the same application simulates exactly once.
+	Exec *lab.Executor
 }
 
 // Validate checks the configuration.
 func (c SweepConfig) Validate() error {
 	if err := c.MeasureConfig.Validate(); err != nil {
 		return err
+	}
+	if c.Kind != Storage && c.Kind != Bandwidth {
+		return fmt.Errorf("core: unknown interference kind %v", c.Kind)
 	}
 	if c.MaxThreads < 0 || c.MaxThreads >= c.Spec.CoresPerSocket {
 		return fmt.Errorf("core: sweep max threads %d out of range [0,%d)",
@@ -43,34 +50,24 @@ type Sweep struct {
 // RunSweep measures the application at every interference level. Each level
 // uses an identically seeded, fresh socket, so points differ only in the
 // interference applied — the controlled experiment of the paper's Fig. 1.
+// Levels run on the configured executor's bounded pool and write their
+// results by index, so the sweep is bit-identical at every worker count.
 func RunSweep(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, error) {
 	if err := cfg.Validate(); err != nil {
 		return Sweep{}, err
 	}
+	ex := executor(cfg.Exec)
 	s := Sweep{Kind: cfg.Kind, App: appName, Points: make([]Metrics, cfg.MaxThreads+1)}
-	errs := make([]error, cfg.MaxThreads+1)
-	run := func(k int) {
-		s.Points[k], errs[k] = MeasureWithInterference(cfg.MeasureConfig, app, cfg.Kind, k, cfg.BW, cfg.CS)
-	}
-	if cfg.Parallel {
-		var wg sync.WaitGroup
-		for k := 0; k <= cfg.MaxThreads; k++ {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				run(k)
-			}(k)
-		}
-		wg.Wait()
-	} else {
-		for k := 0; k <= cfg.MaxThreads; k++ {
-			run(k)
-		}
-	}
-	for _, err := range errs {
+	err := ex.Run(len(s.Points), func(k int) error {
+		m, err := measureMemo(ex, cfg.MeasureConfig, appName, app, cfg.Kind, k, cfg.BW, cfg.CS)
 		if err != nil {
-			return Sweep{}, err
+			return err
 		}
+		s.Points[k] = m
+		return nil
+	})
+	if err != nil {
+		return Sweep{}, err
 	}
 	return s, nil
 }

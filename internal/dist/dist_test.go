@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"activemem/internal/xrand"
+)
+
+func TestTable2NamesAndOrder(t *testing.T) {
+	ds := Table2(1 << 14)
+	want := []string{"Norm 4", "Norm 6", "Norm 8", "Exp 4", "Exp 6", "Exp 8",
+		"Tri 1", "Tri 2", "Tri 3", "Uni"}
+	if len(ds) != len(want) {
+		t.Fatalf("Table2 has %d entries, want %d", len(ds), len(want))
+	}
+	for i, d := range ds {
+		if d.Name() != want[i] {
+			t.Errorf("Table2[%d].Name = %q, want %q", i, d.Name(), want[i])
+		}
+		if d.N() != 1<<14 {
+			t.Errorf("%s: N = %d", d.Name(), d.N())
+		}
+		if d.StdDev() <= 0 {
+			t.Errorf("%s: non-positive stddev", d.Name())
+		}
+	}
+}
+
+func TestUniformExactLineMasses(t *testing.T) {
+	const n, epl = 1 << 16, 16
+	d := NewUniform(n)
+	if got := NumLines(d, epl); got != n/epl {
+		t.Fatalf("NumLines = %d, want %d", got, n/epl)
+	}
+	masses := LineMasses(d, epl)
+	for j, f := range masses {
+		if f != 1.0/float64(n/epl) {
+			t.Fatalf("line %d mass = %v, want exactly 1/%d", j, f, n/epl)
+		}
+	}
+	if got, want := SumSquaredLineMass(d, epl), 1.0/float64(n/epl); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Σf² = %v, want %v", got, want)
+	}
+}
+
+func TestLineMassesSumToOne(t *testing.T) {
+	for _, d := range Table2(10000) { // 10000 % 16 != 0: exercises the ragged last line
+		masses := LineMasses(d, 16)
+		sum := 0.0
+		for _, f := range masses {
+			if f < -1e-15 {
+				t.Fatalf("%s: negative line mass %v", d.Name(), f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("%s: masses sum to %v", d.Name(), sum)
+		}
+	}
+}
+
+func TestCDFBoundsAndMonotonicity(t *testing.T) {
+	const n = 1 << 12
+	for _, d := range Table2(n) {
+		if c := d.CDF(0); math.Abs(c) > 1e-12 {
+			t.Fatalf("%s: CDF(0) = %v", d.Name(), c)
+		}
+		if c := d.CDF(n); math.Abs(c-1) > 1e-12 {
+			t.Fatalf("%s: CDF(N) = %v", d.Name(), c)
+		}
+		prev := -1.0
+		for x := int64(0); x <= n; x += 64 {
+			c := d.CDF(x)
+			if c < prev-1e-15 {
+				t.Fatalf("%s: CDF not monotone at %d", d.Name(), x)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestSampleMatchesCDF draws many samples from every distribution and
+// checks the empirical line-level frequencies against the analytic masses —
+// the property the whole EHR validation chain rests on.
+func TestSampleMatchesCDF(t *testing.T) {
+	const n, epl, draws = 1 << 12, 16, 200000
+	for _, d := range Table2(n) {
+		r := xrand.New(7)
+		masses := LineMasses(d, epl)
+		counts := make([]int, len(masses))
+		for i := 0; i < draws; i++ {
+			idx := d.Sample(r)
+			if idx < 0 || idx >= n {
+				t.Fatalf("%s: sample %d out of range", d.Name(), idx)
+			}
+			counts[idx/epl]++
+		}
+		// Compare in aggregate: total variation distance must be small.
+		tv := 0.0
+		for j, f := range masses {
+			tv += math.Abs(float64(counts[j])/draws - f)
+		}
+		tv /= 2
+		if tv > 0.02 {
+			t.Errorf("%s: empirical vs analytic total variation %.4f", d.Name(), tv)
+		}
+	}
+}
+
+func TestSpreadOrdering(t *testing.T) {
+	// Narrower distributions concentrate more mass per line: Σf² must rise
+	// from uniform (the widest) through Norm 4 to Norm 8 (the sharpest).
+	const n, epl = 1 << 14, 16
+	uni := SumSquaredLineMass(NewUniform(n), epl)
+	n4 := SumSquaredLineMass(NewNormal(n, 4), epl)
+	n8 := SumSquaredLineMass(NewNormal(n, 8), epl)
+	if !(uni < n4 && n4 < n8) {
+		t.Fatalf("Σf² ordering violated: uni %v, norm4 %v, norm8 %v", uni, n4, n8)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewUniform(0) },
+		func() { NewNormal(100, 0) },
+		func() { NewExponential(-1, 4) },
+		func() { NewTriangular(100, 0) },
+		func() { NewTriangular(100, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"activemem/internal/apps/lulesh"
 	"activemem/internal/apps/mcb"
 	"activemem/internal/cluster"
 	"activemem/internal/core"
 	"activemem/internal/dist"
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/report"
 	"activemem/internal/workload/interfere"
@@ -63,8 +63,14 @@ type StudyResult struct {
 // appBuilder constructs the proxy for the study's machine scale.
 type appBuilder func(spec machine.Spec) cluster.App
 
-// runAppSweep measures the app at interference levels 0..maxK.
-func runAppSweep(opt Options, build appBuilder, p int, kind core.Kind, maxK int) ([]float64, error) {
+// runAppSweep measures the app at interference levels 0..maxK on ex's
+// bounded pool. label must pin the app's full identity (proxy name and
+// input size): it keys the executor's memo, so the k=0 baseline of the
+// storage and bandwidth sweeps — and any repeated (app, mapping) cell, like
+// the p=1 panel shared by a study's mapping and size sweeps — simulates
+// exactly once per executor.
+func runAppSweep(ex *lab.Executor, opt Options, label string, build appBuilder,
+	p int, kind core.Kind, maxK int) ([]float64, error) {
 	opt = opt.withDefaults()
 	spec := opt.Spec()
 	if room := spec.CoresPerSocket - p; maxK > room {
@@ -72,9 +78,8 @@ func runAppSweep(opt Options, build appBuilder, p int, kind core.Kind, maxK int)
 	}
 	iters, warm := appIters(opt.Grid)
 	secs := make([]float64, maxK+1)
-	errs := make([]error, maxK+1)
-	run := func(k int) {
-		res, err := cluster.Run(cluster.RunConfig{
+	err := ex.Run(maxK+1, func(k int) error {
+		cfg := cluster.RunConfig{
 			Spec:           spec,
 			App:            build(spec),
 			RanksPerSocket: p,
@@ -83,28 +88,36 @@ func runAppSweep(opt Options, build appBuilder, p int, kind core.Kind, maxK int)
 			Warmup:         warm,
 			Homogeneous:    true,
 			NoiseStd:       0.005,
+			Concurrency:    1, // the cell is already a pool worker
 			Seed:           opt.Seed,
+		}
+		res, err := lab.Memo(ex, clusterCellKey(cfg, label), func() (cluster.Result, error) {
+			return cluster.Run(cfg)
 		})
-		secs[k], errs[k] = res.Seconds, err
-	}
-	if opt.Parallel {
-		var wg sync.WaitGroup
-		for k := 0; k <= maxK; k++ {
-			wg.Add(1)
-			go func(k int) { defer wg.Done(); run(k) }(k)
-		}
-		wg.Wait()
-	} else {
-		for k := 0; k <= maxK; k++ {
-			run(k)
-		}
-	}
-	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
+		secs[k] = res.Seconds
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return secs, nil
+}
+
+// clusterCellKey fingerprints one cluster experiment cell from the config
+// it actually runs with; label stands in for cfg.App (an interface holding
+// fresh allocations, which cannot be hashed), and cfg.Concurrency is
+// excluded because it cannot affect the result. k = 0 cells share a
+// kind-independent baseline key, mirroring core.ExperimentKey.
+func clusterCellKey(cfg cluster.RunConfig, label string) lab.Key {
+	base := []any{cfg.Spec, label, cfg.RanksPerSocket, cfg.Iterations, cfg.Warmup,
+		cfg.Homogeneous, cfg.NoiseStd, cfg.Prewarm, cfg.Seed}
+	if cfg.Interference.Threads == 0 {
+		return lab.KeyOf(append(base, "baseline")...)
+	}
+	return lab.KeyOf(append(base, cfg.Interference.Kind.String(), cfg.Interference.Threads)...)
 }
 
 // studyMappings returns the rank-per-socket mappings to sweep.
@@ -159,6 +172,7 @@ func luleshEdges(grid Grid) []int {
 // geometry; labels keep the full-scale counts.
 func Fig9MCB(opt Options) (StudyResult, error) {
 	opt = opt.withDefaults()
+	ex := opt.executor()
 	spec := opt.Spec()
 	const ranks = 24
 	res := StudyResult{Spec: spec, App: "MCB"}
@@ -171,13 +185,14 @@ func Fig9MCB(opt Options) (StudyResult, error) {
 			return mcb.New(mcb.DefaultParams(spec.L3.Size, ranks, scaled))
 		}
 	}
+	labelFor := func(particles int) string { return fmt.Sprintf("mcb,n=%d", particles) }
 	for _, p := range studyMappings(opt.Grid, ranks) {
 		ms := MappingSweep{P: p}
 		var err error
-		if ms.Storage, err = runAppSweep(opt, buildFor(20000), p, core.Storage, maxStorageThreads); err != nil {
+		if ms.Storage, err = runAppSweep(ex, opt, labelFor(20000), buildFor(20000), p, core.Storage, maxStorageThreads); err != nil {
 			return res, err
 		}
-		if ms.Bandwidth, err = runAppSweep(opt, buildFor(20000), p, core.Bandwidth, maxBandwidthThreads); err != nil {
+		if ms.Bandwidth, err = runAppSweep(ex, opt, labelFor(20000), buildFor(20000), p, core.Bandwidth, maxBandwidthThreads); err != nil {
 			return res, err
 		}
 		res.Mappings = append(res.Mappings, ms)
@@ -185,10 +200,10 @@ func Fig9MCB(opt Options) (StudyResult, error) {
 	for _, n := range mcbSizes(opt.Grid) {
 		ss := SizeSweep{Label: fmt.Sprintf("%dk particles", n/1000)}
 		var err error
-		if ss.Storage, err = runAppSweep(opt, buildFor(n), 1, core.Storage, maxStorageThreads); err != nil {
+		if ss.Storage, err = runAppSweep(ex, opt, labelFor(n), buildFor(n), 1, core.Storage, maxStorageThreads); err != nil {
 			return res, err
 		}
-		if ss.Bandwidth, err = runAppSweep(opt, buildFor(n), 1, core.Bandwidth, maxBandwidthThreads); err != nil {
+		if ss.Bandwidth, err = runAppSweep(ex, opt, labelFor(n), buildFor(n), 1, core.Bandwidth, maxBandwidthThreads); err != nil {
 			return res, err
 		}
 		res.Sizes = append(res.Sizes, ss)
@@ -200,6 +215,7 @@ func Fig9MCB(opt Options) (StudyResult, error) {
 // panel at one rank per socket.
 func Fig11Lulesh(opt Options) (StudyResult, error) {
 	opt = opt.withDefaults()
+	ex := opt.executor()
 	spec := opt.Spec()
 	const ranksPerDim = 4 // 64 ranks
 	res := StudyResult{Spec: spec, App: "Lulesh"}
@@ -208,13 +224,14 @@ func Fig11Lulesh(opt Options) (StudyResult, error) {
 			return lulesh.New(lulesh.DefaultParams(spec.L3.Size, ranksPerDim, edge))
 		}
 	}
+	labelFor := func(edge int) string { return fmt.Sprintf("lulesh,edge=%d", edge) }
 	for _, p := range studyMappings(opt.Grid, 64) {
 		ms := MappingSweep{P: p}
 		var err error
-		if ms.Storage, err = runAppSweep(opt, buildFor(22), p, core.Storage, maxStorageThreads); err != nil {
+		if ms.Storage, err = runAppSweep(ex, opt, labelFor(22), buildFor(22), p, core.Storage, maxStorageThreads); err != nil {
 			return res, err
 		}
-		if ms.Bandwidth, err = runAppSweep(opt, buildFor(22), p, core.Bandwidth, maxBandwidthThreads); err != nil {
+		if ms.Bandwidth, err = runAppSweep(ex, opt, labelFor(22), buildFor(22), p, core.Bandwidth, maxBandwidthThreads); err != nil {
 			return res, err
 		}
 		res.Mappings = append(res.Mappings, ms)
@@ -222,10 +239,10 @@ func Fig11Lulesh(opt Options) (StudyResult, error) {
 	for _, edge := range luleshEdges(opt.Grid) {
 		ss := SizeSweep{Label: fmt.Sprintf("%dx%dx%d", edge, edge, edge)}
 		var err error
-		if ss.Storage, err = runAppSweep(opt, buildFor(edge), 1, core.Storage, maxStorageThreads); err != nil {
+		if ss.Storage, err = runAppSweep(ex, opt, labelFor(edge), buildFor(edge), 1, core.Storage, maxStorageThreads); err != nil {
 			return res, err
 		}
-		if ss.Bandwidth, err = runAppSweep(opt, buildFor(edge), 1, core.Bandwidth, maxBandwidthThreads); err != nil {
+		if ss.Bandwidth, err = runAppSweep(ex, opt, labelFor(edge), buildFor(edge), 1, core.Bandwidth, maxBandwidthThreads); err != nil {
 			return res, err
 		}
 		res.Sizes = append(res.Sizes, ss)
@@ -403,7 +420,7 @@ func StudyCalibrations(opt Options) (capAvail, bwAvail []float64, err error) {
 		Dists:          []func(int64) dist.Dist{ds[9]}, // uniform: the most stable inversion
 		ComputePerLoad: 1,
 		ElemSize:       4,
-		Parallel:       opt.Parallel,
+		Exec:           opt.executor(),
 	})
 	if err != nil {
 		return nil, nil, err

@@ -1,15 +1,17 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
+	"activemem/internal/lab"
 	"activemem/internal/units"
 )
 
-// smoke returns fast options on the 1/8-scale machine.
+// smoke returns fast options on the 1/8-scale machine (default worker pool).
 func smoke() Options {
-	return Options{Scale: 8, Grid: GridSmoke, Parallel: true, Seed: 1}
+	return Options{Scale: 8, Grid: GridSmoke, Seed: 1}
 }
 
 func TestGridString(t *testing.T) {
@@ -193,6 +195,40 @@ func TestFig9MCBShapes(t *testing.T) {
 	}
 	if len(r.Tables()) != 4 {
 		t.Fatalf("tables = %d, want 4", len(r.Tables()))
+	}
+}
+
+// TestAppStudyDeterministicAndMemoized runs the MCB study serially and on
+// a wide pool: the results must be bit-identical, and the executor's memo
+// must collapse the study's repeated cells (the size panel's 20k-particle
+// p=1 sweeps duplicate the mapping panel's, and every storage/bandwidth
+// sweep pair shares its k=0 baseline).
+func TestAppStudyDeterministicAndMemoized(t *testing.T) {
+	run := func(workers int) (StudyResult, lab.Stats) {
+		ex := lab.New(lab.Config{Workers: workers})
+		opt := smoke()
+		opt.Exec = ex
+		r, err := Fig9MCB(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, ex.Stats()
+	}
+	serial, serialStats := run(1)
+	parallel, parallelStats := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel study diverges from serial:\n%+v\n%+v", serial, parallel)
+	}
+	if serialStats != parallelStats {
+		t.Fatalf("memo stats differ across concurrency: %+v vs %+v", serialStats, parallelStats)
+	}
+	// Smoke grid: mappings p∈{1,4} and sizes {20k, 260k} at p=1. Requested
+	// cells: p=1 (6+3) + p=4 (5+3, storage clamped to the 4 spare cores) +
+	// 20k@p=1 (6+3, all duplicates of the p=1 mapping) + 260k@p=1 (6+3) =
+	// 35. Distinct: 35 − 9 (duplicated sweep pair) − 3 (shared baselines of
+	// the other pairs) = 23.
+	if serialStats.Computed != 23 || serialStats.Hits != 12 {
+		t.Fatalf("study stats = %+v, want 23 computed / 12 hits", serialStats)
 	}
 }
 

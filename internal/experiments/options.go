@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/units"
 )
@@ -50,8 +51,19 @@ type Options struct {
 	Scale int
 	// Grid selects the experiment size.
 	Grid Grid
-	// Parallel runs independent experiment cells on a worker pool.
-	Parallel bool
+	// Concurrency bounds how many experiment cells run at once: 0 selects
+	// GOMAXPROCS, 1 runs serially. Results are bit-identical at every
+	// setting.
+	Concurrency int
+	// Progress, when non-nil, is called as cells of a batch complete (with
+	// the number done and the batch size), for CLI progress reporting.
+	Progress func(done, total int)
+	// Exec, when non-nil, is the lab.Executor every driver schedules its
+	// cells on (Concurrency and Progress are then ignored). Sharing one
+	// executor across drivers also shares its result memo: e.g. the entire
+	// Fig. 5 grid is the k=0 slice of Fig. 6's, so a shared executor
+	// simulates those cells once.
+	Exec *lab.Executor
 	// Seed drives all stochastic components.
 	Seed uint64
 }
@@ -65,6 +77,14 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// executor returns the shared executor, or builds one for this driver.
+func (o Options) executor() *lab.Executor {
+	if o.Exec != nil {
+		return o.Exec
+	}
+	return lab.New(lab.Config{Workers: o.Concurrency, Progress: o.Progress})
 }
 
 // Spec returns the machine specification for the options.

@@ -129,7 +129,7 @@ func Fig5(opt Options) (Fig5Result, error) {
 		Dists:          dists,
 		ComputePerLoad: 1,
 		ElemSize:       4,
-		Parallel:       opt.Parallel,
+		Exec:           opt.executor(),
 	})
 	if err != nil {
 		return Fig5Result{}, err
@@ -192,6 +192,7 @@ func Fig6(opt Options) (Fig6Result, error) {
 	if opt.Grid == GridSmoke {
 		maxThreads = 3
 	}
+	ex := opt.executor() // shared across compute intensities (and callers via opt.Exec)
 	for _, c := range res.Computes {
 		cal, err := core.CalibrateCapacity(core.CalibrationConfig{
 			MeasureConfig:  core.MeasureConfig{Spec: spec, Warmup: warmup, Window: window, Seed: opt.Seed},
@@ -200,7 +201,7 @@ func Fig6(opt Options) (Fig6Result, error) {
 			Dists:          dists,
 			ComputePerLoad: c,
 			ElemSize:       4,
-			Parallel:       opt.Parallel,
+			Exec:           ex,
 		})
 		if err != nil {
 			return Fig6Result{}, err

@@ -1,0 +1,285 @@
+// Package lab is the shared experiment executor behind every measurement
+// campaign in this repository. The paper's methodology is an experiment
+// campaign — hundreds of independent simulator runs (interference sweeps,
+// §III-C3 calibration grids, §IV application studies, cluster compute
+// phases) — and all of them schedule their cells through one Executor
+// instead of hand-rolled goroutine fan-outs. The Executor provides:
+//
+//   - a bounded worker pool: at most Config.Workers cells run concurrently
+//     (default GOMAXPROCS), so arbitrarily wide grids use bounded memory;
+//   - content-addressed memoization: Do/Memo run a computation at most once
+//     per Key, where a Key (built with KeyOf) fingerprints the experiment's
+//     full input content — machine spec, workload identity, interference
+//     kind and thread count, warmup/window, seed. Identical cells, such as
+//     the uninterfered k=0 baseline shared by a storage sweep, a bandwidth
+//     sweep and a calibration grid, execute exactly once per Executor;
+//   - first-error propagation: a failing cell cancels all not-yet-started
+//     cells of its batch, and Run reports the failure deterministically
+//     (the lowest-indexed error observed);
+//   - optional progress callbacks, serialised for CLI reporting.
+//
+// Determinism: cells are deterministic functions of their inputs and write
+// results by index, so a batch's outcome is bit-identical for every worker
+// count — Workers: 1 (fully serial) is the reference ordering that
+// parallel runs must, and do, reproduce.
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies the full input content of one experiment cell.
+type Key string
+
+// KeyOf fingerprints its arguments into a content-addressed Key: each
+// argument is rendered in Go syntax (%#v) and fed to SHA-256, so two keys
+// are equal exactly when the rendered inputs are. Arguments must render
+// deterministically — value structs, strings and numbers do; maps and
+// pointers to freshly allocated state do not and must be expanded by the
+// caller into stable values first.
+func KeyOf(parts ...any) Key {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x1f", p)
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Config parameterises an Executor.
+type Config struct {
+	// Workers bounds how many cells run concurrently. Zero or negative
+	// selects GOMAXPROCS; 1 runs every batch inline, in index order.
+	Workers int
+	// Progress, when non-nil, is called after each cell of a batch
+	// completes with the number finished so far and the batch size. Calls
+	// are serialised across workers. When a batch aborts on error after
+	// reporting at least one completion, the callback receives one final
+	// call with done = -1 so line-oriented meters can terminate their
+	// output.
+	Progress func(done, total int)
+}
+
+// Executor schedules experiment cells. Construct with New; the zero value
+// is not ready for use. An Executor (and its memo cache) may be shared by
+// any number of concurrent batches: the Workers bound holds across all of
+// them (a semaphore, not a per-batch pool), as does progress-callback
+// serialisation. Run must not be called from inside one of its own jobs on
+// the same Executor — a job holds a worker slot, so same-executor nesting
+// can exhaust the pool and deadlock (give nested work its own Executor, as
+// the cluster runner does).
+type Executor struct {
+	workers  int
+	slots    chan struct{} // executor-wide worker semaphore
+	progress func(done, total int)
+	progMu   sync.Mutex // serialises progress across batches
+
+	mu       sync.Mutex
+	memo     map[Key]*memoEntry
+	computed int
+	hits     int
+}
+
+type memoEntry struct {
+	once  sync.Once
+	value any
+	err   error
+}
+
+// New returns an Executor for the configuration.
+func New(cfg Config) *Executor {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{workers: w, slots: make(chan struct{}, w),
+		progress: cfg.Progress, memo: map[Key]*memoEntry{}}
+}
+
+// Workers returns the executor's concurrency bound.
+func (e *Executor) Workers() int { return e.workers }
+
+// Run executes jobs 0..n-1 on the worker pool and blocks until they finish
+// or fail. Once any job returns an error no further jobs start (jobs
+// already running complete), and Run returns the error of the
+// lowest-indexed failed job. Jobs must write their results by index into
+// caller-owned storage; Run imposes no output ordering of its own.
+func (e *Executor) Run(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+
+	// The batch's progress counter is guarded by the executor-wide progress
+	// lock, so callbacks are serialised across batches and the per-batch
+	// done counter never goes backwards.
+	progDone := 0
+	report := func() {
+		if e.progress == nil {
+			return
+		}
+		e.progMu.Lock()
+		defer e.progMu.Unlock()
+		progDone++
+		e.progress(progDone, n)
+	}
+	abort := func() {
+		if e.progress == nil {
+			return
+		}
+		e.progMu.Lock()
+		defer e.progMu.Unlock()
+		if progDone > 0 {
+			e.progress(-1, n) // abort signal: see Config.Progress
+		}
+	}
+
+	// runJob executes one job under the executor-wide worker semaphore, so
+	// the Workers bound holds even when batches overlap.
+	runJob := func(i int) error {
+		e.slots <- struct{}{}
+		defer func() { <-e.slots }()
+		return job(i)
+	}
+
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := runJob(i); err != nil {
+				abort()
+				return err
+			}
+			report()
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		errIdx = -1
+		errVal error
+	)
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := runJob(i); err != nil {
+					errMu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, errVal = i, err
+					}
+					errMu.Unlock()
+					failed.Store(true)
+					return
+				}
+				report()
+			}
+		}()
+	}
+	wg.Wait()
+	if errVal != nil {
+		abort()
+	}
+	return errVal
+}
+
+// Do returns the result for key, computing it with fn at most once per
+// Executor; concurrent calls with the same key block until the single
+// computation finishes and then share its result (including its error).
+// The caller must ensure the key captures every input fn's result depends
+// on — an under-specified key silently returns a wrong cached result.
+func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
+	e.mu.Lock()
+	ent, ok := e.memo[key]
+	if !ok {
+		ent = &memoEntry{}
+		e.memo[key] = ent
+	}
+	e.mu.Unlock()
+
+	ran := false
+	ent.once.Do(func() {
+		ent.value, ent.err = fn()
+		ran = true
+	})
+
+	e.mu.Lock()
+	if ran {
+		e.computed++
+	} else {
+		e.hits++
+	}
+	e.mu.Unlock()
+	return ent.value, ent.err
+}
+
+// Memo is the typed wrapper around Do. A cached value whose type does not
+// match T reports an error rather than a silent zero value: it means two
+// call sites collided on one key with different result types.
+func Memo[T any](e *Executor, key Key, fn func() (T, error)) (T, error) {
+	v, err := e.Do(key, func() (any, error) {
+		t, err := fn()
+		return t, err
+	})
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("lab: memoized value for key %.12s… has type %T, want %T (key collision?)",
+			string(key), v, zero)
+	}
+	return t, nil
+}
+
+// Stats summarises the executor's memoization activity.
+type Stats struct {
+	// Computed is the number of distinct computations executed via Do.
+	Computed int
+	// Hits is the number of Do calls served from the memo cache.
+	Hits int
+}
+
+// Stats returns a snapshot of the memoization counters.
+func (e *Executor) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Computed: e.computed, Hits: e.hits}
+}
+
+// StderrProgress returns a Progress callback that renders a per-batch
+// "done/total" meter on stderr, or nil when enabled is false. It is the
+// shared implementation behind the CLIs' -progress flag. The done = -1
+// abort signal terminates the meter line so a following error message
+// starts on a fresh line.
+func StderrProgress(enabled bool) func(done, total int) {
+	if !enabled {
+		return nil
+	}
+	return func(done, total int) {
+		if done < 0 {
+			fmt.Fprintln(os.Stderr)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\r  experiment batch: %d/%d", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
