@@ -201,8 +201,9 @@ type MeasureOptions struct {
 	// at every setting.
 	Concurrency int
 	// Progress, when non-nil, is called as cells of each experiment batch
-	// complete (with the number done and the batch size).
-	Progress func(done, total int)
+	// complete (with the batch's label, the number done and the batch
+	// size).
+	Progress func(label string, done, total int)
 }
 
 func (o *MeasureOptions) defaults() MeasureOptions {
@@ -281,7 +282,7 @@ func MeasureProfile(m Machine, name string, app WorkloadFactory, opts *MeasureOp
 	}
 	bwCal, err := core.CalibrateBandwidth(core.MeasureConfig{
 		Spec: m, Warmup: 2_000_000, Window: 6_000_000, Seed: o.Seed,
-	}, o.MaxBandwidthThreads, interfere.BWConfig{})
+	}, o.MaxBandwidthThreads, interfere.BWConfig{}, ex)
 	if err != nil {
 		return Profile{}, err
 	}

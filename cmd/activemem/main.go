@@ -92,7 +92,7 @@ func main() {
 	check(err)
 	bwCal, err := core.CalibrateBandwidth(core.MeasureConfig{
 		Spec: spec, Warmup: 2_000_000, Window: 6_000_000, Seed: *seed,
-	}, 2, interfere.BWConfig{})
+	}, 2, interfere.BWConfig{}, ex)
 	check(err)
 
 	prof, err := core.BuildProfile(name, 1, *threshold,

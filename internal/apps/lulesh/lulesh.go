@@ -127,6 +127,8 @@ type rank struct {
 	elemIdx   int64
 	firstArr  int // rotating start so all arrays are touched across sweeps
 	iterArmed int
+
+	ops []mem.BatchOp // scratch for the batched access path
 }
 
 // Name implements engine.Workload.
@@ -188,16 +190,22 @@ func (rk *rank) Step(ctx *engine.Ctx) bool {
 		n = rem
 	}
 	e2 := int64(p.Edge) * int64(p.Edge)
+	// Encode the element batch as one access program (loads, stencil
+	// neighbour, store + compute per element) for the engine's batched
+	// fast path; the sequence is identical to per-access calls.
+	ops := rk.ops[:0]
 	for i := int64(0); i < n; i++ {
 		idx := rk.elemIdx + i
-		ctx.Load(arr + mem.Addr(idx*8))
+		ops = append(ops, mem.BatchOp{Addr: arr + mem.Addr(idx*8)})
 		// Stencil neighbour in the slowest dimension: one plane back.
 		if idx >= e2 {
-			ctx.Load(arr + mem.Addr((idx-e2)*8))
+			ops = append(ops, mem.BatchOp{Addr: arr + mem.Addr((idx-e2)*8)})
 		}
-		ctx.Store(dst + mem.Addr(idx*8))
-		ctx.Compute(units.Cycles(p.ComputePerElem))
+		ops = append(ops, mem.BatchOp{Addr: dst + mem.Addr(idx*8), Write: true,
+			Compute: units.Cycles(p.ComputePerElem)})
 	}
+	rk.ops = ops
+	ctx.Exec(ops)
 	ctx.WorkUnit(n)
 	rk.elemIdx += n
 	if rk.elemIdx >= rk.elems {

@@ -143,7 +143,8 @@ type rank struct {
 	local int
 
 	// phase progress
-	tracked int // particles tracked this phase
+	tracked int           // particles tracked this phase
+	ops     []mem.BatchOp // scratch for the batched access path
 }
 
 // Name implements engine.Workload.
@@ -183,7 +184,12 @@ func (rk *rank) Messages(int) []cluster.Message {
 	}
 }
 
-// Step implements engine.Workload: track a batch of particles.
+// Step implements engine.Workload: track a batch of particles. The whole
+// batch is encoded as one access program — vault streaming, tally
+// read-modify-writes and per-segment compute — and issued through the
+// engine's batched fast path; the tally indices are drawn from the same
+// stream in the same order as a per-access loop, so the access sequence is
+// bit-identical.
 func (rk *rank) Step(ctx *engine.Ctx) bool {
 	p := rk.app.p
 	meshElems := p.MeshBytes / 8
@@ -192,21 +198,24 @@ func (rk *rank) Step(ctx *engine.Ctx) bool {
 		batch = rem
 	}
 	r := ctx.Rand()
+	ops := rk.ops[:0]
 	for i := 0; i < batch; i++ {
 		// Stream the particle record (load position, store updated state).
-		off := mem.Addr(int64(rk.tracked+i) * p.ParticleBytes)
-		ctx.Load(rk.vault + off)
-		ctx.Store(rk.vault + off)
+		off := rk.vault + mem.Addr(int64(rk.tracked+i)*p.ParticleBytes)
+		ops = append(ops, mem.BatchOp{Addr: off}, mem.BatchOp{Addr: off, Write: true})
 		for s := 0; s < p.SegmentsPerParticle; s++ {
 			for t := 0; t < p.TalliesPerSegment; t++ {
 				idx := int64(r.Intn(int(meshElems)))
 				addr := rk.mesh + mem.Addr(idx*8)
-				ctx.Load(addr)
-				ctx.Store(addr) // tally increment
+				ops = append(ops, mem.BatchOp{Addr: addr},
+					mem.BatchOp{Addr: addr, Write: true}) // tally increment
 			}
-			ctx.Compute(units.Cycles(p.ComputePerSegment))
+			// The segment's arithmetic follows its last access.
+			ops[len(ops)-1].Compute += units.Cycles(p.ComputePerSegment)
 		}
 	}
+	rk.ops = ops
+	ctx.Exec(ops)
 	rk.tracked += batch
 	ctx.WorkUnit(int64(batch))
 	return rk.tracked < rk.local

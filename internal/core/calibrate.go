@@ -145,7 +145,8 @@ func CalibrateCapacity(cfg CalibrationConfig) (CapacityCalibration, error) {
 			}
 		}
 	}
-	err := ex.Run(len(cells), func(idx int) error {
+	err := ex.RunLabeled(fmt.Sprintf("§III-C3 capacity grid c=%d, k=0..%d",
+		cfg.ComputePerLoad, cfg.MaxThreads), len(cells), func(idx int) error {
 		c := cells[idx]
 		sample, err := cfg.runOne(ex, c.k, cfg.BufferBytes[c.bi], cfg.Dists[c.di])
 		if err != nil {
@@ -211,8 +212,11 @@ type BandwidthCalibration struct {
 }
 
 // CalibrateBandwidth measures k = 0..maxThreads BWThrs running alone on a
-// socket.
-func CalibrateBandwidth(cfg MeasureConfig, maxThreads int, bw interfere.BWConfig) (BandwidthCalibration, error) {
+// socket. The per-level cells run on ex's bounded pool and are memoized by
+// their full input content, so a shared executor measures the §III-A BWThr
+// ladder once no matter how many sweeps, app studies or profiles consume
+// it; a nil ex selects a fresh GOMAXPROCS-bounded executor.
+func CalibrateBandwidth(cfg MeasureConfig, maxThreads int, bw interfere.BWConfig, ex *lab.Executor) (BandwidthCalibration, error) {
 	if err := cfg.Validate(); err != nil {
 		return BandwidthCalibration{}, err
 	}
@@ -222,22 +226,26 @@ func CalibrateBandwidth(cfg MeasureConfig, maxThreads int, bw interfere.BWConfig
 	if bw == (interfere.BWConfig{}) {
 		bw = interfere.DefaultBWConfig(cfg.Spec.L3.Size)
 	}
+	ex = executor(ex)
 	cal := BandwidthCalibration{PeakGBs: cfg.Spec.PeakBandwidthGBs()}
-	for k := 0; k <= maxThreads; k++ {
-		consumed := 0.0
-		if k > 0 {
-			h := cfg.Spec.NewSocket(cfg.Seed)
-			e := engine.New(h, cfg.Spec.MSHRs)
-			alloc := mem.NewAlloc(cfg.Spec.LineSize())
-			for i := 0; i < k; i++ {
-				e.PlaceDaemon(i, interfere.NewBWThr(bw, alloc), cfg.Seed+uint64(i))
+	cal.ConsumedGBs = make([]float64, maxThreads+1)
+	err := ex.RunLabeled(fmt.Sprintf("§III-A bandwidth ladder k=0..%d", maxThreads),
+		maxThreads+1, func(k int) error {
+			consumed, err := lab.Memo(ex,
+				lab.KeyOf(cfg.Spec, cfg.Warmup, cfg.Window, cfg.Seed, "bwthr-ladder", k, bw),
+				func() (float64, error) {
+					return measureBWThrLadder(cfg, k, bw), nil
+				})
+			if err != nil {
+				return err
 			}
-			e.RunUntil(cfg.Warmup)
-			h.ResetStats()
-			e.RunUntil(cfg.Warmup + cfg.Window)
-			consumed = cfg.Spec.Clock.BandwidthGBs(h.Bus.Stats.Bytes, cfg.Window)
-		}
-		cal.ConsumedGBs = append(cal.ConsumedGBs, consumed)
+			cal.ConsumedGBs[k] = consumed
+			return nil
+		})
+	if err != nil {
+		return BandwidthCalibration{}, err
+	}
+	for _, consumed := range cal.ConsumedGBs {
 		avail := cal.PeakGBs - consumed
 		if avail < 0 {
 			avail = 0
@@ -245,4 +253,22 @@ func CalibrateBandwidth(cfg MeasureConfig, maxThreads int, bw interfere.BWConfig
 		cal.AvailableGBs = append(cal.AvailableGBs, avail)
 	}
 	return cal, nil
+}
+
+// measureBWThrLadder simulates k BWThrs alone on a socket and returns the
+// bandwidth they consume.
+func measureBWThrLadder(cfg MeasureConfig, k int, bw interfere.BWConfig) float64 {
+	if k == 0 {
+		return 0
+	}
+	h := cfg.Spec.NewSocket(cfg.Seed)
+	e := engine.New(h, cfg.Spec.MSHRs)
+	alloc := mem.NewAlloc(cfg.Spec.LineSize())
+	for i := 0; i < k; i++ {
+		e.PlaceDaemon(i, interfere.NewBWThr(bw, alloc), cfg.Seed+uint64(i))
+	}
+	e.RunUntil(cfg.Warmup)
+	h.ResetStats()
+	e.RunUntil(cfg.Warmup + cfg.Window)
+	return cfg.Spec.Clock.BandwidthGBs(h.Bus.Stats.Bytes, cfg.Window)
 }

@@ -291,7 +291,7 @@ func TestKneeDetection(t *testing.T) {
 func TestCalibrateBandwidth(t *testing.T) {
 	spec := machine.Scaled(8)
 	cal, err := CalibrateBandwidth(MeasureConfig{Spec: spec, Warmup: 1_000_000, Window: 4_000_000, Seed: 1},
-		3, interfere.BWConfig{})
+		3, interfere.BWConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,5 +457,33 @@ func TestBuildProfileErrors(t *testing.T) {
 	}
 	if _, err := BuildProfile("x", 1, 0.05, s, nil, s, []float64{1}); err == nil {
 		t.Error("short calibration accepted")
+	}
+}
+
+// TestCalibrateBandwidthMemoizes proves the §III-A ladder runs through the
+// executor's memo cache: a second calibration on the same executor reuses
+// every level instead of re-simulating the BWThr ladder.
+func TestCalibrateBandwidthMemoizes(t *testing.T) {
+	spec := machine.Scaled(8)
+	ex := lab.New(lab.Config{})
+	cfg := MeasureConfig{Spec: spec, Warmup: 1_000_000, Window: 4_000_000, Seed: 1}
+	first, err := CalibrateBandwidth(cfg, 2, interfere.BWConfig{}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ex.Stats()
+	second, err := CalibrateBandwidth(cfg, 2, interfere.BWConfig{}, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ex.Stats()
+	if after.Computed != before.Computed {
+		t.Fatalf("second calibration re-simulated %d cells", after.Computed-before.Computed)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("second calibration did not hit the memo cache")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("memoized calibration differs: %+v vs %+v", first, second)
 	}
 }

@@ -58,14 +58,15 @@ func RunSweep(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, erro
 	}
 	ex := executor(cfg.Exec)
 	s := Sweep{Kind: cfg.Kind, App: appName, Points: make([]Metrics, cfg.MaxThreads+1)}
-	err := ex.Run(len(s.Points), func(k int) error {
-		m, err := measureMemo(ex, cfg.MeasureConfig, appName, app, cfg.Kind, k, cfg.BW, cfg.CS)
-		if err != nil {
-			return err
-		}
-		s.Points[k] = m
-		return nil
-	})
+	err := ex.RunLabeled(fmt.Sprintf("%s sweep: %s", cfg.Kind, appName),
+		len(s.Points), func(k int) error {
+			m, err := measureMemo(ex, cfg.MeasureConfig, appName, app, cfg.Kind, k, cfg.BW, cfg.CS)
+			if err != nil {
+				return err
+			}
+			s.Points[k] = m
+			return nil
+		})
 	if err != nil {
 		return Sweep{}, err
 	}

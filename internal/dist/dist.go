@@ -25,8 +25,10 @@ type Dist interface {
 	Name() string
 	// Sample draws one element index from the distribution using r.
 	Sample(r *xrand.Rand) int64
-	// StdDev is the distribution's nominal standard deviation in elements
-	// (the untruncated parameter for Normal/Exponential), used in reports.
+	// StdDev is the distribution's standard deviation in elements — the
+	// moment of the distribution Sample actually draws from (i.e. the
+	// truncated moment for Normal/Exponential, not the nominal
+	// parameter), used in reports.
 	StdDev() float64
 	// CDF returns the probability that a sampled index is below x, for
 	// 0 <= x <= N. It is exact for the same process Sample implements.
@@ -142,14 +144,32 @@ func NewNormal(n int64, div int) Normal {
 // stdPhi is the standard normal CDF.
 func stdPhi(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
 
+// stdPdf is the standard normal density.
+func stdPdf(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+
 // N implements Dist.
 func (d Normal) N() int64 { return d.n }
 
 // Name implements Dist.
 func (d Normal) Name() string { return fmt.Sprintf("Norm %d", d.div) }
 
-// StdDev implements Dist: the untruncated σ = N/Div.
-func (d Normal) StdDev() float64 { return d.sigma }
+// StdDev implements Dist: the standard deviation of the truncated normal
+// (the distribution Sample realises), from the standard two-sided
+// truncation formula
+//
+//	Var = σ²·[1 + (α·φ(α) − β·φ(β))/Z − ((φ(α) − φ(β))/Z)²]
+//
+// with α, β the standardised truncation bounds and Z = Φ(β) − Φ(α). For a
+// narrow σ it approaches the nominal N/Div; for the wide Table II settings
+// the truncation to [0, N) tightens it noticeably.
+func (d Normal) StdDev() float64 {
+	alpha := (0 - d.mu) / d.sigma
+	beta := (float64(d.n) - d.mu) / d.sigma
+	phiA, phiB := stdPdf(alpha), stdPdf(beta)
+	m := (phiA - phiB) / d.span
+	v := 1 + (alpha*phiA-beta*phiB)/d.span - m*m
+	return d.sigma * math.Sqrt(v)
+}
 
 // Sample implements Dist by rejection against the truncation bounds.
 func (d Normal) Sample(r *xrand.Rand) int64 {
@@ -192,8 +212,22 @@ func (d Exponential) N() int64 { return d.n }
 // Name implements Dist.
 func (d Exponential) Name() string { return fmt.Sprintf("Exp %d", d.rate) }
 
-// StdDev implements Dist: the untruncated 1/λ = N/Rate.
-func (d Exponential) StdDev() float64 { return 1 / d.lambda }
+// StdDev implements Dist: the standard deviation of the exponential
+// truncated to [0, N) (the distribution Sample realises), from the exact
+// truncated moments
+//
+//	E[X]  = 1/λ − N·e^{−λN}/Z
+//	E[X²] = 2/λ² − (N² + 2N/λ)·e^{−λN}/Z
+//
+// with Z = 1 − e^{−λN}. The nominal 1/λ overstates the spread because the
+// tail beyond N is rejected.
+func (d Exponential) StdDev() float64 {
+	t := float64(d.n)
+	tail := math.Exp(-d.lambda * t)
+	mean := 1/d.lambda - t*tail/d.norm
+	m2 := 2/(d.lambda*d.lambda) - (t*t+2*t/d.lambda)*tail/d.norm
+	return math.Sqrt(m2 - mean*mean)
+}
 
 // Sample implements Dist by rejection against the truncation bound.
 func (d Exponential) Sample(r *xrand.Rand) int64 {

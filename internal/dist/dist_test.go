@@ -139,3 +139,45 @@ func TestConstructorPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestTruncatedStdDevQuadrature checks the closed-form truncated
+// Normal/Exponential StdDev against midpoint-rule quadrature over the
+// distributions' own exact CDFs. It also pins the qualitative fix: the
+// truncated moment must fall strictly below the nominal parameter, which
+// the pre-fix implementation reported verbatim.
+func TestTruncatedStdDevQuadrature(t *testing.T) {
+	const n = 1 << 20
+	cases := []struct {
+		d       Dist
+		nominal float64
+	}{
+		{NewNormal(n, 4), float64(n) / 4},
+		{NewNormal(n, 6), float64(n) / 6},
+		{NewNormal(n, 8), float64(n) / 8},
+		{NewExponential(n, 4), float64(n) / 4},
+		{NewExponential(n, 6), float64(n) / 6},
+		{NewExponential(n, 8), float64(n) / 8},
+	}
+	for _, tc := range cases {
+		var mean, m2, prev float64
+		const step = 256
+		for x := int64(step); x <= n; x += step {
+			c := tc.d.CDF(x)
+			mass := c - prev
+			mid := float64(x) - step/2
+			mean += mid * mass
+			m2 += mid * mid * mass
+			prev = c
+		}
+		quad := math.Sqrt(m2 - mean*mean)
+		got := tc.d.StdDev()
+		if rel := math.Abs(got-quad) / quad; rel > 1e-3 {
+			t.Errorf("%s: StdDev %.1f vs quadrature %.1f (rel err %.2g)",
+				tc.d.Name(), got, quad, rel)
+		}
+		if got >= tc.nominal {
+			t.Errorf("%s: truncated StdDev %.1f not below nominal %.1f",
+				tc.d.Name(), got, tc.nominal)
+		}
+	}
+}

@@ -11,7 +11,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 
 	"activemem/internal/mem"
@@ -86,6 +85,52 @@ func (c *Ctx) Store(addr mem.Addr) {
 	c.accesses++
 }
 
+// LoadBatch performs blocking loads of addrs in order — the batched
+// equivalent of calling Load per address, with per-access counter and
+// tracer overhead amortised over the batch. Counters and timing are
+// bit-identical to the per-call form.
+func (c *Ctx) LoadBatch(addrs []mem.Addr) {
+	c.now = c.hier.LoadBatch(c.coreID, c.now, addrs, 0)
+	c.accesses += int64(len(addrs))
+}
+
+// LoadComputeBatch performs a blocking load followed by computePer cycles of
+// computation for each addr in order — the sample-load-compute loop of the
+// synthetic benchmarks.
+func (c *Ctx) LoadComputeBatch(addrs []mem.Addr, computePer units.Cycles) {
+	if computePer < 0 {
+		panic("engine: negative compute time")
+	}
+	c.now = c.hier.LoadBatch(c.coreID, c.now, addrs, computePer)
+	c.accesses += int64(len(addrs))
+}
+
+// StoreBatch performs blocking stores of addrs in order, the batched
+// equivalent of calling Store per address.
+func (c *Ctx) StoreBatch(addrs []mem.Addr) {
+	c.now = c.hier.StoreBatch(c.coreID, c.now, addrs)
+	c.accesses += int64(len(addrs))
+}
+
+// RMWBatch performs a load, compute cycles, then a store for each addr in
+// order — the read-modify-write triple of CSThr-style kernels.
+func (c *Ctx) RMWBatch(addrs []mem.Addr, compute units.Cycles) {
+	if compute < 0 {
+		panic("engine: negative compute time")
+	}
+	c.now = c.hier.RMWBatch(c.coreID, c.now, addrs, compute)
+	c.accesses += 2 * int64(len(addrs))
+}
+
+// Exec runs an arbitrary batched access program: per op, an access (load or
+// store) followed by its compute cycles. It is the general form behind
+// LoadBatch/StoreBatch/RMWBatch for kernels whose per-element sequence is
+// irregular (e.g. a stencil's two loads and a store).
+func (c *Ctx) Exec(ops []mem.BatchOp) {
+	c.now = c.hier.AccessBatch(c.coreID, c.now, ops)
+	c.accesses += int64(len(ops))
+}
+
 // LoadOverlapped issues the given addresses with up to the core's MSHR
 // limit in flight, modelling memory-level parallelism: each access is
 // issued issueGap cycles after the previous one, stalling when the MSHR
@@ -141,8 +186,15 @@ func (c *Ctx) Finished() bool { return c.finished }
 type Engine struct {
 	hier *mem.Hierarchy
 	ctxs []*Ctx
-	pq   ctxHeap
+	pq   []*Ctx // active cores: a hand-rolled min-heap over (clock, core id)
 }
+
+// scanCutoff is the active-core count at or below which the scheduler uses
+// a linear argmin scan instead of heap maintenance: for the handful of
+// cores a socket hosts, a branch-predictable scan over a tiny slice beats
+// sift bookkeeping. Pop order is identical either way because the
+// (clock, core id) order is total, so the minimum is always unique.
+const scanCutoff = 4
 
 // New creates an engine for a socket hierarchy with the given per-core MSHR
 // limit.
@@ -190,7 +242,16 @@ func (e *Engine) Ctx(core int) *Ctx { return e.ctxs[core] }
 // Hierarchy returns the socket memory system.
 func (e *Engine) Hierarchy() *mem.Hierarchy { return e.hier }
 
-// rebuild refreshes the scheduling heap from non-finished, occupied cores.
+// ctxLess orders contexts by (clock, core id) — a strict total order, since
+// core ids are unique.
+func ctxLess(a, b *Ctx) bool {
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	return a.coreID < b.coreID
+}
+
+// rebuild refreshes the scheduling queue from non-finished, occupied cores.
 func (e *Engine) rebuild() {
 	e.pq = e.pq[:0]
 	for _, c := range e.ctxs {
@@ -198,7 +259,69 @@ func (e *Engine) rebuild() {
 			e.pq = append(e.pq, c)
 		}
 	}
-	heap.Init(&e.pq)
+	if len(e.pq) > scanCutoff {
+		for i := len(e.pq)/2 - 1; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
+}
+
+// siftDown restores the heap property below node i.
+func (e *Engine) siftDown(i int) {
+	pq := e.pq
+	n := len(pq)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && ctxLess(pq[r], pq[l]) {
+			least = r
+		}
+		if !ctxLess(pq[least], pq[i]) {
+			return
+		}
+		pq[i], pq[least] = pq[least], pq[i]
+		i = least
+	}
+}
+
+// next returns the index and context of the earliest active core: the heap
+// root, or a linear argmin once few cores remain (the heap property is not
+// needed nor maintained at or below the cutoff).
+func (e *Engine) next() (int, *Ctx) {
+	pq := e.pq
+	if len(pq) > scanCutoff {
+		return 0, pq[0]
+	}
+	mi := 0
+	for i := 1; i < len(pq); i++ {
+		if ctxLess(pq[i], pq[mi]) {
+			mi = i
+		}
+	}
+	return mi, pq[mi]
+}
+
+// stepped re-establishes scheduling order after the context at index i
+// advanced its clock.
+func (e *Engine) stepped(i int) {
+	if len(e.pq) > scanCutoff {
+		e.siftDown(i)
+	}
+}
+
+// remove drops the context at index i from the queue.
+func (e *Engine) remove(i int) {
+	pq := e.pq
+	last := len(pq) - 1
+	pq[i] = pq[last]
+	pq[last] = nil
+	e.pq = pq[:last]
+	if len(e.pq) > scanCutoff {
+		e.siftDown(i)
+	}
 }
 
 // RunUntil advances all occupied cores until every core's clock reaches t
@@ -206,21 +329,21 @@ func (e *Engine) rebuild() {
 func (e *Engine) RunUntil(t units.Cycles) {
 	e.rebuild()
 	for len(e.pq) > 0 {
-		c := e.pq[0]
+		i, c := e.next()
 		if c.now >= t {
-			return // heap min has reached the horizon, so all cores have
+			return // the earliest core has reached the horizon, so all have
 		}
 		before := c.now
 		if !c.wl.Step(c) {
 			c.finished = true
-			heap.Pop(&e.pq)
+			e.remove(i)
 			continue
 		}
 		if c.now == before {
 			panic(fmt.Sprintf("engine: workload %s made no progress on core %d",
 				c.wl.Name(), c.coreID))
 		}
-		heap.Fix(&e.pq, 0)
+		e.stepped(i)
 	}
 }
 
@@ -240,11 +363,11 @@ func (e *Engine) Run(stop func() bool) {
 		return
 	}
 	for len(e.pq) > 0 {
-		c := e.pq[0]
+		i, c := e.next()
 		before := c.now
 		if !c.wl.Step(c) {
 			c.finished = true
-			heap.Pop(&e.pq)
+			e.remove(i)
 			if !c.daemon {
 				workers--
 				if workers == 0 {
@@ -256,7 +379,7 @@ func (e *Engine) Run(stop func() bool) {
 				panic(fmt.Sprintf("engine: workload %s made no progress on core %d",
 					c.wl.Name(), c.coreID))
 			}
-			heap.Fix(&e.pq, 0)
+			e.stepped(i)
 		}
 		if stop != nil && stop() {
 			return
@@ -296,24 +419,4 @@ func (e *Engine) MaxClock() units.Cycles {
 		}
 	}
 	return m
-}
-
-// ctxHeap orders contexts by (clock, core id).
-type ctxHeap []*Ctx
-
-func (h ctxHeap) Len() int { return len(h) }
-func (h ctxHeap) Less(i, j int) bool {
-	if h[i].now != h[j].now {
-		return h[i].now < h[j].now
-	}
-	return h[i].coreID < h[j].coreID
-}
-func (h ctxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *ctxHeap) Push(x any)   { *h = append(*h, x.(*Ctx)) }
-func (h *ctxHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

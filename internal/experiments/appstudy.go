@@ -78,28 +78,29 @@ func runAppSweep(ex *lab.Executor, opt Options, label string, build appBuilder,
 	}
 	iters, warm := appIters(opt.Grid)
 	secs := make([]float64, maxK+1)
-	err := ex.Run(maxK+1, func(k int) error {
-		cfg := cluster.RunConfig{
-			Spec:           spec,
-			App:            build(spec),
-			RanksPerSocket: p,
-			Interference:   cluster.Interference{Kind: kind, Threads: k},
-			Iterations:     iters,
-			Warmup:         warm,
-			Homogeneous:    true,
-			NoiseStd:       0.005,
-			Concurrency:    1, // the cell is already a pool worker
-			Seed:           opt.Seed,
-		}
-		res, err := lab.Memo(ex, clusterCellKey(cfg, label), func() (cluster.Result, error) {
-			return cluster.Run(cfg)
+	err := ex.RunLabeled(fmt.Sprintf("%s %s sweep p=%d", label, kind, p),
+		maxK+1, func(k int) error {
+			cfg := cluster.RunConfig{
+				Spec:           spec,
+				App:            build(spec),
+				RanksPerSocket: p,
+				Interference:   cluster.Interference{Kind: kind, Threads: k},
+				Iterations:     iters,
+				Warmup:         warm,
+				Homogeneous:    true,
+				NoiseStd:       0.005,
+				Concurrency:    1, // the cell is already a pool worker
+				Seed:           opt.Seed,
+			}
+			res, err := lab.Memo(ex, clusterCellKey(cfg, label), func() (cluster.Result, error) {
+				return cluster.Run(cfg)
+			})
+			if err != nil {
+				return err
+			}
+			secs[k] = res.Seconds
+			return nil
 		})
-		if err != nil {
-			return err
-		}
-		secs[k] = res.Seconds
-		return nil
-	})
 	if err != nil {
 		return nil, err
 	}
@@ -427,7 +428,7 @@ func StudyCalibrations(opt Options) (capAvail, bwAvail []float64, err error) {
 	}
 	bw, err := core.CalibrateBandwidth(
 		core.MeasureConfig{Spec: spec, Warmup: 2_000_000, Window: 6_000_000, Seed: opt.Seed},
-		maxBandwidthThreads, interfere.BWConfig{})
+		maxBandwidthThreads, interfere.BWConfig{}, opt.executor())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -56,8 +56,9 @@ type Options struct {
 	// setting.
 	Concurrency int
 	// Progress, when non-nil, is called as cells of a batch complete (with
-	// the number done and the batch size), for CLI progress reporting.
-	Progress func(done, total int)
+	// the batch's label, the number done and the batch size), for CLI
+	// progress reporting.
+	Progress func(label string, done, total int)
 	// Exec, when non-nil, is the lab.Executor every driver schedules its
 	// cells on (Concurrency and Progress are then ignored). Sharing one
 	// executor across drivers also shares its result memo: e.g. the entire

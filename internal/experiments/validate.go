@@ -47,7 +47,7 @@ func SecIIIA(opt Options) (SecIIIAResult, error) {
 	spec := opt.Spec()
 	cfg := core.MeasureConfig{Spec: spec, Warmup: 2_000_000, Window: 6_000_000, Seed: opt.Seed}
 	max := spec.CoresPerSocket - 1
-	cal, err := core.CalibrateBandwidth(cfg, max, interfere.BWConfig{})
+	cal, err := core.CalibrateBandwidth(cfg, max, interfere.BWConfig{}, opt.executor())
 	if err != nil {
 		return SecIIIAResult{}, err
 	}

@@ -57,12 +57,12 @@ type Config struct {
 	// selects GOMAXPROCS; 1 runs every batch inline, in index order.
 	Workers int
 	// Progress, when non-nil, is called after each cell of a batch
-	// completes with the number finished so far and the batch size. Calls
-	// are serialised across workers. When a batch aborts on error after
-	// reporting at least one completion, the callback receives one final
-	// call with done = -1 so line-oriented meters can terminate their
-	// output.
-	Progress func(done, total int)
+	// completes with the batch's label (possibly empty), the number
+	// finished so far and the batch size. Calls are serialised across
+	// workers. When a batch aborts on error after reporting at least one
+	// completion, the callback receives one final call with done = -1 so
+	// line-oriented meters can terminate their output.
+	Progress func(label string, done, total int)
 }
 
 // Executor schedules experiment cells. Construct with New; the zero value
@@ -76,7 +76,7 @@ type Config struct {
 type Executor struct {
 	workers  int
 	slots    chan struct{} // executor-wide worker semaphore
-	progress func(done, total int)
+	progress func(label string, done, total int)
 	progMu   sync.Mutex // serialises progress across batches
 
 	mu       sync.Mutex
@@ -104,12 +104,20 @@ func New(cfg Config) *Executor {
 // Workers returns the executor's concurrency bound.
 func (e *Executor) Workers() int { return e.workers }
 
-// Run executes jobs 0..n-1 on the worker pool and blocks until they finish
-// or fail. Once any job returns an error no further jobs start (jobs
-// already running complete), and Run returns the error of the
-// lowest-indexed failed job. Jobs must write their results by index into
-// caller-owned storage; Run imposes no output ordering of its own.
+// Run executes jobs 0..n-1 on the worker pool with an anonymous batch
+// label; see RunLabeled.
 func (e *Executor) Run(n int, job func(i int) error) error {
+	return e.RunLabeled("", n, job)
+}
+
+// RunLabeled executes jobs 0..n-1 on the worker pool and blocks until they
+// finish or fail. The label names the batch in progress reporting (e.g.
+// "storage sweep: MCB" or "capacity grid c=10"), making long experiment
+// campaigns legible. Once any job returns an error no further jobs start
+// (jobs already running complete), and the call returns the error of the
+// lowest-indexed failed job. Jobs must write their results by index into
+// caller-owned storage; no output ordering is imposed.
+func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -125,7 +133,7 @@ func (e *Executor) Run(n int, job func(i int) error) error {
 		e.progMu.Lock()
 		defer e.progMu.Unlock()
 		progDone++
-		e.progress(progDone, n)
+		e.progress(label, progDone, n)
 	}
 	abort := func() {
 		if e.progress == nil {
@@ -134,7 +142,7 @@ func (e *Executor) Run(n int, job func(i int) error) error {
 		e.progMu.Lock()
 		defer e.progMu.Unlock()
 		if progDone > 0 {
-			e.progress(-1, n) // abort signal: see Config.Progress
+			e.progress(label, -1, n) // abort signal: see Config.Progress
 		}
 	}
 
@@ -264,20 +272,23 @@ func (e *Executor) Stats() Stats {
 }
 
 // StderrProgress returns a Progress callback that renders a per-batch
-// "done/total" meter on stderr, or nil when enabled is false. It is the
-// shared implementation behind the CLIs' -progress flag. The done = -1
+// "label: done/total" meter on stderr, or nil when enabled is false. It is
+// the shared implementation behind the CLIs' -progress flag. The done = -1
 // abort signal terminates the meter line so a following error message
 // starts on a fresh line.
-func StderrProgress(enabled bool) func(done, total int) {
+func StderrProgress(enabled bool) func(label string, done, total int) {
 	if !enabled {
 		return nil
 	}
-	return func(done, total int) {
+	return func(label string, done, total int) {
 		if done < 0 {
 			fmt.Fprintln(os.Stderr)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "\r  experiment batch: %d/%d", done, total)
+		if label == "" {
+			label = "experiment batch"
+		}
+		fmt.Fprintf(os.Stderr, "\r  %s: %d/%d", label, done, total)
 		if done == total {
 			fmt.Fprintln(os.Stderr)
 		}

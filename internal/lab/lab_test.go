@@ -133,7 +133,7 @@ func TestRunParallelErrorIsLowestIndex(t *testing.T) {
 func TestProgressCallback(t *testing.T) {
 	var mu sync.Mutex
 	var seen []int
-	e := New(Config{Workers: 2, Progress: func(done, total int) {
+	e := New(Config{Workers: 2, Progress: func(_ string, done, total int) {
 		mu.Lock()
 		defer mu.Unlock()
 		if total != 6 {
@@ -161,7 +161,7 @@ func TestProgressAbortSignal(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var mu sync.Mutex
 		var seen []int
-		e := New(Config{Workers: workers, Progress: func(done, total int) {
+		e := New(Config{Workers: workers, Progress: func(_ string, done, total int) {
 			mu.Lock()
 			defer mu.Unlock()
 			seen = append(seen, done)
@@ -184,7 +184,7 @@ func TestProgressAbortSignal(t *testing.T) {
 	// A batch that fails before any completion stays silent: there is no
 	// meter line to terminate.
 	called := false
-	e := New(Config{Workers: 1, Progress: func(done, total int) { called = true }})
+	e := New(Config{Workers: 1, Progress: func(_ string, done, total int) { called = true }})
 	if err := e.Run(3, func(int) error { return boom }); !errors.Is(err, boom) {
 		t.Fatal("error not propagated")
 	}
@@ -260,5 +260,30 @@ func TestRunEmptyBatch(t *testing.T) {
 	e := New(Config{})
 	if err := e.Run(0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunLabeledReportsLabel(t *testing.T) {
+	var mu sync.Mutex
+	var labels []string
+	e := New(Config{Workers: 1, Progress: func(label string, done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		labels = append(labels, label)
+	}})
+	if err := e.RunLabeled("fig6 c=10 grid", 3, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig6 c=10 grid", "fig6 c=10 grid", "fig6 c=10 grid", ""}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v", labels)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"activemem/internal/units"
 	"activemem/internal/xrand"
@@ -60,6 +61,9 @@ func (c CacheConfig) Validate() error {
 	if c.Size%(c.LineSize*int64(c.Assoc)) != 0 {
 		return fmt.Errorf("mem: %s: size %d not divisible by assoc*line", c.Name, c.Size)
 	}
+	if c.Assoc > 32 {
+		return fmt.Errorf("mem: %s: associativity %d exceeds the supported 32 ways", c.Name, c.Assoc)
+	}
 	sets := c.Sets()
 	if sets&(sets-1) != 0 {
 		return fmt.Errorf("mem: %s: set count %d not a power of two", c.Name, sets)
@@ -90,23 +94,41 @@ func (s CacheStats) MissRate() float64 {
 	return float64(s.Misses) / float64(a)
 }
 
-type way struct {
-	line       Line
-	lastUse    int64
-	insertedAt int64
-	dirty      bool
-}
+// invalidTag marks an empty way in the packed tag array.
+const invalidTag int32 = -1
+
+// maxTagLine is the largest line number a packed tag can hold.
+const maxTagLine = Line(1)<<31 - 1
 
 // Cache is a set-associative cache. It tracks only line presence and
 // recency, not data contents. All methods are single-goroutine; a socket's
 // hierarchy is always simulated by one engine.
+//
+// The way state is laid out structure-of-arrays: the tag array is a packed
+// []int32 so a set scan — the operation every access, lookup, invalidate
+// and prefetch filter performs — touches at most two host cache lines for a
+// 20-way set, while the replacement metadata lives in parallel arrays that
+// exist only for the policy that reads them (recency stamps for LRU,
+// insertion stamps for FIFO, neither for Random).
 type Cache struct {
-	cfg     CacheConfig
-	sets    int64
-	setMask int64
-	ways    []way // sets × assoc, row-major
-	seq     int64 // monotone access sequence used for LRU/FIFO ordering
-	rng     *xrand.Rand
+	cfg       CacheConfig
+	sets      int64
+	setMask   int64
+	assoc     int64
+	lines     []int32  // packed tags, sets × assoc row-major; invalidTag = empty
+	lastUse   []int64  // LRU recency stamps (nil unless PolicyLRU)
+	insBy     []int64  // FIFO insertion stamps (nil unless PolicyFIFO)
+	dirty     []bool   // dirtiness, parallel to lines
+	empty     []uint32 // per-set bitmask of empty ways (bit i = way base+i)
+	emptyWays int64    // total empty ways; 0 lets fill skip the mask probe
+	seq       int64    // monotone access sequence used for LRU/FIFO ordering
+	rng       *xrand.Rand
+
+	// filter, when non-nil, is a shared membership filter kept in sync with
+	// this cache's contents; the hierarchy attaches one to the private
+	// caches so inclusive back-invalidation can skip sockets-worth of set
+	// scans for lines provably absent from every private cache.
+	filter *presenceFilter
 
 	// Stats accumulates event counts; callers may reset it between
 	// measurement windows.
@@ -120,15 +142,30 @@ func NewCache(cfg CacheConfig, seed uint64) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	n := cfg.Sets() * int64(cfg.Assoc)
 	c := &Cache{
-		cfg:     cfg,
-		sets:    cfg.Sets(),
-		setMask: cfg.Sets() - 1,
-		ways:    make([]way, cfg.Sets()*int64(cfg.Assoc)),
-		rng:     xrand.New(seed),
+		cfg:       cfg,
+		sets:      cfg.Sets(),
+		setMask:   cfg.Sets() - 1,
+		assoc:     int64(cfg.Assoc),
+		lines:     make([]int32, n),
+		dirty:     make([]bool, n),
+		empty:     make([]uint32, cfg.Sets()),
+		emptyWays: n,
+		rng:       xrand.New(seed),
 	}
-	for i := range c.ways {
-		c.ways[i].line = InvalidLine
+	switch cfg.Policy {
+	case PolicyLRU:
+		c.lastUse = make([]int64, n)
+	case PolicyFIFO:
+		c.insBy = make([]int64, n)
+	}
+	for i := range c.lines {
+		c.lines[i] = invalidTag
+	}
+	allEmpty := uint32(1)<<uint(cfg.Assoc) - 1
+	for i := range c.empty {
+		c.empty[i] = allEmpty
 	}
 	return c
 }
@@ -136,21 +173,85 @@ func NewCache(cfg CacheConfig, seed uint64) *Cache {
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
-// setOf returns the index of the first way of line's set.
+// tagOf converts a line to its packed tag, rejecting lines beyond the tag
+// range (the simulated address spaces stay far below 128 GB of 64-byte
+// lines, so the check is a never-taken branch on the hot path).
+func tagOf(line Line) int32 {
+	if uint64(line) > uint64(maxTagLine) {
+		panic(fmt.Sprintf("mem: line %d outside the packed tag range", line))
+	}
+	return int32(line)
+}
+
+// setOf returns the index of line's set.
 func (c *Cache) setOf(line Line) int64 {
-	return (int64(line) & c.setMask) * int64(c.cfg.Assoc)
+	return int64(line) & c.setMask
+}
+
+// find scans line's set for a hit, returning the way index or -1. The scan
+// touches only the packed tag array; empty ways are tracked separately, so
+// the miss path never rescans for a free slot.
+func (c *Cache) find(tag int32, base int64) int64 {
+	ws := c.lines[base : base+c.assoc]
+	for i, l := range ws {
+		if l == tag {
+			return base + int64(i)
+		}
+	}
+	return -1
 }
 
 // Lookup reports whether line is present, without disturbing recency or
 // statistics. It is the probe used by prefetch filtering and tests.
 func (c *Cache) Lookup(line Line) bool {
-	base := c.setOf(line)
-	for i := base; i < base+int64(c.cfg.Assoc); i++ {
-		if c.ways[i].line == line {
-			return true
+	return c.find(tagOf(line), c.setOf(line)*c.assoc) >= 0
+}
+
+// stamp records the use of way i for the replacement policy that cares.
+func (c *Cache) stamp(i int64) {
+	if c.lastUse != nil {
+		c.lastUse[i] = c.seq
+	}
+}
+
+// fill installs line into set (whose first way index is base) after a
+// failed find, reusing the lowest empty way when one exists and otherwise
+// evicting the policy's victim. It is the single insertion path shared by
+// demand misses, writeback installs and prefetch fills; only the dirty bit
+// differs between them.
+func (c *Cache) fill(set, base int64, tag int32, dirty bool) (victim Line, victimDirty bool) {
+	var slot int64
+	if c.emptyWays > 0 {
+		if mask := c.empty[set]; mask != 0 {
+			w := int64(bits.TrailingZeros32(mask))
+			c.empty[set] = mask &^ (1 << uint(w))
+			c.emptyWays--
+			slot = base + w
+			victim = InvalidLine
+			goto install
 		}
 	}
-	return false
+	slot = c.victim(base)
+	victim, victimDirty = Line(c.lines[slot]), c.dirty[slot]
+	c.Stats.Evictions++
+	if victimDirty {
+		c.Stats.Writebacks++
+	}
+	if c.filter != nil {
+		c.filter.remove(victim)
+	}
+install:
+	c.lines[slot] = tag
+	if c.lastUse != nil {
+		c.lastUse[slot] = c.seq
+	} else if c.insBy != nil {
+		c.insBy[slot] = c.seq
+	}
+	c.dirty[slot] = dirty
+	if c.filter != nil {
+		c.filter.add(Line(tag))
+	}
+	return victim, victimDirty
 }
 
 // Access performs a demand access to line. On a hit it refreshes recency
@@ -160,37 +261,19 @@ func (c *Cache) Lookup(line Line) bool {
 // writebacks and inclusive invalidations.
 func (c *Cache) Access(line Line, write bool) (hit bool, victim Line, victimDirty bool) {
 	c.seq++
-	base := c.setOf(line)
-	end := base + int64(c.cfg.Assoc)
-	var empty int64 = -1
-	for i := base; i < end; i++ {
-		w := &c.ways[i]
-		if w.line == line {
-			w.lastUse = c.seq
-			if write {
-				w.dirty = true
-			}
-			c.Stats.Hits++
-			return true, InvalidLine, false
+	tag := tagOf(line)
+	set := c.setOf(line)
+	base := set * c.assoc
+	if i := c.find(tag, base); i >= 0 {
+		c.stamp(i)
+		if write {
+			c.dirty[i] = true
 		}
-		if w.line == InvalidLine && empty < 0 {
-			empty = i
-		}
+		c.Stats.Hits++
+		return true, InvalidLine, false
 	}
 	c.Stats.Misses++
-	slot := empty
-	if slot < 0 {
-		slot = c.victim(base, end)
-		v := &c.ways[slot]
-		victim, victimDirty = v.line, v.dirty
-		c.Stats.Evictions++
-		if victimDirty {
-			c.Stats.Writebacks++
-		}
-	} else {
-		victim = InvalidLine
-	}
-	c.ways[slot] = way{line: line, lastUse: c.seq, insertedAt: c.seq, dirty: write}
+	victim, victimDirty = c.fill(set, base, tag, write)
 	return false, victim, victimDirty
 }
 
@@ -199,117 +282,88 @@ func (c *Cache) Access(line Line, write bool) (hit bool, victim Line, victimDirt
 // returned victim allows cascading, exactly as for Access.
 func (c *Cache) InsertWriteback(line Line) (victim Line, victimDirty bool) {
 	c.seq++
-	base := c.setOf(line)
-	end := base + int64(c.cfg.Assoc)
-	var empty int64 = -1
-	for i := base; i < end; i++ {
-		w := &c.ways[i]
-		if w.line == line {
-			w.dirty = true
-			// A writeback is not a use by the program; recency unchanged.
-			return InvalidLine, false
-		}
-		if w.line == InvalidLine && empty < 0 {
-			empty = i
-		}
+	tag := tagOf(line)
+	set := c.setOf(line)
+	base := set * c.assoc
+	if i := c.find(tag, base); i >= 0 {
+		c.dirty[i] = true
+		// A writeback is not a use by the program; recency unchanged.
+		return InvalidLine, false
 	}
-	slot := empty
-	if slot < 0 {
-		slot = c.victim(base, end)
-		v := &c.ways[slot]
-		victim, victimDirty = v.line, v.dirty
-		c.Stats.Evictions++
-		if victimDirty {
-			c.Stats.Writebacks++
-		}
-	} else {
-		victim = InvalidLine
-	}
-	c.ways[slot] = way{line: line, lastUse: c.seq, insertedAt: c.seq, dirty: true}
-	return victim, victimDirty
+	return c.fill(set, base, tag, true)
 }
 
 // InsertClean installs a line without marking it dirty and without demand
 // statistics; it is used for prefetch fills.
 func (c *Cache) InsertClean(line Line) (victim Line, victimDirty bool) {
 	c.seq++
-	base := c.setOf(line)
-	end := base + int64(c.cfg.Assoc)
-	var empty int64 = -1
-	for i := base; i < end; i++ {
-		w := &c.ways[i]
-		if w.line == line {
-			return InvalidLine, false
-		}
-		if w.line == InvalidLine && empty < 0 {
-			empty = i
-		}
+	tag := tagOf(line)
+	set := c.setOf(line)
+	base := set * c.assoc
+	if c.find(tag, base) >= 0 {
+		return InvalidLine, false
 	}
-	slot := empty
-	if slot < 0 {
-		slot = c.victim(base, end)
-		v := &c.ways[slot]
-		victim, victimDirty = v.line, v.dirty
-		c.Stats.Evictions++
-		if victimDirty {
-			c.Stats.Writebacks++
-		}
-	} else {
-		victim = InvalidLine
-	}
-	c.ways[slot] = way{line: line, lastUse: c.seq, insertedAt: c.seq}
-	return victim, victimDirty
+	return c.fill(set, base, tag, false)
 }
 
-// victim picks a way to evict in [base, end) according to the policy.
-func (c *Cache) victim(base, end int64) int64 {
-	switch c.cfg.Policy {
-	case PolicyRandom:
-		return base + int64(c.rng.Intn(c.cfg.Assoc))
-	case PolicyFIFO:
-		best := base
-		for i := base + 1; i < end; i++ {
-			if c.ways[i].insertedAt < c.ways[best].insertedAt {
-				best = i
-			}
+// victim picks the way to evict in line's (full) set according to the
+// policy. The LRU/FIFO stamp scans pack (stamp, way) into one key so the
+// running minimum compiles to conditional moves instead of unpredictable
+// branches; ties break toward the lowest way, matching a first-wins linear
+// scan.
+func (c *Cache) victim(base int64) int64 {
+	stamps := c.lastUse
+	if stamps == nil {
+		if c.insBy == nil { // PolicyRandom
+			return base + int64(c.rng.Intn(c.cfg.Assoc))
 		}
-		return best
-	default: // PolicyLRU
-		best := base
-		for i := base + 1; i < end; i++ {
-			if c.ways[i].lastUse < c.ways[best].lastUse {
-				best = i
-			}
-		}
-		return best
+		stamps = c.insBy
 	}
+	ws := stamps[base : base+c.assoc]
+	best := int64(1<<63 - 1)
+	for i, s := range ws {
+		k := s<<5 | int64(i)
+		m := (k - best) >> 63 // branch-free running minimum
+		best += (k - best) & m
+	}
+	return base + best&31
 }
 
 // Invalidate removes line if present, returning whether it was present and
 // whether it was dirty. Used for inclusive back-invalidation.
 func (c *Cache) Invalidate(line Line) (present, dirty bool) {
-	base := c.setOf(line)
-	for i := base; i < base+int64(c.cfg.Assoc); i++ {
-		w := &c.ways[i]
-		if w.line == line {
-			present, dirty = true, w.dirty
-			*w = way{line: InvalidLine}
-			c.Stats.Invalidations++
-			return
-		}
+	set := c.setOf(line)
+	base := set * c.assoc
+	if i := c.find(tagOf(line), base); i >= 0 {
+		present, dirty = true, c.dirty[i]
+		c.clearWay(set, i)
+		c.Stats.Invalidations++
+		return
 	}
 	return false, false
 }
 
+// clearWay resets way i of set to the empty state.
+func (c *Cache) clearWay(set, i int64) {
+	if c.lines[i] != invalidTag {
+		if c.filter != nil {
+			c.filter.remove(Line(c.lines[i]))
+		}
+		c.emptyWays++
+		c.empty[set] |= 1 << uint(i-set*c.assoc)
+	}
+	c.lines[i] = invalidTag
+	if c.lastUse != nil {
+		c.lastUse[i] = 0
+	} else if c.insBy != nil {
+		c.insBy[i] = 0
+	}
+	c.dirty[i] = false
+}
+
 // Occupancy returns the number of valid lines currently held.
 func (c *Cache) Occupancy() int64 {
-	var n int64
-	for i := range c.ways {
-		if c.ways[i].line != InvalidLine {
-			n++
-		}
-	}
-	return n
+	return c.sets*c.assoc - c.emptyWays
 }
 
 // CountLinesIn returns how many resident lines fall in [lo, hi). It lets
@@ -317,8 +371,8 @@ func (c *Cache) Occupancy() int64 {
 // actually pinning — the quantity the paper calls the thread's storage use.
 func (c *Cache) CountLinesIn(lo, hi Line) int64 {
 	var n int64
-	for i := range c.ways {
-		if l := c.ways[i].line; l != InvalidLine && l >= lo && l < hi {
+	for _, t := range c.lines {
+		if l := Line(t); t != invalidTag && l >= lo && l < hi {
 			n++
 		}
 	}
@@ -327,7 +381,30 @@ func (c *Cache) CountLinesIn(lo, hi Line) int64 {
 
 // Flush invalidates the entire cache without touching statistics.
 func (c *Cache) Flush() {
-	for i := range c.ways {
-		c.ways[i] = way{line: InvalidLine}
+	for i := range c.lines {
+		c.clearWay(int64(i)/c.assoc, int64(i))
 	}
+}
+
+// presenceFilter is an exact counting membership filter over hashed line
+// slots: add/remove keep per-slot counts, so mayContain has no false
+// negatives and a small false-positive rate. The hierarchy keeps one across
+// all private caches to prune inclusive back-invalidation scans. A socket
+// holds a few thousand private lines over 64k slots, so uint8 counts never
+// come near saturation and the table stays host-cache resident.
+type presenceFilter struct {
+	counts [1 << 16]uint8
+}
+
+func presenceSlot(l Line) uint64 {
+	z := uint64(l) * 0x9e3779b97f4a7c15
+	z ^= z >> 31
+	return z & (1<<16 - 1)
+}
+
+func (f *presenceFilter) add(l Line)    { f.counts[presenceSlot(l)]++ }
+func (f *presenceFilter) remove(l Line) { f.counts[presenceSlot(l)]-- }
+
+func (f *presenceFilter) mayContain(l Line) bool {
+	return f.counts[presenceSlot(l)] != 0
 }

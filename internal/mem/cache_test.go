@@ -485,3 +485,118 @@ func TestCacheAccountingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestOccupancySoAEdgeCases exercises the structure-of-arrays bookkeeping
+// (packed tags, per-set empty masks, the emptyWays fast path) through
+// invalidate → refill → flush cycles, where a stale mask or counter would
+// surface as a wrong Occupancy/CountLinesIn or a wrong refill slot.
+func TestOccupancySoAEdgeCases(t *testing.T) {
+	c := tinyCache(4, PolicyLRU) // 4 sets × 4 ways
+	// Fill set 0 completely (lines ≡ 0 mod 4 map to set 0).
+	for i := Line(0); i < 16; i += 4 {
+		c.Access(i, true)
+	}
+	if c.Occupancy() != 4 {
+		t.Fatalf("occupancy = %d, want 4", c.Occupancy())
+	}
+	// Invalidate the middle of the set; the freed way must be the one the
+	// next fill reuses (no eviction), and counts must track exactly.
+	c.Invalidate(8)
+	if c.Occupancy() != 3 {
+		t.Fatalf("occupancy after invalidate = %d, want 3", c.Occupancy())
+	}
+	if got := c.CountLinesIn(0, 16); got != 3 {
+		t.Fatalf("CountLinesIn(0,16) = %d, want 3", got)
+	}
+	evBefore := c.Stats.Evictions
+	c.Access(16, false) // maps to set 0, must take the freed way
+	if c.Stats.Evictions != evBefore {
+		t.Fatal("refill after invalidate evicted instead of reusing the freed way")
+	}
+	if c.Occupancy() != 4 || !c.Lookup(16) || c.Lookup(8) {
+		t.Fatal("refill bookkeeping inconsistent")
+	}
+	// A further fill into the full set must evict again.
+	c.Access(20, false)
+	if c.Stats.Evictions != evBefore+1 {
+		t.Fatal("fill into full set did not evict")
+	}
+	// CountLinesIn over a partial range must agree with its complement.
+	c.Access(1, false)
+	total := c.Occupancy()
+	if got := c.CountLinesIn(1, 17); got != total-c.CountLinesIn(17, 1<<20)-c.CountLinesIn(0, 1) {
+		t.Fatalf("CountLinesIn range split inconsistent: %d of %d", got, total)
+	}
+	// Flush must reset every way and the empty-way accounting so the cache
+	// refills without evictions.
+	c.Flush()
+	if c.Occupancy() != 0 || c.CountLinesIn(0, 1<<20) != 0 {
+		t.Fatal("flush left occupancy behind")
+	}
+	evBefore = c.Stats.Evictions
+	for i := Line(0); i < 16; i++ {
+		c.Access(i, false)
+	}
+	if c.Stats.Evictions != evBefore || c.Occupancy() != 16 {
+		t.Fatal("refill after flush evicted or lost lines")
+	}
+}
+
+// TestTagRangeGuard pins the packed-tag contract: lines beyond the int32
+// tag range are rejected loudly instead of aliasing silently.
+func TestTagRangeGuard(t *testing.T) {
+	c := tinyCache(4, PolicyLRU)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized line did not panic")
+		}
+	}()
+	c.Access(Line(1)<<31, false)
+}
+
+// TestInflightTable exercises the open-addressed prefetch table directly:
+// insert/lookup/delete with colliding keys, backward-shift deletion, growth
+// and pruning.
+func TestInflightTable(t *testing.T) {
+	var tb inflightTable
+	tb.init(8)
+	// Insert enough colliding-ish keys to force probing and growth.
+	for i := Line(0); i < 64; i++ {
+		if tb.contains(i) {
+			t.Fatalf("phantom entry %d", i)
+		}
+		tb.put(i, units.Cycles(100+i))
+	}
+	if tb.n != 64 {
+		t.Fatalf("n = %d, want 64", tb.n)
+	}
+	for i := Line(0); i < 64; i++ {
+		if !tb.contains(i) {
+			t.Fatalf("entry %d lost after growth", i)
+		}
+	}
+	// Delete every third entry and verify the rest still resolve (the
+	// backward-shift must not break probe chains).
+	for i := Line(0); i < 64; i += 3 {
+		if r, ok := tb.take(i); !ok || r != units.Cycles(100+i) {
+			t.Fatalf("take(%d) = %v, %v", i, r, ok)
+		}
+		if _, ok := tb.take(i); ok {
+			t.Fatalf("double take(%d) succeeded", i)
+		}
+	}
+	for i := Line(0); i < 64; i++ {
+		want := i%3 != 0
+		if tb.contains(i) != want {
+			t.Fatalf("contains(%d) = %v after deletions", i, !want)
+		}
+	}
+	// Prune keeps only entries still in flight.
+	tb.prune(130)
+	for i := Line(0); i < 64; i++ {
+		want := i%3 != 0 && 100+i > 130
+		if tb.contains(i) != want {
+			t.Fatalf("contains(%d) = %v after prune", i, !want)
+		}
+	}
+}

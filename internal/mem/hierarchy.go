@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math/bits"
 
 	"activemem/internal/units"
 )
@@ -104,7 +105,9 @@ func (c CoreCounters) L3MissRate() float64 {
 // Hierarchy simulates one socket's memory system. It is single-goroutine:
 // the engine serialises all cores' accesses in global time order.
 type Hierarchy struct {
-	cfg HierarchyConfig
+	cfg       HierarchyConfig
+	lineSize  int64
+	lineShift uint // log2(lineSize): line = addr >> lineShift on the hot path
 
 	L1  []*Cache
 	L2  []*Cache
@@ -112,16 +115,15 @@ type Hierarchy struct {
 	Bus *Bus
 
 	prefetchers []*Prefetcher
-	inflight    map[Line]units.Cycles // prefetch fills still in flight
+	inflight    inflightTable   // prefetch fills still in flight
+	privFilter  *presenceFilter // membership filter over all private caches
 
 	// PerCore holds the per-core counter block, indexed by core id.
 	PerCore []CoreCounters
 
-	// Tracer, when non-nil, observes every demand access (after it is
-	// served) with the core, line and service level. It enables offline
-	// analyses such as reuse-distance profiling (internal/trace) without
-	// burdening the hot path when unset.
-	Tracer func(core int, line Line, level Level)
+	// tracer, when non-nil, observes every demand access (after it is
+	// served); see SetTracer.
+	tracer func(core int, line Line, level Level)
 }
 
 // NewHierarchy constructs the socket memory system; it panics on an invalid
@@ -131,18 +133,23 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		panic(err)
 	}
 	h := &Hierarchy{
-		cfg:      cfg,
-		L1:       make([]*Cache, cfg.Cores),
-		L2:       make([]*Cache, cfg.Cores),
-		L3:       NewCache(cfg.L3, cfg.Seed^0x1337),
-		Bus:      NewBus(cfg.Bus),
-		inflight: make(map[Line]units.Cycles),
-		PerCore:  make([]CoreCounters, cfg.Cores),
+		cfg:       cfg,
+		lineSize:  cfg.L1.LineSize,
+		lineShift: uint(bits.TrailingZeros64(uint64(cfg.L1.LineSize))),
+		L1:        make([]*Cache, cfg.Cores),
+		L2:        make([]*Cache, cfg.Cores),
+		L3:        NewCache(cfg.L3, cfg.Seed^0x1337),
+		Bus:       NewBus(cfg.Bus),
+		PerCore:   make([]CoreCounters, cfg.Cores),
 	}
+	h.inflight.init(256)
+	h.privFilter = &presenceFilter{}
 	h.prefetchers = make([]*Prefetcher, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		h.L1[i] = NewCache(cfg.L1, cfg.Seed+uint64(i)*2+1)
 		h.L2[i] = NewCache(cfg.L2, cfg.Seed+uint64(i)*2+2)
+		h.L1[i].filter = h.privFilter
+		h.L2[i].filter = h.privFilter
 		h.prefetchers[i] = NewPrefetcher(cfg.Prefetch)
 	}
 	return h
@@ -152,7 +159,7 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
 // LineSize returns the (uniform) cache line size.
-func (h *Hierarchy) LineSize() int64 { return h.cfg.L1.LineSize }
+func (h *Hierarchy) LineSize() int64 { return h.lineSize }
 
 // Cores returns the number of cores on the socket.
 func (h *Hierarchy) Cores() int { return h.cfg.Cores }
@@ -160,32 +167,199 @@ func (h *Hierarchy) Cores() int { return h.cfg.Cores }
 // Clock returns the socket clock.
 func (h *Hierarchy) Clock() units.Clock { return h.cfg.Clock }
 
+// SetTracer installs (or, with nil, removes) an observer of every demand
+// access, called after the access is served with the core, line and service
+// level. It enables offline analyses such as reuse-distance profiling
+// (internal/trace). The hook is resolved once per batched access run, so an
+// unset tracer costs the hot path nothing; it returns the previously
+// installed hook so wrappers can chain and restore.
+func (h *Hierarchy) SetTracer(fn func(core int, line Line, level Level)) (prev func(core int, line Line, level Level)) {
+	prev = h.tracer
+	h.tracer = fn
+	return prev
+}
+
+// Tracer returns the currently installed access observer (nil when unset).
+func (h *Hierarchy) Tracer() func(core int, line Line, level Level) { return h.tracer }
+
 // Access simulates a demand load or store by core to addr at time now and
 // returns the level that served it and its total latency. Interference is
 // fully emergent: the shared L3's replacement state and the bus queue are
 // mutated in place.
 func (h *Hierarchy) Access(core int, addr Addr, now units.Cycles, write bool) (Level, units.Cycles) {
 	level, lat := h.access(core, addr, now, write)
-	if h.Tracer != nil {
-		h.Tracer(core, LineOf(addr, h.cfg.L1.LineSize), level)
-	}
-	return level, lat
-}
-
-func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (Level, units.Cycles) {
-	line := LineOf(addr, h.cfg.L1.LineSize)
 	ctr := &h.PerCore[core]
 	if write {
 		ctr.Stores++
 	} else {
 		ctr.Loads++
 	}
+	switch level {
+	case LevelL1:
+		ctr.L1Hits++
+	case LevelL2:
+		ctr.L2Hits++
+	case LevelL3:
+		ctr.L3Hits++
+	default:
+		ctr.MemAccs++
+	}
+	if h.tracer != nil {
+		h.tracer(core, LineOf(addr, h.lineSize), level)
+	}
+	return level, lat
+}
+
+// BatchOp is one access of a batched program: an address, whether it is a
+// write, and compute cycles the workload spends after the access completes.
+type BatchOp struct {
+	Addr    Addr
+	Write   bool
+	Compute units.Cycles
+}
+
+// tally accumulates demand counters across one batch so the per-access hot
+// path touches only registers; flush folds it into PerCore exactly once.
+type tally struct {
+	loads, stores       int64
+	l1, l2, l3, memAccs int64
+}
+
+func (t *tally) count(level Level, write bool) {
+	if write {
+		t.stores++
+	} else {
+		t.loads++
+	}
+	switch level {
+	case LevelL1:
+		t.l1++
+	case LevelL2:
+		t.l2++
+	case LevelL3:
+		t.l3++
+	default:
+		t.memAccs++
+	}
+}
+
+func (t *tally) flush(ctr *CoreCounters) {
+	ctr.Loads += t.loads
+	ctr.Stores += t.stores
+	ctr.L1Hits += t.l1
+	ctr.L2Hits += t.l2
+	ctr.L3Hits += t.l3
+	ctr.MemAccs += t.memAccs
+}
+
+// AccessBatch issues ops in order as blocking accesses starting at now and
+// returns the clock after the last op's access and compute. Counters are
+// identical to issuing each op through Access; they are accumulated locally
+// and flushed once per batch, and the tracer branch is resolved once per
+// batch instead of per access.
+func (h *Hierarchy) AccessBatch(core int, now units.Cycles, ops []BatchOp) units.Cycles {
+	if h.tracer != nil {
+		for _, op := range ops {
+			if op.Compute < 0 {
+				panic("mem: negative compute in batch op")
+			}
+			_, lat := h.Access(core, op.Addr, now, op.Write)
+			now += lat + op.Compute
+		}
+		return now
+	}
+	var t tally
+	for _, op := range ops {
+		if op.Compute < 0 {
+			panic("mem: negative compute in batch op")
+		}
+		level, lat := h.access(core, op.Addr, now, op.Write)
+		t.count(level, op.Write)
+		now += lat + op.Compute
+	}
+	t.flush(&h.PerCore[core])
+	return now
+}
+
+// LoadBatch issues blocking loads of addrs in order, spending computePer
+// cycles after each, and returns the final clock. Counter-identical to the
+// equivalent Access sequence.
+func (h *Hierarchy) LoadBatch(core int, now units.Cycles, addrs []Addr, computePer units.Cycles) units.Cycles {
+	if h.tracer != nil {
+		for _, a := range addrs {
+			_, lat := h.Access(core, a, now, false)
+			now += lat + computePer
+		}
+		return now
+	}
+	var t tally
+	for _, a := range addrs {
+		level, lat := h.access(core, a, now, false)
+		t.count(level, false)
+		now += lat + computePer
+	}
+	t.flush(&h.PerCore[core])
+	return now
+}
+
+// StoreBatch issues blocking stores of addrs in order and returns the final
+// clock. Counter-identical to the equivalent Access sequence.
+func (h *Hierarchy) StoreBatch(core int, now units.Cycles, addrs []Addr) units.Cycles {
+	if h.tracer != nil {
+		for _, a := range addrs {
+			_, lat := h.Access(core, a, now, true)
+			now += lat
+		}
+		return now
+	}
+	var t tally
+	for _, a := range addrs {
+		level, lat := h.access(core, a, now, true)
+		t.count(level, true)
+		now += lat
+	}
+	t.flush(&h.PerCore[core])
+	return now
+}
+
+// RMWBatch issues a load, compute cycles, then a store for each addr in
+// order — the read-modify-write triple of CSThr and tally-style kernels —
+// and returns the final clock. Counter-identical to the equivalent Access
+// sequence.
+func (h *Hierarchy) RMWBatch(core int, now units.Cycles, addrs []Addr, compute units.Cycles) units.Cycles {
+	if h.tracer != nil {
+		for _, a := range addrs {
+			_, lat := h.Access(core, a, now, false)
+			now += lat + compute
+			_, lat = h.Access(core, a, now, true)
+			now += lat
+		}
+		return now
+	}
+	var t tally
+	for _, a := range addrs {
+		level, lat := h.access(core, a, now, false)
+		t.count(level, false)
+		now += lat + compute
+		level, lat = h.access(core, a, now, true)
+		t.count(level, true)
+		now += lat
+	}
+	t.flush(&h.PerCore[core])
+	return now
+}
+
+// access is the uncounted hot path: it serves one demand access and returns
+// the level and latency, leaving demand counters to the caller (Access or a
+// batch loop). Bus-attributed counters (BusBytes, BusWaitCycles) are updated
+// here because they depend on queueing state observed mid-access.
+func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (Level, units.Cycles) {
+	line := Line(addr >> h.lineShift)
 
 	// L1: a miss inserts the line (fill-on-miss) and yields the victim,
 	// which cascades into L2 if dirty.
 	hit1, v1, d1 := h.L1[core].Access(line, write)
 	if hit1 {
-		ctr.L1Hits++
 		return LevelL1, h.cfg.L1.Latency
 	}
 	if v1 != InvalidLine && d1 {
@@ -203,7 +377,6 @@ func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (L
 		h.writebackToL3(core, v2, now)
 	}
 	if hit2 {
-		ctr.L2Hits++
 		lat := h.cfg.L2.Latency
 		if extra, ok := h.inflightDelay(line, now); ok {
 			lat += extra
@@ -215,7 +388,6 @@ func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (L
 	// writeback and inclusive back-invalidation.
 	hit3, v3, d3 := h.L3.Access(line, false)
 	if hit3 {
-		ctr.L3Hits++
 		lat := h.cfg.L3.Latency
 		if extra, ok := h.inflightDelay(line, now); ok {
 			lat += extra
@@ -225,11 +397,11 @@ func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (L
 	h.handleL3Victim(core, v3, d3, now)
 
 	// Memory: pay the bus queue plus transfer plus DRAM latency.
-	ctr.MemAccs++
-	start, done := h.Bus.Request(now, h.cfg.L1.LineSize)
+	ctr := &h.PerCore[core]
+	start, done := h.Bus.Request(now, h.lineSize)
 	wait := start - now
 	ctr.BusWaitCycles += int64(wait)
-	ctr.BusBytes += h.cfg.L1.LineSize
+	ctr.BusBytes += h.lineSize
 	lat := h.cfg.L3.Latency + wait + (done - start) + h.cfg.MemLatency
 	return LevelMem, lat
 }
@@ -257,11 +429,13 @@ func (h *Hierarchy) writebackToL3(core int, line Line, now units.Cycles) {
 // inflightDelay returns any residual latency if line is still being filled
 // by a prefetch at time now, consuming the in-flight entry.
 func (h *Hierarchy) inflightDelay(line Line, now units.Cycles) (units.Cycles, bool) {
-	ready, ok := h.inflight[line]
+	if h.inflight.n == 0 {
+		return 0, false
+	}
+	ready, ok := h.inflight.take(line)
 	if !ok {
 		return 0, false
 	}
-	delete(h.inflight, line)
 	if ready > now {
 		return ready - now, true
 	}
@@ -276,7 +450,10 @@ func (h *Hierarchy) handleL3Victim(core int, victim Line, victimDirty bool, now 
 	if victim == InvalidLine {
 		return
 	}
-	if h.cfg.InclusiveL3 {
+	// The presence filter has no false negatives, so skipping the per-core
+	// scans when it reports absence leaves behaviour (and every counter)
+	// unchanged — a scan of a cache not holding the victim is a no-op.
+	if h.cfg.InclusiveL3 && h.privFilter.mayContain(victim) {
 		for c := 0; c < h.cfg.Cores; c++ {
 			if p, d := h.L1[c].Invalidate(victim); p && d {
 				victimDirty = true
@@ -287,8 +464,8 @@ func (h *Hierarchy) handleL3Victim(core int, victim Line, victimDirty bool, now 
 		}
 	}
 	if victimDirty {
-		h.Bus.Request(now, h.cfg.L1.LineSize)
-		h.PerCore[core].BusBytes += h.cfg.L1.LineSize
+		h.Bus.Request(now, h.lineSize)
+		h.PerCore[core].BusBytes += h.lineSize
 	}
 }
 
@@ -296,16 +473,19 @@ func (h *Hierarchy) handleL3Victim(core int, victim Line, victimDirty bool, now 
 // backlog, then fills L3 (and the requesting core's L2) with an in-flight
 // ready time. Prefetch traffic occupies the bus like demand traffic.
 func (h *Hierarchy) issuePrefetches(core int, lines []Line, now units.Cycles) {
-	lineSize := h.cfg.L1.LineSize
+	lineSize := h.lineSize
 	maxLag := units.Cycles(int64(h.cfg.Prefetch.MaxLag) * int64(h.Bus.occupancy(lineSize)))
 	for _, l := range lines {
 		if l < 0 {
 			continue
 		}
-		if h.L3.Lookup(l) || h.L2[core].Lookup(l) {
+		// The three skip checks are pure queries; they run cheapest-first
+		// (hash probe, 8-way scan, 20-way scan), which cannot change which
+		// candidates survive to the backlog throttle below.
+		if h.inflight.contains(l) {
 			continue
 		}
-		if _, pending := h.inflight[l]; pending {
+		if h.L2[core].Lookup(l) || h.L3.Lookup(l) {
 			continue
 		}
 		if h.Bus.Backlog(now) > maxLag {
@@ -318,19 +498,11 @@ func (h *Hierarchy) issuePrefetches(core int, lines []Line, now units.Cycles) {
 		if v2, d2 := h.L2[core].InsertClean(l); v2 != InvalidLine && d2 {
 			h.L3.InsertWriteback(v2)
 		}
-		h.inflight[l] = ready
+		h.inflight.put(l, ready)
 		h.PerCore[core].Prefetches++
 		h.PerCore[core].BusBytes += lineSize
-		if len(h.inflight) > 4096 {
-			h.pruneInflight(now)
-		}
-	}
-}
-
-func (h *Hierarchy) pruneInflight(now units.Cycles) {
-	for l, t := range h.inflight {
-		if t <= now {
-			delete(h.inflight, l)
+		if h.inflight.n > 4096 {
+			h.inflight.prune(now)
 		}
 	}
 }
@@ -349,4 +521,134 @@ func (h *Hierarchy) ResetStats() {
 	}
 	h.L3.Stats = CacheStats{}
 	h.Bus.Stats = BusStats{}
+}
+
+// inflightTable maps lines being prefetch-filled to their ready times. It is
+// a small open-addressed hash table (linear probing, backward-shift
+// deletion) replacing a Go map on the L2/L3 hit path: the n == 0 fast path
+// makes the probe free for workloads that never train the prefetcher, and a
+// hit probe touches one or two host cache lines instead of hashing through
+// map buckets.
+type inflightTable struct {
+	lines []Line // power-of-two slots; InvalidLine = empty
+	ready []units.Cycles
+	n     int
+}
+
+func (t *inflightTable) init(slots int) {
+	t.lines = make([]Line, slots)
+	t.ready = make([]units.Cycles, slots)
+	for i := range t.lines {
+		t.lines[i] = InvalidLine
+	}
+	t.n = 0
+}
+
+// home returns line's preferred slot.
+func (t *inflightTable) home(l Line) int {
+	z := uint64(l) * 0x9e3779b97f4a7c15
+	z ^= z >> 29
+	return int(z & uint64(len(t.lines)-1))
+}
+
+// contains reports whether l is pending.
+func (t *inflightTable) contains(l Line) bool {
+	if t.n == 0 {
+		return false
+	}
+	mask := len(t.lines) - 1
+	for i := t.home(l); ; i = (i + 1) & mask {
+		switch t.lines[i] {
+		case l:
+			return true
+		case InvalidLine:
+			return false
+		}
+	}
+}
+
+// put inserts l (which must not be present) with its ready time, growing the
+// table to keep the load factor under 3/4.
+func (t *inflightTable) put(l Line, ready units.Cycles) {
+	if (t.n+1)*4 > len(t.lines)*3 {
+		t.grow()
+	}
+	mask := len(t.lines) - 1
+	i := t.home(l)
+	for t.lines[i] != InvalidLine {
+		i = (i + 1) & mask
+	}
+	t.lines[i] = l
+	t.ready[i] = ready
+	t.n++
+}
+
+// take removes l if present, returning its ready time.
+func (t *inflightTable) take(l Line) (units.Cycles, bool) {
+	mask := len(t.lines) - 1
+	for i := t.home(l); ; i = (i + 1) & mask {
+		switch t.lines[i] {
+		case l:
+			r := t.ready[i]
+			t.deleteSlot(i)
+			t.n--
+			return r, true
+		case InvalidLine:
+			return 0, false
+		}
+	}
+}
+
+// deleteSlot empties slot i, shifting later probe-chain entries backward so
+// lookups never need tombstones.
+func (t *inflightTable) deleteSlot(i int) {
+	mask := len(t.lines) - 1
+	j := i
+	for {
+		t.lines[i] = InvalidLine
+		for {
+			j = (j + 1) & mask
+			l := t.lines[j]
+			if l == InvalidLine {
+				return
+			}
+			k := t.home(l)
+			// Move j back into i unless j's home lies in the cyclic
+			// interval (i, j] (moving it would break its probe chain).
+			var inChain bool
+			if i <= j {
+				inChain = k > i && k <= j
+			} else {
+				inChain = k > i || k <= j
+			}
+			if !inChain {
+				break
+			}
+		}
+		t.lines[i], t.ready[i] = t.lines[j], t.ready[j]
+		i = j
+	}
+}
+
+// grow doubles the table and rehashes.
+func (t *inflightTable) grow() {
+	old := *t
+	t.init(len(old.lines) * 2)
+	for i, l := range old.lines {
+		if l != InvalidLine {
+			t.put(l, old.ready[i])
+		}
+	}
+}
+
+// prune drops entries whose fills completed at or before now, mirroring the
+// lazy cleanup the map-based implementation performed.
+func (t *inflightTable) prune(now units.Cycles) {
+	old := *t
+	t.init(len(old.lines))
+	for i, l := range old.lines {
+		if l != InvalidLine && old.ready[i] > now {
+			t.put(l, old.ready[i])
+		}
+	}
 }

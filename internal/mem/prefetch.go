@@ -1,5 +1,7 @@
 package mem
 
+import "math"
+
 // PrefetchConfig describes the per-core stride prefetcher, a simplified
 // model of the Sandy Bridge L2 streamer. The paper's BWThr deliberately uses
 // a constant (large prime) stride so the streamer amplifies its bandwidth
@@ -18,21 +20,27 @@ func DefaultPrefetch() PrefetchConfig {
 	return PrefetchConfig{Enabled: true, Streams: 32, Degree: 4, Window: 2048, MaxLag: 32}
 }
 
-type pfStream struct {
-	lastLine Line
-	stride   int64
-	hits     int
-	lastUse  int64
-}
+// pfInactive marks an unallocated stream slot. It sits far enough from any
+// real line number that |line - pfInactive| always exceeds the training
+// window, so inactive slots lose every nearest-stream comparison without a
+// separate activity check in the scan.
+const pfInactive = int64(-1) << 62
 
 // Prefetcher detects constant-stride access streams. Observe is called on
 // demand L1 misses; once a stream has confirmed its stride twice the
 // prefetcher emits the next Degree line addresses.
+//
+// Stream state is laid out structure-of-arrays: the nearest-stream scan —
+// run on every L1 demand miss — reads only the packed lastLine array, and
+// the LRU allocation scan only the packed lastUse array.
 type Prefetcher struct {
-	cfg     PrefetchConfig
-	streams []pfStream
-	seq     int64
-	scratch [8]Line
+	cfg      PrefetchConfig
+	lastLine []int64 // last-missed lines; pfInactive = unallocated
+	lastUse  []int64
+	stride   []int64
+	hits     []int32
+	seq      int64
+	scratch  [8]Line
 
 	// Issued counts prefetch candidates emitted (before cache/bus filtering).
 	Issued int64
@@ -43,7 +51,16 @@ type Prefetcher struct {
 func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
 	p := &Prefetcher{cfg: cfg}
 	if cfg.Enabled {
-		p.streams = make([]pfStream, cfg.Streams)
+		if cfg.Streams > 256 {
+			panic("mem: prefetcher supports at most 256 streams")
+		}
+		p.lastLine = make([]int64, cfg.Streams)
+		p.lastUse = make([]int64, cfg.Streams)
+		p.stride = make([]int64, cfg.Streams)
+		p.hits = make([]int32, cfg.Streams)
+		for i := range p.lastLine {
+			p.lastLine[i] = pfInactive
+		}
 	}
 	return p
 }
@@ -54,55 +71,60 @@ func (p *Prefetcher) Config() PrefetchConfig { return p.cfg }
 // Observe trains on a demand-missed line and returns the lines to prefetch
 // (possibly none). The returned slice is only valid until the next call.
 func (p *Prefetcher) Observe(line Line) []Line {
-	if !p.cfg.Enabled {
+	if len(p.lastLine) == 0 {
 		return nil
 	}
 	p.seq++
-	// Find a stream this access continues or retrains.
-	bestIdx, bestDelta := -1, p.cfg.Window+1
-	for i := range p.streams {
-		s := &p.streams[i]
-		if s.lastUse == 0 {
-			continue
-		}
-		d := int64(line - s.lastLine)
-		if d < 0 {
-			d = -d
-		}
-		if d <= p.cfg.Window && d < bestDelta {
-			bestIdx, bestDelta = i, d
-		}
+	// Find the stream nearest to this access (first index wins ties); the
+	// threshold against the training window is applied once after the scan,
+	// which is equivalent to filtering inside it. Distances beyond the
+	// window are clamped — their exact value is never used — so (distance,
+	// index) packs into one key and the running minimum compiles to
+	// conditional moves instead of unpredictable branches.
+	clamp := p.cfg.Window + 1
+	bestKey := int64(math.MaxInt64)
+	for i, ll := range p.lastLine {
+		d := int64(line) - ll
+		s := d >> 63 // arithmetic |d|: branch-free, mispredict-free
+		d = (d ^ s) - s
+		over := (d - clamp) >> 63 // min(d, clamp)
+		d = clamp + (d-clamp)&over
+		k := d<<8 | int64(i)
+		m := (k - bestKey) >> 63 // min(k, bestKey)
+		bestKey += (k - bestKey) & m
 	}
-	if bestIdx >= 0 {
-		s := &p.streams[bestIdx]
-		delta := int64(line - s.lastLine)
-		s.lastUse = p.seq
+	best, bestDelta := int(bestKey&255), bestKey>>8
+	if bestDelta <= p.cfg.Window {
+		delta := int64(line) - p.lastLine[best]
+		p.lastUse[best] = p.seq
 		if delta == 0 {
 			return nil
 		}
-		if delta == s.stride {
-			s.hits++
-			s.lastLine = line
-			if s.hits >= 2 {
-				out := p.emit(line, s.stride)
-				return out
+		if delta == p.stride[best] {
+			p.hits[best]++
+			p.lastLine[best] = int64(line)
+			if p.hits[best] >= 2 {
+				return p.emit(line, delta)
 			}
 			return nil
 		}
 		// Retrain with the newly observed stride.
-		s.stride = delta
-		s.hits = 1
-		s.lastLine = line
+		p.stride[best] = delta
+		p.hits[best] = 1
+		p.lastLine[best] = int64(line)
 		return nil
 	}
 	// Allocate the least recently used stream slot.
 	victim := 0
-	for i := 1; i < len(p.streams); i++ {
-		if p.streams[i].lastUse < p.streams[victim].lastUse {
+	for i, lu := range p.lastUse {
+		if lu < p.lastUse[victim] {
 			victim = i
 		}
 	}
-	p.streams[victim] = pfStream{lastLine: line, lastUse: p.seq}
+	p.lastLine[victim] = int64(line)
+	p.lastUse[victim] = p.seq
+	p.stride[victim] = 0
+	p.hits[victim] = 0
 	return nil
 }
 
@@ -120,8 +142,11 @@ func (p *Prefetcher) emit(line Line, stride int64) []Line {
 
 // Reset clears all trained streams (used between measurement phases).
 func (p *Prefetcher) Reset() {
-	for i := range p.streams {
-		p.streams[i] = pfStream{}
+	for i := range p.lastLine {
+		p.lastLine[i] = pfInactive
+		p.lastUse[i] = 0
+		p.stride[i] = 0
+		p.hits[i] = 0
 	}
 	p.seq = 0
 }

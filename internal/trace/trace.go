@@ -178,18 +178,18 @@ func (r *Recorder) Histogram() string {
 	return b.String()
 }
 
-// Attach wires the recorder to a hierarchy's Tracer hook, recording the
+// Attach wires the recorder to a hierarchy's tracer hook, recording the
 // line stream of a single core (-1 records every core). It returns a
 // detach function restoring the previous hook.
 func (r *Recorder) Attach(h *mem.Hierarchy, core int) (detach func()) {
-	prev := h.Tracer
-	h.Tracer = func(c int, line mem.Line, level mem.Level) {
+	prev := h.SetTracer(nil)
+	h.SetTracer(func(c int, line mem.Line, level mem.Level) {
 		if core < 0 || c == core {
 			r.Record(line)
 		}
 		if prev != nil {
 			prev(c, line, level)
 		}
-	}
-	return func() { h.Tracer = prev }
+	})
+	return func() { h.SetTracer(prev) }
 }

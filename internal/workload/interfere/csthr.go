@@ -60,6 +60,7 @@ type CSThr struct {
 	cfg   CSConfig
 	base  mem.Addr
 	elems int64
+	addrs []mem.Addr // scratch for the batched access path
 }
 
 // NewCSThr allocates the thread's buffer from alloc and returns the
@@ -72,6 +73,7 @@ func NewCSThr(cfg CSConfig, alloc *mem.Alloc) *CSThr {
 		cfg:   cfg,
 		base:  alloc.Alloc(cfg.BufBytes),
 		elems: cfg.BufBytes / cfg.ElemSize,
+		addrs: make([]mem.Addr, 0, cfg.BatchSize),
 	}
 }
 
@@ -90,16 +92,18 @@ func (w *CSThr) BufferRange(lineSize int64) (lo, hi mem.Line) {
 }
 
 // Step implements engine.Workload: BatchSize random read-increment-write
-// operations.
+// operations, issued through the batched access fast path. The indices are
+// drawn up front from the same stream in the same order, so the access
+// sequence is identical to a per-operation loop.
 func (w *CSThr) Step(ctx *engine.Ctx) bool {
 	r := ctx.Rand()
+	addrs := w.addrs[:0]
 	for b := 0; b < w.cfg.BatchSize; b++ {
 		idx := int64(r.Intn(int(w.elems)))
-		addr := w.base + mem.Addr(idx*w.cfg.ElemSize)
-		ctx.Load(addr)
-		ctx.Compute(w.cfg.ComputeCycles)
-		ctx.Store(addr)
+		addrs = append(addrs, w.base+mem.Addr(idx*w.cfg.ElemSize))
 	}
+	w.addrs = addrs
+	ctx.RMWBatch(addrs, w.cfg.ComputeCycles)
 	ctx.WorkUnit(int64(w.cfg.BatchSize))
 	return true
 }

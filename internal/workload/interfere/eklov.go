@@ -59,6 +59,7 @@ type Pirate struct {
 	base  mem.Addr
 	lines int64
 	pos   int64
+	addrs []mem.Addr // scratch for the batched access path
 }
 
 // NewPirate allocates the working set and returns the workload.
@@ -86,11 +87,13 @@ func (w *Pirate) BufferRange(lineSize int64) (lo, hi mem.Line) {
 // Step implements engine.Workload: touch the next BatchSize lines in
 // sequence.
 func (w *Pirate) Step(ctx *engine.Ctx) bool {
+	addrs := w.addrs[:0]
 	for i := 0; i < w.cfg.BatchSize; i++ {
-		ctx.Load(w.base + mem.Addr(w.pos%w.lines*64))
-		ctx.Compute(1)
+		addrs = append(addrs, w.base+mem.Addr(w.pos%w.lines*64))
 		w.pos++
 	}
+	w.addrs = addrs
+	ctx.LoadComputeBatch(addrs, 1)
 	ctx.WorkUnit(int64(w.cfg.BatchSize))
 	return true
 }

@@ -24,6 +24,11 @@ type Config struct {
 	// Hops is the quota of dependent loads before completion; 0 runs
 	// forever.
 	Hops int64
+	// BatchHops is how many chain hops one engine step issues through the
+	// batched access path (the permutation is static, so upcoming addresses
+	// are known without waiting for load results). 0 means 1. Values above
+	// 1 coarsen the scheduling granularity against concurrent cores.
+	BatchHops int
 	// Seed shuffles the permutation.
 	Seed uint64
 }
@@ -36,7 +41,7 @@ func (c Config) Validate() error {
 	if c.BufBytes < c.LineSize {
 		return fmt.Errorf("pchase: buffer smaller than one line")
 	}
-	if c.Hops < 0 {
+	if c.Hops < 0 || c.BatchHops < 0 {
 		return fmt.Errorf("pchase: negative hop quota")
 	}
 	return nil
@@ -44,10 +49,11 @@ func (c Config) Validate() error {
 
 // Chase is the workload. Work units count hops.
 type Chase struct {
-	cfg  Config
-	base mem.Addr
-	next []int32 // permutation: next[i] is the line index after i
-	cur  int32
+	cfg   Config
+	base  mem.Addr
+	next  []int32 // permutation: next[i] is the line index after i
+	cur   int32
+	addrs []mem.Addr // scratch for the batched access path
 }
 
 // New allocates the buffer, builds a random single-cycle permutation over
@@ -74,10 +80,28 @@ func New(cfg Config, alloc *mem.Alloc) *Chase {
 // Name implements engine.Workload.
 func (c *Chase) Name() string { return "pchase" }
 
-// Step implements engine.Workload: one dependent load.
+// Step implements engine.Workload: BatchHops dependent loads (default one),
+// issued through the batched access path by walking the static permutation
+// ahead of time.
 func (c *Chase) Step(ctx *engine.Ctx) bool {
-	ctx.Load(c.base + mem.Addr(int64(c.cur)*c.cfg.LineSize))
-	c.cur = c.next[c.cur]
-	ctx.WorkUnit(1)
+	n := int64(c.cfg.BatchHops)
+	if n < 1 {
+		n = 1
+	}
+	if c.cfg.Hops > 0 {
+		if rem := c.cfg.Hops - ctx.Work(); n > rem {
+			n = rem
+		}
+	}
+	addrs := c.addrs[:0]
+	cur := c.cur
+	for i := int64(0); i < n; i++ {
+		addrs = append(addrs, c.base+mem.Addr(int64(cur)*c.cfg.LineSize))
+		cur = c.next[cur]
+	}
+	c.cur = cur
+	c.addrs = addrs
+	ctx.LoadBatch(addrs)
+	ctx.WorkUnit(n)
 	return c.cfg.Hops == 0 || ctx.Work() < c.cfg.Hops
 }

@@ -99,3 +99,31 @@ func TestChaseName(t *testing.T) {
 		t.Fatalf("name = %q", ch.Name())
 	}
 }
+
+// TestBatchHopsEquivalentSolo pins the batched chase: on an uncontended
+// socket, walking the permutation BatchHops hops per step must produce
+// exactly the counters, work and clock of the one-hop-per-step form, and a
+// hop quota that does not divide the batch must still complete exactly.
+func TestBatchHopsEquivalentSolo(t *testing.T) {
+	run := func(batch int) (work int64, now int64, ctr mem.CoreCounters) {
+		spec := machine.Scaled(8)
+		h := spec.NewSocket(1)
+		e := engine.New(h, spec.MSHRs)
+		c := New(Config{
+			BufBytes: spec.L3.Size * 2, LineSize: spec.LineSize(),
+			Hops: 10_001, BatchHops: batch, Seed: 7,
+		}, mem.NewAlloc(spec.LineSize()))
+		e.Place(0, c, 2)
+		e.RunToCompletion()
+		return e.Ctx(0).Work(), int64(e.Ctx(0).Now()), h.PerCore[0]
+	}
+	w1, n1, c1 := run(0) // default: one hop per step
+	w4, n4, c4 := run(4) // 10001 = 2500 batches of 4 + a final 1
+	if w1 != 10_001 || w4 != 10_001 {
+		t.Fatalf("work = %d / %d, want 10001", w1, w4)
+	}
+	if n1 != n4 || c1 != c4 {
+		t.Fatalf("batched chase diverged: now %d vs %d, counters %+v vs %+v",
+			n1, n4, c1, c4)
+	}
+}

@@ -48,6 +48,7 @@ type Triad struct {
 	pos     int64
 	pass    int
 	addrs   []mem.Addr
+	stores  []mem.Addr
 }
 
 // New allocates the three arrays from alloc and returns the workload.
@@ -56,12 +57,13 @@ func New(cfg Config, alloc *mem.Alloc) *Triad {
 		panic(err)
 	}
 	return &Triad{
-		cfg:   cfg,
-		a:     alloc.Alloc(cfg.ArrayBytes),
-		b:     alloc.Alloc(cfg.ArrayBytes),
-		c:     alloc.Alloc(cfg.ArrayBytes),
-		elems: cfg.ArrayBytes / cfg.ElemSize,
-		addrs: make([]mem.Addr, 0, 2*cfg.BatchElems),
+		cfg:    cfg,
+		a:      alloc.Alloc(cfg.ArrayBytes),
+		b:      alloc.Alloc(cfg.ArrayBytes),
+		c:      alloc.Alloc(cfg.ArrayBytes),
+		elems:  cfg.ArrayBytes / cfg.ElemSize,
+		addrs:  make([]mem.Addr, 0, 2*cfg.BatchElems),
+		stores: make([]mem.Addr, 0, cfg.BatchElems),
 	}
 }
 
@@ -69,21 +71,21 @@ func New(cfg Config, alloc *mem.Alloc) *Triad {
 func (t *Triad) Name() string { return "stream-triad" }
 
 // Step implements engine.Workload: load a batch of b and c elements with
-// full overlap, then store the a elements.
+// full overlap, then store the a elements through the batched access path.
 func (t *Triad) Step(ctx *engine.Ctx) bool {
 	n := int64(t.cfg.BatchElems)
 	if n > t.elems-t.pos {
 		n = t.elems - t.pos
 	}
 	t.addrs = t.addrs[:0]
+	t.stores = t.stores[:0]
 	for i := int64(0); i < n; i++ {
 		off := mem.Addr((t.pos + i) * t.cfg.ElemSize)
 		t.addrs = append(t.addrs, t.b+off, t.c+off)
+		t.stores = append(t.stores, t.a+off)
 	}
 	ctx.LoadOverlapped(t.addrs, 1)
-	for i := int64(0); i < n; i++ {
-		ctx.Store(t.a + mem.Addr((t.pos+i)*t.cfg.ElemSize))
-	}
+	ctx.StoreBatch(t.stores)
 	ctx.Compute(units.Cycles(2 * n)) // multiply-add per element
 	ctx.WorkUnit(n)
 	t.pos += n
