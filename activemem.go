@@ -204,6 +204,14 @@ type MeasureOptions struct {
 	// complete (with the batch's label, the number done and the batch
 	// size).
 	Progress func(label string, done, total int)
+	// CacheDir, when non-empty, backs the measurement with the persistent
+	// content-addressed result store in that directory: finished cells are
+	// written through, and cells already present — from an interrupted
+	// earlier call, another process, or an imported bundle — are served
+	// from disk without simulating, bit-identical to a cold run. Several
+	// concurrent measurements (and the cmd/* CLIs) may share one
+	// directory.
+	CacheDir string
 }
 
 func (o *MeasureOptions) defaults() MeasureOptions {
@@ -249,7 +257,14 @@ func measureWindows(m Machine) (warmup, window units.Cycles) {
 // deduplicates the shared uninterfered baseline across the sweeps.
 func MeasureProfile(m Machine, name string, app WorkloadFactory, opts *MeasureOptions) (Profile, error) {
 	o := opts.defaults()
-	ex := lab.New(lab.Config{Workers: o.Concurrency, Progress: o.Progress})
+	cache, err := lab.OpenCache(o.CacheDir)
+	if err != nil {
+		return Profile{}, err
+	}
+	if cache != nil {
+		defer cache.Close()
+	}
+	ex := lab.New(lab.Config{Workers: o.Concurrency, Progress: o.Progress, Cache: cache})
 	warmup, window := measureWindows(m)
 	cfg := core.MeasureConfig{Spec: m, Warmup: warmup, Window: window, Seed: o.Seed}
 

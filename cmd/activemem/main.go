@@ -9,6 +9,14 @@
 //	activemem [-workload uniform|norm4|norm8|exp4|pchase] [-buf BYTES]
 //	          [-compute N] [-scale N] [-threshold F] [-j N] [-progress]
 //	          [-predict-l3 MB] [-predict-bw GBS] [-seed N]
+//	          [-cache-dir DIR] [-knee F] [-knee-patience M]
+//
+// -knee switches the interference sweeps to adaptive mode: levels run in
+// ascending order and stop once the slowdown exceeds the given threshold
+// for -knee-patience consecutive levels, skipping deep-interference cells
+// when only the degradation knee is wanted. -cache-dir persists every
+// measured cell so repeated invocations (or other commands sharing the
+// directory) skip simulation.
 //
 // Example:
 //
@@ -20,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"activemem/internal/core"
 	"activemem/internal/dist"
@@ -48,10 +57,28 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		jobs      = flag.Int("j", 0, "parallel experiment cells (0 = all CPUs, 1 = serial)")
 		progress  = flag.Bool("progress", false, "report per-batch experiment progress on stderr")
+		cacheDir  = flag.String("cache-dir", os.Getenv("ACTIVEMEM_CACHE_DIR"),
+			"persist results to this on-disk store and resume from it (default $ACTIVEMEM_CACHE_DIR)")
+		knee     = flag.Float64("knee", 0, "adaptive sweeps: stop past this slowdown threshold (0 = measure every level)")
+		patience = flag.Int("knee-patience", 2, "consecutive over-threshold levels that stop an adaptive sweep")
 	)
 	flag.Parse()
 
-	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress)})
+	// An adaptive sweep must measure at least as deep as the profile's
+	// knee search looks: a sweep stopped at a shallower slowdown would
+	// make the profile's "never degraded" branch claim bounds the skipped
+	// levels were never allowed to refute.
+	if *knee > 0 && *knee < *threshold {
+		log.Printf("warning: -knee %g is below -threshold %g; using %g", *knee, *threshold, *threshold)
+		*knee = *threshold
+	}
+
+	cache, err := lab.OpenCache(*cacheDir)
+	check(err)
+	if cache != nil {
+		defer cache.Close()
+	}
+	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
 	spec := machine.Scaled(*scale)
 	if *buf == 0 {
 		*buf = spec.L3.Size * 2
@@ -71,10 +98,12 @@ func main() {
 
 	storage, err := core.RunSweep(core.SweepConfig{
 		MeasureConfig: cfg, Kind: core.Storage, MaxThreads: 5, Exec: ex,
+		Knee: *knee, KneePatience: *patience,
 	}, name, factory)
 	check(err)
 	bandwidth, err := core.RunSweep(core.SweepConfig{
 		MeasureConfig: cfg, Kind: core.Bandwidth, MaxThreads: 2, Exec: ex,
+		Knee: *knee, KneePatience: *patience,
 	}, name, factory)
 	check(err)
 
@@ -113,6 +142,7 @@ func main() {
 		fmt.Printf("predicted slowdown with %.2f MB L3 and %.2f GB/s: %.1f%%\n",
 			l3/float64(units.MB), bw, s*100)
 	}
+	ex.PrintCacheSummary(os.Stderr)
 }
 
 func clampScale(s int) units.Cycles {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	appstudy [-app mcb|lulesh|both] [-scale N] [-grid smoke|quick|paper]
-//	         [-seed N] [-j N] [-progress] [-csvdir DIR]
+//	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR]
 //
 // The default -scale 8 runs a 1/8-geometry Xeon20MB with proportionally
 // scaled inputs (see DESIGN.md); the printed profiles include the ×scale
@@ -36,15 +36,25 @@ func main() {
 		jobs     = flag.Int("j", 0, "parallel experiment cells (0 = all CPUs, 1 = serial)")
 		progress = flag.Bool("progress", false, "report per-batch experiment progress on stderr")
 		csvdir   = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		cacheDir = flag.String("cache-dir", os.Getenv("ACTIVEMEM_CACHE_DIR"),
+			"persist results to this on-disk store and resume from it (default $ACTIVEMEM_CACHE_DIR)")
 	)
 	flag.Parse()
 
 	// One executor for the whole study: its memo cache deduplicates the
-	// shared baselines and the p=1 sweeps repeated by the size panels.
+	// shared baselines and the p=1 sweeps repeated by the size panels; the
+	// optional disk tier shares them across runs (e.g. with cmd/validate's
+	// calibrations) and machines.
+	cache, err := lab.OpenCache(*cacheDir)
+	check(err)
+	if cache != nil {
+		defer cache.Close()
+	}
+	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
 	opt := experiments.Options{
 		Scale: *scale,
 		Grid:  parseGrid(*grid),
-		Exec:  lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress)}),
+		Exec:  ex,
 		Seed:  *seed,
 	}
 	fmt.Println(opt.ScaleNote())
@@ -82,6 +92,7 @@ func main() {
 		check(err)
 		emit("fig12", prof.Table())
 	}
+	ex.PrintCacheSummary(os.Stderr)
 }
 
 func calibrationSummary(capAvail, bwAvail []float64) string {

@@ -6,10 +6,13 @@
 // Usage:
 //
 //	validate [-scale N] [-grid smoke|quick|paper] [-fig all|table1,table2,3a,5,6,7,8]
-//	         [-seed N] [-j N] [-progress] [-csvdir DIR]
+//	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR]
 //
 // The default -scale 1 runs the full Xeon20MB geometry. -grid paper runs
 // the paper's complete 660-configuration synthetic grid (slow at scale 1).
+// With -cache-dir (or $ACTIVEMEM_CACHE_DIR) every finished cell persists to
+// an on-disk result store, so an interrupted campaign resumes with only the
+// missing cells simulated; see cmd/labcache for inspecting the store.
 package main
 
 import (
@@ -36,15 +39,24 @@ func main() {
 		jobs     = flag.Int("j", 0, "parallel experiment cells (0 = all CPUs, 1 = serial)")
 		progress = flag.Bool("progress", false, "report per-batch experiment progress on stderr")
 		csvdir   = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		cacheDir = flag.String("cache-dir", os.Getenv("ACTIVEMEM_CACHE_DIR"),
+			"persist results to this on-disk store and resume from it (default $ACTIVEMEM_CACHE_DIR)")
 	)
 	flag.Parse()
 
 	// One executor for every figure: its memo cache deduplicates identical
-	// cells across figures (Fig. 5's grid is the k=0 slice of Fig. 6's).
+	// cells across figures (Fig. 5's grid is the k=0 slice of Fig. 6's),
+	// and the optional disk tier shares them across runs and machines.
+	cache, err := lab.OpenCache(*cacheDir)
+	check(err)
+	if cache != nil {
+		defer cache.Close()
+	}
+	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
 	opt := experiments.Options{
 		Scale: *scale,
 		Grid:  parseGrid(*grid),
-		Exec:  lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress)}),
+		Exec:  ex,
 		Seed:  *seed,
 	}
 	want := map[string]bool{}
@@ -97,6 +109,7 @@ func main() {
 		check(err)
 		emit("fig8", r.Table())
 	}
+	ex.PrintCacheSummary(os.Stderr)
 }
 
 func parseGrid(s string) experiments.Grid {

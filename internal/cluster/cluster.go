@@ -17,10 +17,18 @@ import (
 
 	"activemem/internal/core"
 	"activemem/internal/engine"
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
 	"activemem/internal/units"
 )
+
+// Cluster cells (one Run per interference level of an app study) flow
+// through the lab executor's memo, so register their result type with its
+// persistent disk tier.
+func init() {
+	lab.RegisterResult[Result]("cluster.Result")
+}
 
 // Message is one point-to-point transfer posted at the end of a compute
 // phase.

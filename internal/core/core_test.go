@@ -10,6 +10,7 @@ import (
 	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
+	"activemem/internal/store"
 	"activemem/internal/units"
 	"activemem/internal/workload/interfere"
 	"activemem/internal/workload/synthetic"
@@ -457,6 +458,119 @@ func TestBuildProfileErrors(t *testing.T) {
 	}
 	if _, err := BuildProfile("x", 1, 0.05, s, nil, s, []float64{1}); err == nil {
 		t.Error("short calibration accepted")
+	}
+}
+
+// TestRunSweepAdaptiveKnee pins the -knee contract against the full sweep:
+// the adaptive sweep measures exactly the ascending prefix ending
+// KneePatience levels past the first sustained over-threshold slowdown,
+// bit-identical to the same levels of the full sweep, and a generous
+// threshold reproduces the full sweep exactly.
+func TestRunSweepAdaptiveKnee(t *testing.T) {
+	spec := machine.Scaled(8)
+	ex := lab.New(lab.Config{})
+	base := SweepConfig{MeasureConfig: quickCfg(spec), Kind: Storage, MaxThreads: 4, Exec: ex}
+	app := uniformApp(5<<20, 1)
+
+	full, err := RunSweep(base, "u", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl := full.Slowdowns()
+
+	for _, patience := range []int{1, 2} {
+		// Pick a threshold the full sweep is known to cross, then derive the
+		// level the adaptive sweep must stop at.
+		threshold := sl[len(sl)-1] / 2
+		if threshold <= 0 {
+			t.Fatalf("full sweep never slowed down: %v", sl)
+		}
+		wantLen := len(full.Points)
+		over := 0
+		for k := 1; k < len(sl); k++ {
+			if sl[k] > threshold {
+				over++
+			} else {
+				over = 0
+			}
+			if over >= patience {
+				wantLen = k + 1
+				break
+			}
+		}
+
+		cfg := base
+		cfg.Knee, cfg.KneePatience = threshold, patience
+		adaptive, err := RunSweep(cfg, "u", app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(adaptive.Points) != wantLen {
+			t.Fatalf("patience %d: adaptive sweep measured %d levels, want %d (slowdowns %v)",
+				patience, len(adaptive.Points), wantLen, sl)
+		}
+		for k := range adaptive.Points {
+			if adaptive.Points[k] != full.Points[k] {
+				t.Fatalf("adaptive point %d diverges from full sweep", k)
+			}
+		}
+	}
+
+	// A threshold nothing crosses measures every level.
+	cfg := base
+	cfg.Knee = 1000
+	all, err := RunSweep(cfg, "u", app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Points) != len(full.Points) {
+		t.Fatalf("uncrossed threshold still truncated the sweep: %d levels", len(all.Points))
+	}
+	// Shared executor: the adaptive runs hit the full sweep's memo, so the
+	// whole test simulated each cell exactly once.
+	if st := ex.Stats(); st.Computed != len(full.Points) {
+		t.Fatalf("adaptive sweeps re-simulated cells: %+v", st)
+	}
+}
+
+// TestSweepResumesFromDiskStore is the acceptance criterion in miniature:
+// a sweep persisted through the executor's disk tier re-runs on a fresh
+// executor (fresh process equivalent) without invoking the simulator, and
+// the resumed result is bit-identical to the cold one.
+func TestSweepResumesFromDiskStore(t *testing.T) {
+	spec := machine.Scaled(8)
+	dir := t.TempDir()
+	cfg := SweepConfig{MeasureConfig: quickCfg(spec), Kind: Storage, MaxThreads: 2}
+
+	st1, err := store.Open(dir, store.Options{Schema: lab.ResultSchemaVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Exec = lab.New(lab.Config{Cache: st1})
+	cold, err := RunSweep(cfg, "u", uniformApp(4<<20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cfg.Exec.Stats(); s.Persisted != 3 {
+		t.Fatalf("cold run persisted %d of 3 cells", s.Persisted)
+	}
+	st1.Close()
+
+	st2, err := store.Open(dir, store.Options{Schema: lab.ResultSchemaVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	cfg.Exec = lab.New(lab.Config{Cache: st2})
+	warm, err := RunSweep(cfg, "u", uniformApp(4<<20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cfg.Exec.Stats(); s.Computed != 0 || s.DiskHits != 3 {
+		t.Fatalf("warm run stats = %+v, want pure disk hits", s)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("resumed sweep diverges:\n%+v\n%+v", cold, warm)
 	}
 }
 

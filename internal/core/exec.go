@@ -12,6 +12,13 @@ import (
 	"activemem/internal/workload/interfere"
 )
 
+// Metrics cells are what sweeps and calibration grids persist, so register
+// them with the executor's disk tier (the §III-A bandwidth ladder's
+// float64 levels use the registry's built-in scalar codec).
+func init() {
+	lab.RegisterResult[Metrics]("core.Metrics")
+}
+
 // ExperimentKey fingerprints one MeasureWithInterference invocation:
 // machine spec, warmup/window, seed, workload identity, interference kind
 // and thread count, and the resolved interference configuration. Runs with

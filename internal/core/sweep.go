@@ -22,6 +22,24 @@ type SweepConfig struct {
 	// its memo cache, so the k=0 baseline of a storage and a bandwidth
 	// sweep of the same application simulates exactly once.
 	Exec *lab.Executor
+	// Knee, when positive, switches the sweep to adaptive mode: levels are
+	// measured in ascending order and the sweep stops scheduling once the
+	// slowdown against the k=0 baseline has exceeded Knee for KneePatience
+	// consecutive levels, so a caller that only wants the degradation knee
+	// skips the expensive deep-interference cells. The measured prefix is
+	// bit-identical to the same levels of a full sweep (cells are memoized
+	// by content, so mixing adaptive and full sweeps on one executor or
+	// cache directory loses nothing). Keep Knee at least as large as the
+	// threshold of any downstream knee analysis (Sweep.Knee,
+	// BuildProfile): a sweep stopped at a shallower slowdown leaves that
+	// analysis's "never degraded" branch claiming bounds the unmeasured
+	// levels were never allowed to refute. Zero — the default — measures
+	// every level 0..MaxThreads, leaving the paper grids unchanged.
+	Knee float64
+	// KneePatience is the number of consecutive over-threshold levels that
+	// stops an adaptive sweep; zero selects 2, so a single noisy level
+	// does not end the sweep early.
+	KneePatience int
 }
 
 // Validate checks the configuration.
@@ -56,6 +74,9 @@ func RunSweep(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, erro
 	if err := cfg.Validate(); err != nil {
 		return Sweep{}, err
 	}
+	if cfg.Knee > 0 {
+		return runSweepAdaptive(cfg, appName, app)
+	}
 	ex := executor(cfg.Exec)
 	s := Sweep{Kind: cfg.Kind, App: appName, Points: make([]Metrics, cfg.MaxThreads+1)}
 	err := ex.RunLabeled(fmt.Sprintf("%s sweep: %s", cfg.Kind, appName),
@@ -69,6 +90,50 @@ func RunSweep(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, erro
 		})
 	if err != nil {
 		return Sweep{}, err
+	}
+	return s, nil
+}
+
+// runSweepAdaptive measures levels in ascending order and stops after the
+// degradation knee (see SweepConfig.Knee). Levels are inherently sequential
+// here — each one's scheduling decision depends on the previous slowdowns —
+// so the executor contributes its memo tiers rather than its worker pool.
+func runSweepAdaptive(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, error) {
+	ex := executor(cfg.Exec)
+	patience := cfg.KneePatience
+	if patience <= 0 {
+		patience = 2
+	}
+	label := fmt.Sprintf("%s sweep: %s (adaptive)", cfg.Kind, appName)
+	total := cfg.MaxThreads + 1
+	s := Sweep{Kind: cfg.Kind, App: appName}
+	over := 0
+	for k := 0; k < total; k++ {
+		m, err := measureMemo(ex, cfg.MeasureConfig, appName, app, cfg.Kind, k, cfg.BW, cfg.CS)
+		if err != nil {
+			if k > 0 {
+				ex.Progress(label, -1, total) // terminate the partial meter line
+			}
+			return Sweep{}, err
+		}
+		s.Points = append(s.Points, m)
+		ex.Progress(label, k+1, total)
+		base := s.Points[0].Rate
+		if k == 0 || base <= 0 {
+			continue
+		}
+		// A level that produced no work at all counts as degraded.
+		if m.Rate > 0 && base/m.Rate-1 <= cfg.Knee {
+			over = 0
+			continue
+		}
+		over++
+		if over >= patience {
+			break
+		}
+	}
+	if len(s.Points) < total {
+		ex.Progress(label, -1, total) // terminate the meter line early
 	}
 	return s, nil
 }

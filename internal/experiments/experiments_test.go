@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"activemem/internal/lab"
+	"activemem/internal/store"
 	"activemem/internal/units"
 )
 
@@ -170,6 +171,39 @@ func rel(a, b float64) float64 {
 		return -d
 	}
 	return d
+}
+
+// TestFig7ResumesFromDiskStore pins the warm-campaign contract for the
+// orthogonality checks, the last figures to move onto the executor: a
+// second run against the same cache directory reproduces the figure from
+// disk without a single simulated cell.
+func TestFig7ResumesFromDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	run := func() (Fig7Result, lab.Stats) {
+		st, err := store.Open(dir, store.Options{Schema: lab.ResultSchemaVersion})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		opt := smoke()
+		opt.Exec = lab.New(lab.Config{Cache: st})
+		r, err := Fig7(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, opt.Exec.Stats()
+	}
+	cold, coldStats := run()
+	if coldStats.Computed != 6 || coldStats.Persisted != 6 {
+		t.Fatalf("cold stats = %+v", coldStats)
+	}
+	warm, warmStats := run()
+	if warmStats.Computed != 0 || warmStats.DiskHits != 6 {
+		t.Fatalf("warm stats = %+v, want 6 pure disk hits", warmStats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("resumed Fig. 7 diverges:\n%+v\n%+v", cold, warm)
+	}
 }
 
 func TestFig9MCBShapes(t *testing.T) {

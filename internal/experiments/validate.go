@@ -6,6 +6,7 @@ import (
 	"activemem/internal/core"
 	"activemem/internal/dist"
 	"activemem/internal/engine"
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
 	"activemem/internal/report"
@@ -13,6 +14,14 @@ import (
 	"activemem/internal/units"
 	"activemem/internal/workload/interfere"
 )
+
+// The orthogonality checks run one memoized cell per interference level,
+// so their row types persist through the executor's disk tier like every
+// other experiment result.
+func init() {
+	lab.RegisterResult[Fig7Row]("experiments.Fig7Row")
+	lab.RegisterResult[Fig8Row]("experiments.Fig8Row")
+}
 
 // TableI renders the machine description (the paper's Table I).
 func TableI(opt Options) string {
@@ -243,40 +252,57 @@ type Fig7Result struct {
 	Rows []Fig7Row
 }
 
-// Fig7 runs the orthogonality check.
+// Fig7 runs the orthogonality check. Each interference level is one
+// memoized cell on the options' executor, so levels run on the bounded
+// pool and a warm cache serves the whole figure without simulating.
 func Fig7(opt Options) (Fig7Result, error) {
 	opt = opt.withDefaults()
 	spec := opt.Spec()
-	res := Fig7Result{Spec: spec}
+	res := Fig7Result{Spec: spec, Rows: make([]Fig7Row, 6)}
 	warm := csWarmup(spec)
-	const window = 6_000_000
-	for k := 0; k <= 5; k++ {
-		h := spec.NewSocket(opt.Seed)
-		e := engine.New(h, spec.MSHRs)
-		alloc := mem.NewAlloc(spec.LineSize())
-		bw := interfere.NewBWThr(interfere.DefaultBWConfig(spec.L3.Size), alloc)
-		e.PlaceDaemon(0, bw, opt.Seed+1)
-		for i := 0; i < k; i++ {
-			e.PlaceDaemon(1+i, interfere.NewCSThr(interfere.DefaultCSConfig(spec.L3.Size), alloc),
-				opt.Seed+10+uint64(i))
+	const window = units.Cycles(6_000_000)
+	ex := opt.executor()
+	err := ex.RunLabeled("Fig. 7 BWThr vs CSThrs", len(res.Rows), func(k int) error {
+		row, err := lab.Memo(ex, lab.KeyOf(spec, opt.Seed, "fig7", warm, window, k),
+			func() (Fig7Row, error) { return fig7Cell(spec, opt.Seed, warm, window, k), nil })
+		if err != nil {
+			return err
 		}
-		e.RunUntil(warm)
-		workBefore := e.Ctx(0).Work()
-		h.ResetStats()
-		e.RunUntil(warm + window)
-		ctr := h.PerCore[0]
-		accesses := e.Ctx(0).Work() - workBefore
-		secPerAccess := spec.Clock.Seconds(window) / float64(accesses)
-		res.Rows = append(res.Rows, Fig7Row{
-			CSThrs: k,
-			// Eq. 1 of the paper: BW = line size × #misses / time (demand
-			// fills only, excluding writebacks of other threads' lines).
-			BWGBs:         spec.Clock.BandwidthGBs(ctr.MemAccs*spec.LineSize(), window),
-			L3MissRate:    ctr.L3MissRate(),
-			SecondsPer1e7: secPerAccess * 44 * 1e7,
-		})
+		res.Rows[k] = row
+		return nil
+	})
+	if err != nil {
+		return Fig7Result{}, err
 	}
 	return res, nil
+}
+
+// fig7Cell measures one BWThr against k CSThrs.
+func fig7Cell(spec machine.Spec, seed uint64, warm, window units.Cycles, k int) Fig7Row {
+	h := spec.NewSocket(seed)
+	e := engine.New(h, spec.MSHRs)
+	alloc := mem.NewAlloc(spec.LineSize())
+	bw := interfere.NewBWThr(interfere.DefaultBWConfig(spec.L3.Size), alloc)
+	e.PlaceDaemon(0, bw, seed+1)
+	for i := 0; i < k; i++ {
+		e.PlaceDaemon(1+i, interfere.NewCSThr(interfere.DefaultCSConfig(spec.L3.Size), alloc),
+			seed+10+uint64(i))
+	}
+	e.RunUntil(warm)
+	workBefore := e.Ctx(0).Work()
+	h.ResetStats()
+	e.RunUntil(warm + window)
+	ctr := h.PerCore[0]
+	accesses := e.Ctx(0).Work() - workBefore
+	secPerAccess := spec.Clock.Seconds(window) / float64(accesses)
+	return Fig7Row{
+		CSThrs: k,
+		// Eq. 1 of the paper: BW = line size × #misses / time (demand
+		// fills only, excluding writebacks of other threads' lines).
+		BWGBs:         spec.Clock.BandwidthGBs(ctr.MemAccs*spec.LineSize(), window),
+		L3MissRate:    ctr.L3MissRate(),
+		SecondsPer1e7: secPerAccess * 44 * 1e7,
+	}
 }
 
 // Table renders the check.
@@ -304,37 +330,52 @@ type Fig8Result struct {
 	Rows []Fig8Row
 }
 
-// Fig8 runs the opposite orthogonality check.
+// Fig8 runs the opposite orthogonality check, cell-per-level like Fig7.
 func Fig8(opt Options) (Fig8Result, error) {
 	opt = opt.withDefaults()
 	spec := opt.Spec()
-	res := Fig8Result{Spec: spec}
+	res := Fig8Result{Spec: spec, Rows: make([]Fig8Row, 6)}
 	warm := csWarmup(spec)
-	const window = 6_000_000
-	for k := 0; k <= 5; k++ {
-		h := spec.NewSocket(opt.Seed)
-		e := engine.New(h, spec.MSHRs)
-		alloc := mem.NewAlloc(spec.LineSize())
-		cs := interfere.NewCSThr(interfere.DefaultCSConfig(spec.L3.Size), alloc)
-		e.PlaceDaemon(0, cs, opt.Seed+1)
-		for i := 0; i < k; i++ {
-			e.PlaceDaemon(1+i, interfere.NewBWThr(interfere.DefaultBWConfig(spec.L3.Size), alloc),
-				opt.Seed+10+uint64(i))
+	const window = units.Cycles(6_000_000)
+	ex := opt.executor()
+	err := ex.RunLabeled("Fig. 8 CSThr vs BWThrs", len(res.Rows), func(k int) error {
+		row, err := lab.Memo(ex, lab.KeyOf(spec, opt.Seed, "fig8", warm, window, k),
+			func() (Fig8Row, error) { return fig8Cell(spec, opt.Seed, warm, window, k), nil })
+		if err != nil {
+			return err
 		}
-		e.RunUntil(warm)
-		workBefore := e.Ctx(0).Work()
-		h.ResetStats()
-		e.RunUntil(warm + window)
-		ctr := h.PerCore[0]
-		ops := e.Ctx(0).Work() - workBefore
-		res.Rows = append(res.Rows, Fig8Row{
-			BWThrs:     k,
-			CSGBs:      spec.Clock.BandwidthGBs(ctr.BusBytes, window),
-			L3MissRate: ctr.L3MissRate(),
-			NsPerOp:    spec.Clock.Seconds(window) / float64(ops) * 1e9,
-		})
+		res.Rows[k] = row
+		return nil
+	})
+	if err != nil {
+		return Fig8Result{}, err
 	}
 	return res, nil
+}
+
+// fig8Cell measures one CSThr against k BWThrs.
+func fig8Cell(spec machine.Spec, seed uint64, warm, window units.Cycles, k int) Fig8Row {
+	h := spec.NewSocket(seed)
+	e := engine.New(h, spec.MSHRs)
+	alloc := mem.NewAlloc(spec.LineSize())
+	cs := interfere.NewCSThr(interfere.DefaultCSConfig(spec.L3.Size), alloc)
+	e.PlaceDaemon(0, cs, seed+1)
+	for i := 0; i < k; i++ {
+		e.PlaceDaemon(1+i, interfere.NewBWThr(interfere.DefaultBWConfig(spec.L3.Size), alloc),
+			seed+10+uint64(i))
+	}
+	e.RunUntil(warm)
+	workBefore := e.Ctx(0).Work()
+	h.ResetStats()
+	e.RunUntil(warm + window)
+	ctr := h.PerCore[0]
+	ops := e.Ctx(0).Work() - workBefore
+	return Fig8Row{
+		BWThrs:     k,
+		CSGBs:      spec.Clock.BandwidthGBs(ctr.BusBytes, window),
+		L3MissRate: ctr.L3MissRate(),
+		NsPerOp:    spec.Clock.Seconds(window) / float64(ops) * 1e9,
+	}
 }
 
 // Table renders the check.

@@ -1,0 +1,186 @@
+// The executor's persistent cache tier. The in-memory memo (lab.go) makes
+// identical cells run once per process; attaching a store.Store makes them
+// run once per cache directory: Do consults memory, then disk, then
+// computes — and persists what it computed. Values cross the disk boundary
+// through a registry of typed codecs, so every result struct that flows
+// through Memo (core.Metrics, cluster.Result, …) registers itself once and
+// round-trips exactly (gob preserves float64 bit patterns), keeping warm
+// reruns byte-identical to cold ones.
+
+package lab
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+
+	"activemem/internal/store"
+)
+
+// ResultSchemaVersion stamps every content-addressed Key (and the disk
+// store's header) with the simulator/result-schema generation. Bump it
+// whenever a change alters what any experiment cell computes — simulator
+// semantics, measurement definitions, or the layout of a registered result
+// struct — and every previously persisted result self-invalidates: old
+// keys become unreachable and a read-write store open under the new
+// version discards the stale segment. The golden tests (golden_test.go)
+// pin simulator outputs, so a change that trips them is exactly a change
+// that needs this bump.
+const ResultSchemaVersion = "am-results-v1"
+
+// resultCodec encodes/decodes one registered result type.
+type resultCodec struct {
+	name   string
+	typ    reflect.Type
+	encode func(any) ([]byte, error)
+	decode func([]byte) (any, error)
+}
+
+var (
+	codecMu     sync.RWMutex
+	codecByType = map[reflect.Type]*resultCodec{}
+	codecByName = map[string]*resultCodec{}
+)
+
+// RegisterResult makes T persistable by the executor's disk tier under the
+// given stable name (by convention "package.Type"). Packages register
+// their result types in an init function; registering the same T twice
+// with the same name is a no-op, while name or type conflicts panic — they
+// would corrupt the cache's type dispatch. Unregistered result types are
+// still memoized in memory, just never persisted.
+func RegisterResult[T any](name string) {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	c := &resultCodec{
+		name: name,
+		typ:  t,
+		encode: func(v any) ([]byte, error) {
+			tv, ok := v.(T)
+			if !ok {
+				return nil, fmt.Errorf("lab: encode %s: value has type %T", name, v)
+			}
+			var b bytes.Buffer
+			if err := gob.NewEncoder(&b).Encode(tv); err != nil {
+				return nil, err
+			}
+			return b.Bytes(), nil
+		},
+		decode: func(p []byte) (any, error) {
+			var v T
+			if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	}
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if prev, ok := codecByName[name]; ok {
+		if prev.typ == t {
+			return
+		}
+		panic(fmt.Sprintf("lab: result name %q registered for both %v and %v", name, prev.typ, t))
+	}
+	if prev, ok := codecByType[t]; ok {
+		panic(fmt.Sprintf("lab: result type %v registered as both %q and %q", t, prev.name, name))
+	}
+	codecByName[name] = c
+	codecByType[t] = c
+}
+
+// Scalar results (e.g. the §III-A bandwidth ladder's per-level float64)
+// belong to no package; the registry owns them.
+func init() {
+	RegisterResult[float64]("go.float64")
+	RegisterResult[int]("go.int")
+	RegisterResult[int64]("go.int64")
+	RegisterResult[string]("go.string")
+	RegisterResult[bool]("go.bool")
+}
+
+// cacheGet looks key up in the disk tier. Any failure — no cache, a miss,
+// an unregistered type name, a decode error — reports a miss and lets the
+// cell recompute. A record that decodes no longer (a payload encoding from
+// before an incompatible type change) is invalidated so the recomputed
+// result can replace it; an unknown type name is left alone, since a
+// different binary sharing the directory may still decode it.
+func (e *Executor) cacheGet(key Key) (any, bool) {
+	if e.cache == nil {
+		return nil, false
+	}
+	typeName, payload, ok := e.cache.Get(string(key))
+	if !ok {
+		return nil, false
+	}
+	codecMu.RLock()
+	c := codecByName[typeName]
+	codecMu.RUnlock()
+	if c == nil {
+		return nil, false
+	}
+	v, err := c.decode(payload)
+	if err != nil {
+		e.cache.Invalidate(string(key))
+		return nil, false
+	}
+	return v, true
+}
+
+// cachePut persists a freshly computed result, reporting whether a record
+// was actually written (a concurrent writer may have stored the key
+// first). Persistence is best-effort: an unregistered type or a write
+// failure leaves the result memory-only rather than failing the
+// experiment.
+func (e *Executor) cachePut(key Key, v any) bool {
+	if e.cache == nil || v == nil {
+		return false
+	}
+	codecMu.RLock()
+	c := codecByType[reflect.TypeOf(v)]
+	codecMu.RUnlock()
+	if c == nil {
+		return false
+	}
+	payload, err := c.encode(v)
+	if err != nil {
+		return false
+	}
+	added, err := e.cache.Put(string(key), c.name, payload)
+	return err == nil && added
+}
+
+// Cache returns the executor's disk tier, or nil.
+func (e *Executor) Cache() *store.Store { return e.cache }
+
+// OpenCache opens the persistent result store in dir under the current
+// ResultSchemaVersion — the one way the CLIs and the facade resolve a
+// -cache-dir / MeasureOptions.CacheDir setting, so the schema stamp can
+// never diverge between them. An empty dir returns (nil, nil): caching
+// disabled.
+func OpenCache(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return store.Open(dir, store.Options{Schema: ResultSchemaVersion})
+}
+
+// CacheSummary renders the memo counters in the machine-readable form the
+// CLIs print (and CI's resume-smoke step parses) when a cache directory is
+// configured: every Do call was either computed, served from the
+// in-process memo, or served from disk.
+func (e *Executor) CacheSummary() string {
+	st := e.Stats()
+	return fmt.Sprintf("cache: computed=%d disk_hits=%d mem_hits=%d persisted=%d",
+		st.Computed, st.DiskHits, st.Hits, st.Persisted)
+}
+
+// PrintCacheSummary writes the cache epilogue every CLI prints to w, or
+// nothing when no disk tier is attached.
+func (e *Executor) PrintCacheSummary(w io.Writer) {
+	if e.cache == nil {
+		return
+	}
+	fmt.Fprintf(w, "%s entries=%d dir=%s\n", e.CacheSummary(), e.cache.Len(), e.cache.Dir())
+}

@@ -29,26 +29,87 @@ import (
 	"encoding/hex"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"activemem/internal/store"
 )
 
 // Key identifies the full input content of one experiment cell.
 type Key string
 
-// KeyOf fingerprints its arguments into a content-addressed Key: each
-// argument is rendered in Go syntax (%#v) and fed to SHA-256, so two keys
-// are equal exactly when the rendered inputs are. Arguments must render
-// deterministically — value structs, strings and numbers do; maps and
-// pointers to freshly allocated state do not and must be expanded by the
-// caller into stable values first.
+// KeyOf fingerprints its arguments into a content-addressed Key: the
+// ResultSchemaVersion stamp and each argument rendered in Go syntax (%#v)
+// are fed to SHA-256, so two keys are equal exactly when the rendered
+// inputs are and keys from different simulator generations never collide.
+// Arguments must render deterministically — value structs, strings and
+// numbers do; maps and pointers do not (iteration order and addresses vary
+// run to run) and KeyOf panics on them, because a silently unstable key
+// defeats memoization in-process and poisons the persistent store across
+// processes. Expand such state into stable values at the call site.
 func KeyOf(parts ...any) Key {
 	h := sha256.New()
-	for _, p := range parts {
+	fmt.Fprintf(h, "%s\x1f", ResultSchemaVersion)
+	for i, p := range parts {
+		if err := checkFingerprintable(reflect.ValueOf(p), 0); err != nil {
+			panic(fmt.Sprintf("lab: KeyOf argument %d (%T) cannot be fingerprinted deterministically: %v "+
+				"(maps and pointers render iteration order or addresses; pass stable values instead)", i, p, err))
+		}
 		fmt.Fprintf(h, "%#v\x1f", p)
 	}
 	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// checkFingerprintable walks a value, rejecting kinds whose %#v rendering
+// is not a pure function of content: maps (iteration order), pointers and
+// unsafe pointers (addresses), channels and funcs (addresses). Structs,
+// arrays, slices and interfaces are walked recursively; everything the
+// experiment configs are made of — numbers, strings, bools, value structs —
+// passes.
+func checkFingerprintable(v reflect.Value, depth int) error {
+	const maxDepth = 64
+	if depth > maxDepth {
+		return fmt.Errorf("nesting deeper than %d", maxDepth)
+	}
+	if !v.IsValid() { // untyped nil renders as a stable "<nil>"
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Map:
+		return fmt.Errorf("contains a map (%s)", v.Type())
+	case reflect.Ptr, reflect.UnsafePointer:
+		return fmt.Errorf("contains a pointer (%s)", v.Type())
+	case reflect.Chan, reflect.Func:
+		return fmt.Errorf("contains a %s (%s)", v.Kind(), v.Type())
+	case reflect.Interface:
+		if v.IsNil() {
+			return nil
+		}
+		return checkFingerprintable(v.Elem(), depth+1)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if err := checkFingerprintable(v.Field(i), depth+1); err != nil {
+				return fmt.Errorf("field %s.%s: %w", v.Type(), v.Type().Field(i).Name, err)
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		// Element types that cannot hold a rejected kind need no per-element
+		// walk; this keeps KeyOf O(1) for the common []byte / []int64 cases.
+		switch v.Type().Elem().Kind() {
+		case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+			reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128, reflect.String:
+			return nil
+		}
+		for i := 0; i < v.Len(); i++ {
+			if err := checkFingerprintable(v.Index(i), depth+1); err != nil {
+				return fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // Config parameterises an Executor.
@@ -63,6 +124,13 @@ type Config struct {
 	// completion, the callback receives one final call with done = -1 so
 	// line-oriented meters can terminate their output.
 	Progress func(label string, done, total int)
+	// Cache, when non-nil, is the persistent disk tier behind the memo:
+	// Do consults memory, then the store, then computes — and persists
+	// successful results whose type is registered (RegisterResult). Open
+	// the store with Schema: ResultSchemaVersion so stale results from an
+	// older simulator generation self-invalidate. Several executors (or
+	// processes) may share one cache directory; see package store.
+	Cache *store.Store
 }
 
 // Executor schedules experiment cells. Construct with New; the zero value
@@ -78,11 +146,14 @@ type Executor struct {
 	slots    chan struct{} // executor-wide worker semaphore
 	progress func(label string, done, total int)
 	progMu   sync.Mutex // serialises progress across batches
+	cache    *store.Store
 
-	mu       sync.Mutex
-	memo     map[Key]*memoEntry
-	computed int
-	hits     int
+	mu        sync.Mutex
+	memo      map[Key]*memoEntry
+	computed  int
+	hits      int
+	diskHits  int
+	persisted int
 }
 
 type memoEntry struct {
@@ -98,7 +169,7 @@ func New(cfg Config) *Executor {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return &Executor{workers: w, slots: make(chan struct{}, w),
-		progress: cfg.Progress, memo: map[Key]*memoEntry{}}
+		progress: cfg.Progress, cache: cfg.Cache, memo: map[Key]*memoEntry{}}
 }
 
 // Workers returns the executor's concurrency bound.
@@ -206,11 +277,31 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 	return errVal
 }
 
+// Progress feeds one externally sequenced unit of work to the executor's
+// progress callback, serialised with batch reporting. It exists for work
+// that is inherently level-by-level — an adaptive sweep schedules each
+// interference level only after seeing the previous slowdowns, outside
+// RunLabeled — but should still drive the CLI meters. The done = -1
+// early-termination signal of Config.Progress applies here too. A nil
+// callback makes this a no-op.
+func (e *Executor) Progress(label string, done, total int) {
+	if e.progress == nil {
+		return
+	}
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	e.progress(label, done, total)
+}
+
 // Do returns the result for key, computing it with fn at most once per
 // Executor; concurrent calls with the same key block until the single
 // computation finishes and then share its result (including its error).
-// The caller must ensure the key captures every input fn's result depends
-// on — an under-specified key silently returns a wrong cached result.
+// With a disk tier attached (Config.Cache), the computation is preceded by
+// a store lookup and followed by a best-effort persist, so identical cells
+// run at most once per cache directory across processes and interrupted
+// campaigns resume where they stopped. The caller must ensure the key
+// captures every input fn's result depends on — an under-specified key
+// silently returns a wrong cached result.
 func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 	e.mu.Lock()
 	ent, ok := e.memo[key]
@@ -220,16 +311,30 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 	}
 	e.mu.Unlock()
 
-	ran := false
+	ran, fromDisk, wrote := false, false, false
 	ent.once.Do(func() {
+		if v, ok := e.cacheGet(key); ok {
+			ent.value = v
+			fromDisk = true
+			return
+		}
 		ent.value, ent.err = fn()
 		ran = true
+		if ent.err == nil {
+			wrote = e.cachePut(key, ent.value)
+		}
 	})
 
 	e.mu.Lock()
-	if ran {
+	switch {
+	case ran:
 		e.computed++
-	} else {
+		if wrote {
+			e.persisted++
+		}
+	case fromDisk:
+		e.diskHits++
+	default:
 		e.hits++
 	}
 	e.mu.Unlock()
@@ -260,15 +365,20 @@ func Memo[T any](e *Executor, key Key, fn func() (T, error)) (T, error) {
 type Stats struct {
 	// Computed is the number of distinct computations executed via Do.
 	Computed int
-	// Hits is the number of Do calls served from the memo cache.
+	// Hits is the number of Do calls served from the in-memory memo.
 	Hits int
+	// DiskHits is the number of Do calls served from the persistent store.
+	DiskHits int
+	// Persisted is the number of computed results written to the store.
+	Persisted int
 }
 
 // Stats returns a snapshot of the memoization counters.
 func (e *Executor) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Stats{Computed: e.computed, Hits: e.hits}
+	return Stats{Computed: e.computed, Hits: e.hits,
+		DiskHits: e.diskHits, Persisted: e.persisted}
 }
 
 // StderrProgress returns a Progress callback that renders a per-batch

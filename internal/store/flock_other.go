@@ -1,0 +1,25 @@
+//go:build !unix
+
+package store
+
+import "sync"
+
+// dirMus serialises store access per cache directory within this process
+// on platforms without flock. Cross-process sharing of one directory is
+// not coordinated here: the record checksums still prevent a torn append
+// from being served — at worst the tail is truncated at the next open —
+// but concurrent processes should use distinct directories.
+var dirMus sync.Map // dir -> *sync.Mutex
+
+// withLock on platforms without flock degrades to in-process, per-directory
+// serialisation: any number of Store handles on one directory within this
+// process remain fully coordinated (s.mu only covers a single handle);
+// exclusive and shared acquisitions collapse to one mutex, which is fine at
+// the store's call rates.
+func (s *Store) withLock(exclusive bool, fn func() error) error {
+	v, _ := dirMus.LoadOrStore(s.dir, &sync.Mutex{})
+	mu := v.(*sync.Mutex)
+	mu.Lock()
+	defer mu.Unlock()
+	return fn()
+}

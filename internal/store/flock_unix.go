@@ -1,0 +1,39 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// withLock runs fn while holding the store's cross-process file lock:
+// exclusive for writers (appends, compaction), shared for readers scanning
+// the tail. In-process callers are already serialised by s.mu, so the
+// flock state of the single lock descriptor is never manipulated by two
+// goroutines at once; distinct Store instances — in this or any other
+// process — contend through the kernel.
+func (s *Store) withLock(exclusive bool, fn func() error) error {
+	if s.lockF == nil { // read-only open of a bare copied segment
+		return fn()
+	}
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	if err := flockRetry(int(s.lockF.Fd()), how); err != nil {
+		return fmt.Errorf("store: lock %s: %w", s.dir, err)
+	}
+	defer flockRetry(int(s.lockF.Fd()), syscall.LOCK_UN)
+	return fn()
+}
+
+// flockRetry issues flock, retrying on EINTR.
+func flockRetry(fd, how int) error {
+	for {
+		err := syscall.Flock(fd, how)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

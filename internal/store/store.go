@@ -1,0 +1,1004 @@
+// Package store is the on-disk half of the experiment memoization system:
+// a content-addressed, crash-safe result store that outlives the process.
+// The in-memory memo of internal/lab deduplicates cells within one run;
+// this store persists them across runs, commands and machines, so an
+// interrupted `validate -grid paper` campaign resumes with only the missing
+// cells simulated and a finished campaign can be exported to a colleague.
+//
+// Layout: a cache directory holds one append-only segment file plus a lock
+// file. The segment starts with a header naming the binary format and the
+// caller's schema version (the simulator/result version stamp); entries
+// follow as self-delimiting records:
+//
+//	entryMagic  uint32   per-record sync marker
+//	keyLen      uint16
+//	typeLen     uint16
+//	payloadLen  uint32
+//	stamp       int64    unix seconds at write (GC age input)
+//	key         keyLen bytes (content-addressed: a lab.Key hex digest)
+//	typeName    typeLen bytes (decoder selector, e.g. "core.Metrics")
+//	payload     payloadLen bytes
+//	crc         uint32   IEEE CRC-32 of everything above
+//
+// Crash safety is by construction: records are appended with a single
+// write under an exclusive lock, so the only possible inconsistency is a
+// torn record at the tail (a crashed writer), which Open and the next
+// writer truncate away. A corrupted record body (bit rot, a flipped byte)
+// fails its checksum and is skipped — the key simply misses and its cell
+// recomputes — while records after it stay reachable: even when the
+// damage hits a length field and desynchronises parsing, the scan
+// resynchronises on the next per-record magic marker instead of giving up
+// on the rest of the segment. Stale schema versions discard the whole
+// segment at Open: results produced by a different simulator version must
+// never be served.
+//
+// Concurrency: one Store is safe for concurrent use by any number of
+// goroutines, and any number of processes (or Stores in one process) may
+// share a directory. Writers serialise appends through an exclusive
+// file lock; readers never lock — committed bytes are immutable — and an
+// index miss triggers a shared-lock tail rescan so results appended by
+// sibling processes become visible mid-run.
+package store
+
+import (
+	"archive/tar"
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	// fileMagic names the binary format; bump the trailing digits when the
+	// record layout changes.
+	fileMagic = "AMSTOR01"
+
+	segmentName = "results.seg"
+	lockName    = "LOCK"
+
+	entryMagic  = uint32(0x414D4345) // "AMCE"
+	fixedHdrLen = 4 + 2 + 2 + 4 + 8
+	crcLen      = 4
+
+	maxKeyLen  = 1 << 10
+	maxTypeLen = 1 << 10
+	maxPayload = 1 << 26
+)
+
+// Options configures Open.
+type Options struct {
+	// Schema is the result schema / simulator version stamp (see
+	// lab.ResultSchemaVersion). A read-write Open of a store written under
+	// a different schema discards its contents — stale results
+	// self-invalidate; a read-only Open reports an error instead.
+	Schema string
+	// ReadOnly opens for inspection: Get and the maintenance scans work,
+	// Put/GC/Import fail, and torn tails are tolerated rather than
+	// truncated.
+	ReadOnly bool
+}
+
+// entryRef locates one live record in the segment.
+type entryRef struct {
+	off        int64 // record start
+	recLen     int64
+	typeName   string
+	payloadLen int
+	stamp      int64
+}
+
+// Store is an open result store. Methods are safe for concurrent use.
+type Store struct {
+	dir      string
+	schema   string
+	readOnly bool
+
+	mu      sync.Mutex
+	f       *os.File
+	lockF   *os.File
+	index   map[string]entryRef
+	scanned int64 // offset one past the last parsed record
+	hdrLen  int64
+	reset   bool // contents were discarded at Open (schema/format change)
+	// dead poisons the handle after a partial GC swap (segment renamed but
+	// reopen failed): s.f then points at the unlinked old inode, where a
+	// Put would "succeed" into a file that vanishes at Close. Every write
+	// reports dead instead; reads miss.
+	dead error
+}
+
+// Open opens (creating if necessary, unless read-only) the store in dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if opts.Schema == "" {
+		return nil, fmt.Errorf("store: empty schema version")
+	}
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{dir: dir, schema: opts.Schema, readOnly: opts.ReadOnly,
+		index: map[string]entryRef{}}
+
+	lockFlags := os.O_RDWR | os.O_CREATE
+	segFlags := os.O_RDWR | os.O_CREATE
+	if opts.ReadOnly {
+		lockFlags, segFlags = os.O_RDONLY, os.O_RDONLY
+	}
+	var err error
+	if s.lockF, err = os.OpenFile(filepath.Join(dir, lockName), lockFlags, 0o644); err != nil {
+		// A directory holding just a copied segment (no LOCK) is still
+		// inspectable: nothing else can be writing it through this
+		// directory, so read-only access proceeds lock-free.
+		if !(opts.ReadOnly && os.IsNotExist(err)) {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.lockF = nil
+	}
+	if s.f, err = os.OpenFile(filepath.Join(dir, segmentName), segFlags, 0o644); err != nil {
+		s.closeFiles()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	// The opening scan (and a possible schema reset or tail truncation)
+	// must not race other writers.
+	if err := s.withLock(!opts.ReadOnly, func() error { return s.loadLocked() }); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// closeFiles closes whichever file handles are open.
+func (s *Store) closeFiles() error {
+	var err error
+	if s.f != nil {
+		err = s.f.Close()
+	}
+	if s.lockF != nil {
+		if cerr := s.lockF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// loadLocked validates the header and builds the index. File lock held.
+func (s *Store) loadLocked() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if fi.Size() == 0 {
+		if s.readOnly {
+			// A brand-new empty file is a valid empty store.
+			s.hdrLen, s.scanned = 0, 0
+			return nil
+		}
+		return s.writeHeaderLocked()
+	}
+	onDisk, hdrLen, err := readHeader(s.f)
+	switch {
+	case err != nil || onDisk != s.schema:
+		if s.readOnly {
+			if err != nil {
+				return fmt.Errorf("store: %s: unrecognised format: %w",
+					s.segPath(), err)
+			}
+			return fmt.Errorf("store: %s holds schema %q, want %q (stale store; a read-write open would reset it)",
+				s.segPath(), onDisk, s.schema)
+		}
+		// Version-mismatch invalidation: every entry was produced by a
+		// different simulator/result version and must not be served.
+		s.reset = true
+		if err := s.f.Truncate(0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return s.writeHeaderLocked()
+	default:
+		s.hdrLen, s.scanned = hdrLen, hdrLen
+		return s.scanTailLocked(!s.readOnly)
+	}
+}
+
+func (s *Store) segPath() string { return filepath.Join(s.dir, segmentName) }
+
+// ensureHeaderLocked validates a header that did not exist yet when this
+// handle opened: a read-only Open may race a writer's very first open and
+// see a zero-length segment (hdrLen 0). Once bytes appear, the header must
+// be parsed — and its schema checked — before any of them are read as
+// records. File lock held.
+func (s *Store) ensureHeaderLocked(size int64) error {
+	if s.hdrLen > 0 || size == 0 {
+		return nil
+	}
+	onDisk, hdrLen, err := readHeader(s.f)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if onDisk != s.schema {
+		return fmt.Errorf("store: %s holds schema %q, want %q", s.segPath(), onDisk, s.schema)
+	}
+	s.hdrLen = hdrLen
+	if s.scanned < hdrLen {
+		s.scanned = hdrLen
+	}
+	return nil
+}
+
+// encodeHeader renders the segment header: magic, schema length, schema.
+func encodeHeader(schema string) []byte {
+	b := make([]byte, 0, len(fileMagic)+2+len(schema))
+	b = append(b, fileMagic...)
+	var lenBuf [2]byte
+	binary.LittleEndian.PutUint16(lenBuf[:], uint16(len(schema)))
+	b = append(b, lenBuf[:]...)
+	return append(b, schema...)
+}
+
+// writeHeaderLocked initialises an empty segment. File lock held.
+func (s *Store) writeHeaderLocked() error {
+	hdr := encodeHeader(s.schema)
+	if _, err := s.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.hdrLen = int64(len(hdr))
+	s.scanned = s.hdrLen
+	return nil
+}
+
+// readHeader parses the segment header, returning the stored schema and
+// header length.
+func readHeader(f *os.File) (schema string, hdrLen int64, err error) {
+	buf := make([]byte, len(fileMagic)+2)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(len(buf))), buf); err != nil {
+		return "", 0, fmt.Errorf("short header: %w", err)
+	}
+	if string(buf[:len(fileMagic)]) != fileMagic {
+		return "", 0, fmt.Errorf("bad magic %q", buf[:len(fileMagic)])
+	}
+	n := int(binary.LittleEndian.Uint16(buf[len(fileMagic):]))
+	sb := make([]byte, n)
+	off := int64(len(buf))
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, int64(n)), sb); err != nil {
+		return "", 0, fmt.Errorf("short schema: %w", err)
+	}
+	return string(sb), off + int64(n), nil
+}
+
+// encodeRecord renders one record; see the package comment for the layout.
+func encodeRecord(key, typeName string, payload []byte, stamp int64) []byte {
+	n := fixedHdrLen + len(key) + len(typeName) + len(payload) + crcLen
+	b := make([]byte, 0, n)
+	var u4 [4]byte
+	var u8 [8]byte
+	binary.LittleEndian.PutUint32(u4[:], entryMagic)
+	b = append(b, u4[:]...)
+	binary.LittleEndian.PutUint16(u4[:2], uint16(len(key)))
+	b = append(b, u4[:2]...)
+	binary.LittleEndian.PutUint16(u4[:2], uint16(len(typeName)))
+	b = append(b, u4[:2]...)
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(payload)))
+	b = append(b, u4[:]...)
+	binary.LittleEndian.PutUint64(u8[:], uint64(stamp))
+	b = append(b, u8[:]...)
+	b = append(b, key...)
+	b = append(b, typeName...)
+	b = append(b, payload...)
+	binary.LittleEndian.PutUint32(u4[:], crc32.ChecksumIEEE(b))
+	return append(b, u4[:]...)
+}
+
+// recStatus classifies one scanned record.
+type recStatus int
+
+const (
+	recGood recStatus = iota
+	recBadCRC
+	recTorn // incomplete or unparseable from here on
+)
+
+// parsedRecord is the outcome of scanning one record.
+type parsedRecord struct {
+	key      string
+	typeName string
+	payload  []byte
+	stamp    int64
+	recLen   int64
+}
+
+// entryMagicBytes is the on-disk rendering of entryMagic, the marker the
+// scan resynchronises on after unparseable bytes.
+var entryMagicBytes = binary.LittleEndian.AppendUint32(nil, entryMagic)
+
+// parseRecord parses one record at the start of b. recTorn means no
+// complete record starts here: a clean end of input, a torn append, or
+// garbage (including a record whose corrupted length fields point past the
+// available bytes).
+func parseRecord(b []byte) (parsedRecord, recStatus) {
+	if len(b) < fixedHdrLen || binary.LittleEndian.Uint32(b) != entryMagic {
+		return parsedRecord{}, recTorn
+	}
+	keyLen := int(binary.LittleEndian.Uint16(b[4:]))
+	typeLen := int(binary.LittleEndian.Uint16(b[6:]))
+	payloadLen := int(binary.LittleEndian.Uint32(b[8:]))
+	if keyLen == 0 || keyLen > maxKeyLen || typeLen > maxTypeLen || payloadLen > maxPayload {
+		return parsedRecord{}, recTorn
+	}
+	total := fixedHdrLen + keyLen + typeLen + payloadLen + crcLen
+	if len(b) < total {
+		return parsedRecord{}, recTorn
+	}
+	rec := parsedRecord{
+		key:      string(b[fixedHdrLen : fixedHdrLen+keyLen]),
+		typeName: string(b[fixedHdrLen+keyLen : fixedHdrLen+keyLen+typeLen]),
+		payload:  b[fixedHdrLen+keyLen+typeLen : total-crcLen],
+		stamp:    int64(binary.LittleEndian.Uint64(b[12:])),
+		recLen:   int64(total),
+	}
+	if crc32.ChecksumIEEE(b[:total-crcLen]) != binary.LittleEndian.Uint32(b[total-crcLen:total]) {
+		return rec, recBadCRC
+	}
+	return rec, recGood
+}
+
+// walkRecords scans buf (whose first byte sits at file offset base),
+// invoking fn for every intact record and for the first checksum-failed
+// record of each damaged region. A failed checksum vouches for nothing —
+// least of all the record's own length fields — so the scan never advances
+// by a corrupt record's claimed extent; it resynchronises on the next
+// entry magic instead, which keeps every intact record after the damage
+// reachable. It returns the file offset where a trailing unparseable
+// region begins (base+len(buf) when the buffer ends at a record boundary)
+// and the number of mid-buffer garbage bytes skipped.
+func walkRecords(buf []byte, base int64, fn func(off int64, rec parsedRecord, st recStatus)) (tail, garbage int64) {
+	off, garbageStart := 0, -1
+	for off < len(buf) {
+		rec, st := parseRecord(buf[off:])
+		if st == recGood {
+			if garbageStart >= 0 {
+				garbage += int64(off - garbageStart)
+				garbageStart = -1
+			}
+			fn(base+int64(off), rec, st)
+			off += int(rec.recLen)
+			continue
+		}
+		if garbageStart < 0 {
+			garbageStart = off
+			if st == recBadCRC {
+				// The first failure of a region at a plausible record
+				// boundary is the damaged record itself; report it once.
+				fn(base+int64(off), rec, st)
+			}
+		}
+		idx := bytes.Index(buf[off+1:], entryMagicBytes)
+		if idx < 0 {
+			break // unparseable through to the end: a torn tail
+		}
+		off += 1 + idx
+	}
+	if garbageStart >= 0 {
+		return base + int64(garbageStart), garbage
+	}
+	return base + int64(len(buf)), garbage
+}
+
+// scanTailLocked parses records from s.scanned to EOF into the index.
+// Checksum failures skip the record (its key recomputes, and the record's
+// claimed extent is re-synchronised past if its lengths were the damaged
+// part); an unparseable tail stops the scan and, when truncateTorn, is cut
+// off so appends stay well-formed. Both s.mu and the file lock are held.
+func (s *Store) scanTailLocked(truncateTorn bool) error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if err := s.ensureHeaderLocked(size); err != nil {
+		return err
+	}
+	if truncateTorn && s.hdrLen > 0 {
+		// Writers are about to truncate at — and append past — offsets
+		// derived from this handle's history, so re-verify that history is
+		// still the file's: a reset by a different-schema process can
+		// regrow the segment to any size, making the shrink check below
+		// insufficient on its own. A header of another schema means every
+		// offset we hold is meaningless; fail the write rather than
+		// truncate someone else's committed records.
+		onDisk, _, err := readHeader(s.f)
+		if err != nil {
+			return fmt.Errorf("store: segment replaced under this handle: %w", err)
+		}
+		if onDisk != s.schema {
+			return fmt.Errorf("store: segment reset to schema %q under this %q handle (reopen the store)",
+				onDisk, s.schema)
+		}
+	}
+	if size < s.scanned {
+		// The segment shrank under us (a reset we survived only as a
+		// reader): our whole index points at vanished bytes. Drop it and
+		// rebuild from the on-disk header, which the checks above proved
+		// still carries our schema.
+		s.index = map[string]entryRef{}
+		onDisk, hdrLen, err := readHeader(s.f)
+		if err != nil {
+			return fmt.Errorf("store: segment replaced under this handle: %w", err)
+		}
+		if onDisk != s.schema {
+			return fmt.Errorf("store: segment reset to schema %q under this %q handle (reopen the store)",
+				onDisk, s.schema)
+		}
+		s.hdrLen, s.scanned = hdrLen, hdrLen
+	}
+	if size <= s.scanned {
+		return nil
+	}
+	buf := make([]byte, size-s.scanned)
+	if _, err := s.f.ReadAt(buf, s.scanned); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tail, _ := walkRecords(buf, s.scanned, func(off int64, rec parsedRecord, st recStatus) {
+		if st == recGood {
+			s.index[rec.key] = entryRef{off: off, recLen: rec.recLen,
+				typeName: rec.typeName, payloadLen: len(rec.payload), stamp: rec.stamp}
+		}
+	})
+	s.scanned = tail
+	if tail < size && truncateTorn && !s.readOnly {
+		if err := s.f.Truncate(tail); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// Get returns the entry for key, or ok == false when it is absent or its
+// record fails verification. A miss rescans the segment tail first, so
+// entries appended by other processes sharing the directory are found.
+func (s *Store) Get(key string) (typeName string, payload []byte, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead != nil {
+		return "", nil, false
+	}
+	if p, typeName, ok := s.getIndexedLocked(key); ok {
+		return typeName, p, true
+	}
+	if fi, err := s.f.Stat(); err == nil && fi.Size() != s.scanned {
+		// Another process appended since our last scan; committed records
+		// are immutable, so a shared lock suffices (and only guards
+		// against scanning a record mid-append).
+		_ = s.withLock(false, func() error { return s.scanTailLocked(false) })
+		if p, typeName, ok := s.getIndexedLocked(key); ok {
+			return typeName, p, true
+		}
+	}
+	return "", nil, false
+}
+
+// getIndexedLocked serves key from the index, dropping the entry when its
+// record no longer verifies (concurrent GC or bit rot) so the cell
+// recomputes. s.mu held.
+func (s *Store) getIndexedLocked(key string) (payload []byte, typeName string, ok bool) {
+	ref, hit := s.index[key]
+	if !hit {
+		return nil, "", false
+	}
+	p, err := s.readEntryLocked(key, ref)
+	if err != nil {
+		delete(s.index, key)
+		return nil, "", false
+	}
+	return p, ref.typeName, true
+}
+
+// readEntryLocked reads and re-verifies one record, returning its payload.
+// The parsed record must be the very record the index promised — same key,
+// same extent — not merely a valid record: after another process rewrites
+// the segment under this handle, a stale offset can land on a different,
+// perfectly well-formed record, and serving that one would cross result
+// generations.
+func (s *Store) readEntryLocked(key string, ref entryRef) ([]byte, error) {
+	buf := make([]byte, ref.recLen)
+	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+		return nil, err
+	}
+	rec, status := parseRecord(buf)
+	if status != recGood || rec.key != key || rec.recLen != ref.recLen {
+		return nil, fmt.Errorf("store: record at %d failed verification", ref.off)
+	}
+	return rec.payload, nil
+}
+
+// Put appends an entry, reporting whether it wrote: a key already present
+// is left untouched and reports false (results are content-addressed —
+// same key, same value — so concurrent writers that raced on a computation
+// converge on one record).
+func (s *Store) Put(key, typeName string, payload []byte) (added bool, err error) {
+	if len(key) == 0 || len(key) > maxKeyLen || len(typeName) > maxTypeLen {
+		return false, fmt.Errorf("store: bad key/type length %d/%d", len(key), len(typeName))
+	}
+	if len(payload) > maxPayload {
+		return false, fmt.Errorf("store: payload %d exceeds %d bytes", len(payload), maxPayload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return false, fmt.Errorf("store: read-only")
+	}
+	if s.dead != nil {
+		return false, s.dead
+	}
+	err = s.withLock(true, func() error {
+		// Catch up on other writers (and truncate a crashed writer's torn
+		// tail) so the append lands at a record boundary.
+		if err := s.scanTailLocked(true); err != nil {
+			return err
+		}
+		if _, dup := s.index[key]; dup {
+			return nil
+		}
+		if err := s.appendLocked(encodeRecord(key, typeName, payload, time.Now().Unix())); err != nil {
+			return err
+		}
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Invalidate drops key from this handle's index, so the next Put for it
+// appends a fresh record, which last-wins over the old one at every future
+// scan (fresh opens immediately; live sibling handles at their next tail
+// rescan). The executor's disk tier uses it when a checksum-valid record
+// fails to decode — a stale payload encoding that, left in place, would
+// force every future run to recompute the cell without ever being able to
+// repair it.
+func (s *Store) Invalidate(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.index, key)
+}
+
+// appendLocked writes one pre-encoded record at the committed tail and
+// indexes it. Both s.mu and the exclusive file lock are held, and s.scanned
+// must equal the file size.
+func (s *Store) appendLocked(rec []byte) error {
+	if _, err := s.f.WriteAt(rec, s.scanned); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	parsed, status := parseRecord(rec)
+	if status != recGood {
+		return fmt.Errorf("store: internal error: appended record does not verify")
+	}
+	s.index[parsed.key] = entryRef{off: s.scanned, recLen: parsed.recLen,
+		typeName: parsed.typeName, payloadLen: len(parsed.payload), stamp: parsed.stamp}
+	s.scanned += parsed.recLen
+	return nil
+}
+
+// Close releases the store's file handles.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeFiles()
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Schema returns the schema version the store was opened with.
+func (s *Store) Schema() string { return s.schema }
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// ResetOnOpen reports whether Open discarded a previous segment because its
+// format or schema version did not match.
+func (s *Store) ResetOnOpen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reset
+}
+
+// EntryInfo describes one live entry.
+type EntryInfo struct {
+	Key          string
+	Type         string
+	PayloadBytes int
+	Stamp        time.Time
+}
+
+// keyedRef pairs a key with its index entry.
+type keyedRef struct {
+	key string
+	ref entryRef
+}
+
+// liveRefsLocked returns the live entries in segment (write) order — the
+// one definition of "segment order" shared by Entries, GC and Export.
+// s.mu held.
+func (s *Store) liveRefsLocked() []keyedRef {
+	all := make([]keyedRef, 0, len(s.index))
+	for k, ref := range s.index {
+		all = append(all, keyedRef{k, ref})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ref.off < all[j].ref.off })
+	return all
+}
+
+// Entries lists live entries in segment order (write order).
+func (s *Store) Entries() []EntryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.liveRefsLocked()
+	out := make([]EntryInfo, len(all))
+	for i, p := range all {
+		out[i] = EntryInfo{Key: p.key, Type: p.ref.typeName,
+			PayloadBytes: p.ref.payloadLen, Stamp: time.Unix(p.ref.stamp, 0)}
+	}
+	return out
+}
+
+// Summary aggregates the store's state.
+type Summary struct {
+	Dir     string
+	Schema  string
+	Entries int
+	// Bytes is the segment file size (header, live entries, and any stale
+	// or corrupt records GC has not yet compacted away).
+	Bytes          int64
+	PerType        map[string]int
+	Oldest, Newest time.Time
+}
+
+// Stats returns a summary of the store.
+func (s *Store) Stats() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := Summary{Dir: s.dir, Schema: s.schema, Entries: len(s.index),
+		PerType: map[string]int{}}
+	if fi, err := s.f.Stat(); err == nil {
+		sum.Bytes = fi.Size()
+	}
+	for _, ref := range s.index {
+		sum.PerType[ref.typeName]++
+		t := time.Unix(ref.stamp, 0)
+		if sum.Oldest.IsZero() || t.Before(sum.Oldest) {
+			sum.Oldest = t
+		}
+		if t.After(sum.Newest) {
+			sum.Newest = t
+		}
+	}
+	return sum
+}
+
+// VerifyResult reports a full-segment checksum scan.
+type VerifyResult struct {
+	// Records is the number of complete records parsed (live + stale).
+	Records int
+	// Live is the number of currently reachable entries.
+	Live int
+	// Corrupt counts records whose checksum failed.
+	Corrupt int
+	// TornBytes is the length of an unparseable tail, zero when the
+	// segment ends cleanly.
+	TornBytes int64
+	// GarbageBytes counts mid-segment bytes the scan had to resynchronise
+	// past (e.g. a record whose length fields were corrupted).
+	GarbageBytes int64
+}
+
+// Verify re-reads every record in the segment and checks its checksum.
+func (s *Store) Verify() (VerifyResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res VerifyResult
+	err := s.withLock(false, func() error {
+		fi, err := s.f.Stat()
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		size := fi.Size()
+		if err := s.ensureHeaderLocked(size); err != nil {
+			return err
+		}
+		buf := make([]byte, size-s.hdrLen)
+		if _, err := s.f.ReadAt(buf, s.hdrLen); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		tail, garbage := walkRecords(buf, s.hdrLen, func(_ int64, rec parsedRecord, st recStatus) {
+			res.Records++
+			if st == recBadCRC {
+				res.Corrupt++
+			}
+		})
+		res.TornBytes = size - tail
+		res.GarbageBytes = garbage
+		return nil
+	})
+	res.Live = len(s.index)
+	return res, err
+}
+
+// GCPolicy selects which entries a compaction keeps.
+type GCPolicy struct {
+	// MaxAge evicts entries written longer ago; zero keeps all ages.
+	MaxAge time.Duration
+	// MaxBytes bounds the surviving record bytes, evicting oldest-first;
+	// zero means unbounded.
+	MaxBytes int64
+}
+
+// GCResult reports a compaction.
+type GCResult struct {
+	Kept, Evicted           int
+	BytesBefore, BytesAfter int64
+}
+
+// GC compacts the segment: stale duplicates, checksum-failed records and
+// entries outside the policy are dropped, survivors are rewritten to a
+// temporary segment which atomically replaces the old one (temp file +
+// rename). Other Stores sharing the directory keep reading their old
+// segment until they reopen; run GC between campaigns, not during one.
+func (s *Store) GC(policy GCPolicy) (GCResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res GCResult
+	if s.readOnly {
+		return res, fmt.Errorf("store: read-only")
+	}
+	if s.dead != nil {
+		return res, s.dead
+	}
+	err := s.withLock(true, func() error {
+		if err := s.scanTailLocked(true); err != nil {
+			return err
+		}
+		res.BytesBefore = s.scanned
+
+		all := s.liveRefsLocked()
+		live := all[:0]
+		cutoff := int64(0)
+		if policy.MaxAge > 0 {
+			cutoff = time.Now().Add(-policy.MaxAge).Unix()
+		}
+		for _, p := range all {
+			if p.ref.stamp < cutoff {
+				res.Evicted++
+				continue
+			}
+			live = append(live, p)
+		}
+		if policy.MaxBytes > 0 {
+			// Evict oldest-first until the surviving records fit.
+			sort.Slice(live, func(i, j int) bool {
+				if live[i].ref.stamp != live[j].ref.stamp {
+					return live[i].ref.stamp > live[j].ref.stamp
+				}
+				return live[i].ref.off > live[j].ref.off
+			})
+			var total int64
+			kept := live[:0]
+			for _, p := range live {
+				if total+p.ref.recLen > policy.MaxBytes {
+					res.Evicted++
+					continue
+				}
+				total += p.ref.recLen
+				kept = append(kept, p)
+			}
+			live = kept
+		}
+		// Rewrite survivors in their original order.
+		sort.Slice(live, func(i, j int) bool { return live[i].ref.off < live[j].ref.off })
+
+		tmpPath := s.segPath() + ".tmp"
+		tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		defer os.Remove(tmpPath) // no-op after a successful rename
+		w := bufio.NewWriterSize(tmp, 256<<10)
+		if _, err := w.Write(encodeHeader(s.schema)); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, p := range live {
+			rec := make([]byte, p.ref.recLen)
+			if _, err := s.f.ReadAt(rec, p.ref.off); err != nil {
+				tmp.Close()
+				return fmt.Errorf("store: %w", err)
+			}
+			if _, err := w.Write(rec); err != nil {
+				tmp.Close()
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := os.Rename(tmpPath, s.segPath()); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		// Swap to the new segment and rebuild the index from it. Failing
+		// here leaves s.f on the unlinked pre-compaction inode, so the
+		// handle must die rather than let writes vanish into it.
+		f, err := os.OpenFile(s.segPath(), os.O_RDWR, 0o644)
+		if err != nil {
+			s.dead = fmt.Errorf("store: segment reopen after compaction failed (reopen the store): %w", err)
+			return s.dead
+		}
+		s.f.Close()
+		s.f = f
+		s.index = map[string]entryRef{}
+		if _, s.hdrLen, err = readHeader(s.f); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.scanned = s.hdrLen
+		if err := s.scanTailLocked(true); err != nil {
+			return err
+		}
+		res.Kept = len(s.index)
+		res.BytesAfter = s.scanned
+		return nil
+	})
+	return res, err
+}
+
+// bundleManifest is the first file of an export bundle.
+const bundleManifestName = "MANIFEST"
+
+// Export writes every live entry as a tar bundle: a MANIFEST naming the
+// format and schema, then one file per record. Bundles move results
+// between machines; Import on the receiving side verifies every checksum.
+func (s *Store) Export(w io.Writer) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.liveRefsLocked()
+
+	tw := tar.NewWriter(w)
+	manifest := fmt.Sprintf("activemem-store-bundle v1\nformat: %s\nschema: %s\nentries: %d\n",
+		fileMagic, s.schema, len(all))
+	if err := writeTarFile(tw, bundleManifestName, []byte(manifest)); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range all {
+		rec := make([]byte, p.ref.recLen)
+		if _, err := s.f.ReadAt(rec, p.ref.off); err != nil {
+			return n, fmt.Errorf("store: %w", err)
+		}
+		if err := writeTarFile(tw, "entries/"+p.key, rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err := tw.Close(); err != nil {
+		return n, fmt.Errorf("store: %w", err)
+	}
+	return n, nil
+}
+
+func writeTarFile(tw *tar.Writer, name string, data []byte) error {
+	if err := tw.WriteHeader(&tar.Header{Name: name, Mode: 0o644,
+		Size: int64(len(data))}); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tw.Write(data); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Import reads an Export bundle and appends entries whose keys are absent.
+// Records are checksum-verified before they are admitted, and a bundle
+// exported under a different schema version is rejected outright.
+func (s *Store) Import(r io.Reader) (added, skipped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return 0, 0, fmt.Errorf("store: read-only")
+	}
+	if s.dead != nil {
+		return 0, 0, s.dead
+	}
+	tr := tar.NewReader(r)
+	hdr, err := tr.Next()
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: bad bundle: %w", err)
+	}
+	if hdr.Name != bundleManifestName {
+		return 0, 0, fmt.Errorf("store: bundle starts with %q, want %s", hdr.Name, bundleManifestName)
+	}
+	manifest, err := io.ReadAll(io.LimitReader(tr, 1<<16))
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: %w", err)
+	}
+	schema, ok := manifestField(string(manifest), "schema")
+	if !ok {
+		return 0, 0, fmt.Errorf("store: bundle manifest has no schema line")
+	}
+	if schema != s.schema {
+		return 0, 0, fmt.Errorf("store: bundle schema %q does not match store schema %q", schema, s.schema)
+	}
+
+	err = s.withLock(true, func() error {
+		if err := s.scanTailLocked(true); err != nil {
+			return err
+		}
+		for {
+			hdr, err := tr.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("store: bad bundle: %w", err)
+			}
+			if !strings.HasPrefix(hdr.Name, "entries/") {
+				continue
+			}
+			if hdr.Size > fixedHdrLen+maxKeyLen+maxTypeLen+maxPayload+crcLen {
+				return fmt.Errorf("store: bundle entry %q too large", hdr.Name)
+			}
+			rec, err := io.ReadAll(tr)
+			if err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			parsed, status := parseRecord(rec)
+			if status != recGood || parsed.recLen != int64(len(rec)) {
+				return fmt.Errorf("store: bundle entry %q fails verification", hdr.Name)
+			}
+			if _, dup := s.index[parsed.key]; dup {
+				skipped++
+				continue
+			}
+			if err := s.appendLocked(rec); err != nil {
+				return err
+			}
+			added++
+		}
+	})
+	return added, skipped, err
+}
+
+// manifestField extracts "name: value" from a bundle manifest.
+func manifestField(manifest, name string) (string, bool) {
+	for _, line := range strings.Split(manifest, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+": "); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
