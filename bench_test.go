@@ -27,6 +27,7 @@ import (
 	"activemem/internal/units"
 	"activemem/internal/workload/interfere"
 	"activemem/internal/workload/stream"
+	"activemem/internal/xrand"
 )
 
 var benchOpt = experiments.Options{Scale: 8, Grid: experiments.GridSmoke, Seed: 1}
@@ -340,6 +341,67 @@ func BenchmarkAblationHomogeneous(b *testing.B) {
 
 // ---------------------------------------------------------------------------
 // Microbenchmarks of the substrate's hot paths.
+
+// benchObserve drives Prefetcher.Observe with a precomputed line sequence —
+// the per-L1-miss training call that dominates random-access (CSThr)
+// workloads.
+func benchObserve(b *testing.B, lines []mem.Line) {
+	p := mem.NewPrefetcher(mem.DefaultPrefetch())
+	mask := len(lines) - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(lines[i&mask])
+	}
+}
+
+func BenchmarkPrefetcherObserveSequential(b *testing.B) {
+	lines := make([]mem.Line, 1<<16)
+	for i := range lines {
+		lines[i] = mem.Line(i)
+	}
+	benchObserve(b, lines)
+}
+
+func BenchmarkPrefetcherObserveStrided(b *testing.B) {
+	// Eight interleaved constant-stride buffers (BWThr-style): every stream
+	// trains and keeps emitting, exercising the match path.
+	lines := make([]mem.Line, 1<<16)
+	for i := range lines {
+		s := i % 8
+		lines[i] = mem.Line(1_000_000*s + (i/8)*641)
+	}
+	benchObserve(b, lines)
+}
+
+func BenchmarkPrefetcherObserveRandom(b *testing.B) {
+	// CSThr-style uniform random lines: no stream ever confirms, so every
+	// call takes the nearest-scan-miss + LRU-allocate path.
+	r := xrand.New(7)
+	lines := make([]mem.Line, 1<<16)
+	for i := range lines {
+		lines[i] = mem.Line(r.Intn(1 << 22))
+	}
+	benchObserve(b, lines)
+}
+
+// BenchmarkClusterIteration measures exact-mode bulk-synchronous iterations:
+// 4 simulated sockets × 6 iterations per Run, the loop whose per-iteration
+// scheduling setup the persistent worker group eliminates.
+func BenchmarkClusterIteration(b *testing.B) {
+	spec := machine.Scaled(8)
+	for i := 0; i < b.N; i++ {
+		app := mcb.New(mcb.DefaultParams(spec.L3.Size, 8, 2400))
+		_, err := cluster.Run(cluster.RunConfig{
+			Spec: spec, App: app, RanksPerSocket: 2,
+			Interference: cluster.Interference{Kind: core.Storage, Threads: 2},
+			Iterations:   6, Warmup: 2, Homogeneous: false, NoiseStd: 0.005,
+			Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func BenchmarkHierarchyAccess(b *testing.B) {
 	spec := machine.Scaled(8)

@@ -1,0 +1,109 @@
+package activemem
+
+// Golden↔schema coupling: lab.ResultSchemaVersion stamps every persisted
+// experiment result, and the golden snapshots in golden_test.go define what
+// a simulator generation computes. The two must move together — reusing a
+// schema version after the goldens changed would let a shared cache dir
+// serve results from a semantically different simulator. goldens.sha256
+// records the fingerprint of the golden snapshots for every schema version
+// ever shipped; this test (and hence CI) fails when the pairing drifts.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"activemem/internal/lab"
+)
+
+// goldenFingerprint hashes every golden snapshot constant in a fixed order.
+// Adding a snapshot changes the fingerprint too; that is deliberate — the
+// recorded line must then be updated consciously (values unchanged, only
+// coverage added) or the schema version bumped (values changed).
+func goldenFingerprint() string {
+	h := sha256.New()
+	for _, s := range []string{
+		goldenMixedSocket,
+		goldenRandomPolicy,
+		goldenPrefetcher,
+		goldenApps,
+		goldenOverlapped,
+	} {
+		h.Write([]byte(s))
+		h.Write([]byte{0x1f})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestGoldenFingerprintMatchesSchemaVersion(t *testing.T) {
+	const file = "goldens.sha256"
+	f, err := os.Open(file)
+	if err != nil {
+		t.Fatalf("open %s: %v", file, err)
+	}
+	defer f.Close()
+
+	recorded := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			t.Fatalf("%s:%d: want \"<schema-version> <sha256>\", got %q", file, line, text)
+		}
+		version, sum := fields[0], fields[1]
+		if prev, dup := recorded[version]; dup && prev != sum {
+			t.Fatalf("%s: schema version %q recorded with two different fingerprints", file, version)
+		}
+		recorded[version] = sum
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read %s: %v", file, err)
+	}
+
+	got := goldenFingerprint()
+	want, ok := recorded[lab.ResultSchemaVersion]
+	if !ok {
+		t.Fatalf("schema version %q has no recorded golden fingerprint; append this line to %s:\n%s %s",
+			lab.ResultSchemaVersion, file, lab.ResultSchemaVersion, got)
+	}
+	if want != got {
+		t.Fatalf("golden snapshots no longer match the fingerprint recorded for schema version %q.\n"+
+			"recorded: %s\ncurrent:  %s\n"+
+			"If snapshot VALUES changed, simulator semantics changed: bump lab.ResultSchemaVersion "+
+			"(internal/lab/cache.go) and append \"<new-version> %s\" to %s.\n"+
+			"If you only ADDED snapshots (values untouched), update the %q line in place.",
+			lab.ResultSchemaVersion, want, got, got, file, lab.ResultSchemaVersion)
+	}
+}
+
+// TestGoldenFingerprintSelfCheck pins the fingerprint definition itself: a
+// one-byte change to any golden must change the fingerprint, and the
+// snapshot order must matter (swapping two snapshots is a different
+// simulator history, not a reordering artefact).
+func TestGoldenFingerprintSelfCheck(t *testing.T) {
+	hash := func(parts ...string) string {
+		h := sha256.New()
+		for _, s := range parts {
+			h.Write([]byte(s))
+			h.Write([]byte{0x1f})
+		}
+		return hex.EncodeToString(h.Sum(nil))
+	}
+	if hash("a", "b") == hash("b", "a") {
+		t.Fatal("fingerprint ignores snapshot order")
+	}
+	if hash("a", "b") == hash("ab") || hash("a", "b") == hash("a", "b"+"\n") {
+		t.Fatal("fingerprint does not separate snapshots")
+	}
+	if goldenFingerprint() == fmt.Sprintf("%x", sha256.Sum256(nil)) {
+		t.Fatal("fingerprint of real goldens collides with empty hash")
+	}
+}

@@ -120,6 +120,68 @@ func TestGoldenRandomPolicyCounters(t *testing.T) {
 	}
 }
 
+// goldenPrefetcher pins the prefetcher's training decisions across its two
+// nearest-scan regimes: the default 32-stream configuration (served by the
+// bucketed stream index) and an 8-stream configuration (served by the linear
+// fallback scan). The workload mix covers every Observe path — sequential
+// triad streams that lock and emit, a peaked-normal sampler that retrains,
+// and a pointer chase whose random misses thrash the allocation path — so a
+// drifted tie-break, stamp width or index bucket boundary shows up as a
+// counter diff here.
+const goldenPrefetcher = `streams=32
+core0 L=63872 S=31936 L1=83832 L2=5743 L3=0 Mem=6233 Bytes=816128 Wait=103224 Pf=5749
+core1 L=4192 S=0 L1=5 L2=29 L3=168 Mem=3990 Bytes=265472 Wait=83452 Pf=0
+core2 L=4044 S=0 L1=0 L2=0 L3=1 Mem=4043 Bytes=267200 Wait=86248 Pf=0
+core3 L=16984 S=0 L1=0 L2=70 L3=541 Mem=16373 Bytes=1333504 Wait=2144 Pf=3753
+L3 hits=710 miss=30639 evict=19753 wb=1770 inval=0 occ=40960
+bus req=41911 bytes=2682304 busy=419110 wait=324362
+issued=80692
+streams=8
+core0 L=64256 S=32128 L1=84336 L2=5767 L3=0 Mem=6281 Bytes=812096 Wait=89970 Pf=5773
+core1 L=4245 S=0 L1=5 L2=29 L3=179 Mem=4032 Bytes=266240 Wait=73438 Pf=0
+core2 L=4077 S=0 L1=0 L2=0 L3=0 Mem=4077 Bytes=270144 Wait=78614 Pf=0
+core3 L=16984 S=0 L1=0 L2=12865 L3=151 Mem=3968 Bytes=1183040 Wait=1709 Pf=13862
+L3 hits=330 miss=18358 evict=16211 wb=1562 inval=0 occ=40957
+bus req=39555 bytes=2531520 busy=395550 wait=299472
+issued=145124
+`
+
+func TestGoldenPrefetcherStreams(t *testing.T) {
+	var b strings.Builder
+	for _, streams := range []int{32, 8} {
+		spec := machine.Scaled(8)
+		spec.Prefetch.Streams = streams
+		h := spec.NewSocket(21)
+		e := engine.New(h, spec.MSHRs)
+		alloc := mem.NewAlloc(spec.LineSize())
+
+		e.PlaceDaemon(0, stream.New(stream.Config{
+			ArrayBytes: spec.L3.Size * 2, ElemSize: 8, BatchElems: 16,
+		}, alloc), 22)
+		e.PlaceDaemon(1, synthetic.New(synthetic.Config{
+			Dist: dist.NewNormal(spec.L3.Size, 8), ElemSize: 4, ComputePerLoad: 2,
+		}, alloc), 23)
+		e.PlaceDaemon(2, pchase.New(pchase.Config{
+			BufBytes: spec.L3.Size * 3, LineSize: spec.LineSize(), Seed: 24,
+		}, alloc), 25)
+		e.PlaceDaemon(3, interfere.NewBWThr(interfere.DefaultBWConfig(spec.L3.Size), alloc), 26)
+
+		e.RunUntil(500_000)
+		h.ResetStats()
+		e.RunUntil(1_500_000)
+
+		var issued int64
+		for c := 0; c < 4; c++ {
+			issued += h.PrefetcherIssued(c)
+		}
+		fmt.Fprintf(&b, "streams=%d\n%sissued=%d\n",
+			streams, snapshotCounters(h, 4), issued)
+	}
+	if got := b.String(); got != goldenPrefetcher {
+		t.Errorf("prefetcher counters drifted.\ngot:\n%s\nwant:\n%s", got, goldenPrefetcher)
+	}
+}
+
 // goldenApps pins the end-to-end cluster results (wall seconds, rank miss
 // rate, rank bandwidth) of the two §IV application proxies under storage and
 // bandwidth interference.

@@ -86,13 +86,17 @@ func Run(cfg RunConfig) (Result, error) {
 	var commCritical units.Cycles
 	wallPrev, wallBoundary := prewarm, prewarm
 
-	// Compute phases are independent per socket; the executor bounds their
-	// concurrency (and runs the common single-socket homogeneous case
-	// inline, with no goroutine at all).
-	ex := lab.New(lab.Config{Workers: cfg.Concurrency})
+	// Compute phases are independent per socket. A persistent worker group
+	// pins each socket to one resident goroutine for the whole run — the
+	// bulk-synchronous loop crosses an epoch barrier per iteration instead
+	// of building and tearing down a worker pool — with the Concurrency
+	// bound expressed as the worker count (and the common single-socket
+	// homogeneous case running inline, with no goroutine at all).
+	group := lab.NewPersistentGroup(len(sims), cfg.Concurrency)
+	defer group.Close()
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		_ = ex.Run(len(sims), func(s int) error {
+		_ = group.RunEpoch(func(s int) error {
 			runPhase(cfg, sims[s], ranks, start, durSim, iter)
 			return nil
 		})

@@ -1,0 +1,186 @@
+package lab
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PersistentGroup is a fixed worker set for bulk-synchronous campaigns: the
+// same n jobs run once per epoch, every epoch, with each job pinned to the
+// same resident worker goroutine for the whole run. A cluster execution is
+// the motivating shape — one compute phase per simulated socket per
+// iteration — where re-entering Executor.Run every iteration pays worker
+// spawn, scheduling and teardown costs hundreds of times per Run. The group
+// spawns its goroutines once; epochs are separated by a sense-reversing
+// barrier, so an epoch costs two barrier crossings instead of a pool
+// setup/teardown.
+//
+// Semantics match Executor.RunLabeled for a batch of n jobs: once any job
+// fails no further jobs of that epoch start (jobs already running
+// complete), RunEpoch returns the error of the lowest-indexed failed job
+// observed, and results are written by index into caller-owned storage.
+// (Jobs start in index order within each worker's static range rather than
+// in global index order, so which jobs run before an abort can differ from
+// the executor's dynamic claiming; the reported error is selected the same
+// way.)
+// Determinism also matches: job i always runs on the same worker, alone or
+// with the same static job subset, so a run's outcome is bit-identical for
+// every worker count.
+//
+// The group itself is single-coordinator: RunEpoch and Close must be called
+// from one goroutine at a time (the jobs, of course, run concurrently).
+type PersistentGroup struct {
+	n       int // jobs per epoch
+	workers int
+	bar     *senseBarrier
+
+	// Epoch state, written by the coordinator before the start barrier and
+	// read by workers after it (the barrier publishes it), and vice versa
+	// for the error fields at the end barrier.
+	job    func(i int) error
+	stop   bool
+	failed atomic.Bool
+
+	errMu  sync.Mutex
+	errIdx int
+	errVal error
+
+	closeOnce sync.Once
+}
+
+// NewPersistentGroup creates a group running jobs 0..jobs-1 each epoch on
+// workers resident goroutines. workers <= 0 selects GOMAXPROCS; the count
+// is capped at the job count. With one worker the group runs epochs inline
+// on the caller's goroutine and owns no resident state, so Close is then
+// optional (but harmless). Each worker owns the contiguous job range
+// [w·jobs/workers, (w+1)·jobs/workers) — the partition is static, which is
+// what keeps per-worker simulator state (e.g. a socket) pinned to one
+// goroutine for the lifetime of the run.
+func NewPersistentGroup(jobs, workers int) *PersistentGroup {
+	if jobs < 0 {
+		jobs = 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	g := &PersistentGroup{n: jobs, workers: workers, errIdx: -1}
+	if workers > 1 {
+		g.bar = newSenseBarrier(workers + 1) // workers + the coordinator
+		for w := 0; w < workers; w++ {
+			go g.worker(w*jobs/workers, (w+1)*jobs/workers)
+		}
+	}
+	return g
+}
+
+// Workers returns the number of resident workers (1 means inline epochs).
+func (g *PersistentGroup) Workers() int { return g.workers }
+
+// RunEpoch executes jobs 0..n-1 once and blocks until they all finish or
+// the epoch aborts on a failure. It returns the error of the lowest-indexed
+// failed job observed, or nil. Calling RunEpoch after Close returns nil
+// without running anything.
+func (g *PersistentGroup) RunEpoch(job func(i int) error) error {
+	if g.stop {
+		return nil
+	}
+	g.failed.Store(false)
+	g.errIdx, g.errVal = -1, nil
+	if g.bar == nil {
+		for i := 0; i < g.n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	g.job = job
+	g.bar.await() // release the workers into the epoch
+	g.bar.await() // wait for every worker to finish it
+	g.job = nil
+	return g.errVal
+}
+
+// Close shuts the resident workers down and blocks until they have exited.
+// It is idempotent and safe to call with epochs never run.
+func (g *PersistentGroup) Close() {
+	g.closeOnce.Do(func() {
+		g.stop = true
+		if g.bar != nil {
+			g.bar.await() // workers observe stop at the epoch start and exit
+		}
+	})
+}
+
+// worker runs the static job range [lo, hi) once per epoch until Close.
+func (g *PersistentGroup) worker(lo, hi int) {
+	for {
+		g.bar.await() // epoch start: job/stop published by the coordinator
+		if g.stop {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			if g.failed.Load() {
+				break // abort: a job of this epoch failed elsewhere
+			}
+			if err := g.job(i); err != nil {
+				g.errMu.Lock()
+				if g.errIdx < 0 || i < g.errIdx {
+					g.errIdx, g.errVal = i, err
+				}
+				g.errMu.Unlock()
+				g.failed.Store(true)
+				break
+			}
+		}
+		g.bar.await() // epoch end
+	}
+}
+
+// senseBarrier is a sense-reversing barrier for a fixed set of n
+// participants. Arrivals count up on a shared atomic; the last arriver
+// resets the count, re-arms the opposite phase, flips the sense and
+// releases the waiters of the current phase by closing its channel. Earlier
+// arrivers park on the channel instead of spinning — the right trade for
+// epochs that each run millions of simulated cycles.
+type senseBarrier struct {
+	n     int32
+	count atomic.Int32
+	sense atomic.Int32
+	ch    [2]chan struct{}
+}
+
+func newSenseBarrier(n int) *senseBarrier {
+	b := &senseBarrier{n: int32(n)}
+	b.ch[0] = make(chan struct{})
+	b.ch[1] = make(chan struct{})
+	return b
+}
+
+// await blocks until all n participants have arrived at the current phase.
+//
+// Re-arming ch[1-s] here is safe: every participant of the previous phase
+// (sense 1-s) read its channel before arriving at this phase, and this
+// phase completes only after all n arrivals, so by the time the last
+// arriver replaces the channel no goroutine can still be about to read the
+// old value. The atomic arrival counter orders those reads before this
+// write.
+func (b *senseBarrier) await() {
+	s := b.sense.Load()
+	ch := b.ch[s]
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.ch[1-s] = make(chan struct{})
+		b.sense.Store(1 - s)
+		close(ch)
+	} else {
+		<-ch
+	}
+}

@@ -1,0 +1,158 @@
+package lab
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestPersistentGroupRunsAllJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		for _, jobs := range []int{0, 1, 5, 16} {
+			g := NewPersistentGroup(jobs, workers)
+			// Per-job cells are written without locks: job i runs exactly
+			// once per epoch and epochs are barrier-separated, so -race
+			// passing here is itself the publication guarantee under test.
+			cells := make([]int, jobs)
+			const epochs = 50
+			for e := 0; e < epochs; e++ {
+				if err := g.RunEpoch(func(i int) error { cells[i]++; return nil }); err != nil {
+					t.Fatalf("workers=%d jobs=%d epoch %d: %v", workers, jobs, e, err)
+				}
+			}
+			g.Close()
+			for i, c := range cells {
+				if c != epochs {
+					t.Fatalf("workers=%d jobs=%d: job %d ran %d times, want %d",
+						workers, jobs, i, c, epochs)
+				}
+			}
+		}
+	}
+}
+
+func TestPersistentGroupWorkerCount(t *testing.T) {
+	if g := NewPersistentGroup(4, 16); g.Workers() != 4 {
+		t.Fatalf("workers not capped at jobs: %d", g.Workers())
+	} else {
+		g.Close()
+	}
+	if g := NewPersistentGroup(4, 1); g.Workers() != 1 {
+		t.Fatalf("explicit single worker: %d", g.Workers())
+	} else {
+		g.Close()
+	}
+	if g := NewPersistentGroup(0, 0); g.Workers() != 1 {
+		t.Fatalf("empty group workers: %d", g.Workers())
+	} else {
+		if err := g.RunEpoch(func(int) error { t.Fatal("job ran in empty group"); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		g.Close()
+	}
+}
+
+func TestPersistentGroupErrorPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g := NewPersistentGroup(8, workers)
+		boom := errors.New("boom")
+		if err := g.RunEpoch(func(i int) error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		}); err != boom {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		// When every job fails, each worker fails its first job (its range
+		// start) and stops; the reported error is the lowest-indexed one
+		// observed, which must be some worker's range start. (Unlike the
+		// executor's dynamic index-order claiming, a static partition may
+		// abort the epoch before worker 0 ever starts job 0.)
+		err := g.RunEpoch(func(i int) error { return fmt.Errorf("job %d", i) })
+		firstJobs := map[string]bool{"job 0": true}
+		for w := 0; w < workers; w++ {
+			firstJobs[fmt.Sprintf("job %d", w*8/workers)] = true
+		}
+		if err == nil || !firstJobs[err.Error()] {
+			t.Fatalf("workers=%d: error = %v, want a worker's first job", workers, err)
+		}
+		// A failed epoch must not poison the next one.
+		ran := make([]bool, 8)
+		if err := g.RunEpoch(func(i int) error { ran[i] = true; return nil }); err != nil {
+			t.Fatalf("workers=%d: epoch after failure: %v", workers, err)
+		}
+		for i, r := range ran {
+			if !r {
+				t.Fatalf("workers=%d: job %d skipped after a failed epoch", workers, i)
+			}
+		}
+		g.Close()
+	}
+}
+
+func TestPersistentGroupInlineAbortsAfterFailure(t *testing.T) {
+	g := NewPersistentGroup(8, 1)
+	defer g.Close()
+	var last int
+	err := g.RunEpoch(func(i int) error {
+		last = i
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || last != 2 {
+		t.Fatalf("inline epoch ran past the failure: last=%d err=%v", last, err)
+	}
+}
+
+func TestPersistentGroupClose(t *testing.T) {
+	g := NewPersistentGroup(6, 3)
+	if err := g.RunEpoch(func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	g.Close() // idempotent
+	if err := g.RunEpoch(func(int) error {
+		t.Fatal("job ran after Close")
+		return nil
+	}); err != nil {
+		t.Fatalf("RunEpoch after Close: %v", err)
+	}
+	// Closing a group that never ran an epoch must not hang either.
+	NewPersistentGroup(6, 3).Close()
+}
+
+// TestPersistentGroupPinsState exercises the property the cluster runner
+// depends on: per-job state mutated without synchronisation stays
+// consistent across hundreds of epochs because job i always runs on the
+// same worker with barrier-ordered epochs. The alternating read-modify-
+// write pattern would trip -race instantly if jobs migrated or epochs
+// overlapped.
+func TestPersistentGroupPinsState(t *testing.T) {
+	const jobs, epochs = 12, 400
+	g := NewPersistentGroup(jobs, 5)
+	defer g.Close()
+	state := make([][]int64, jobs)
+	for i := range state {
+		state[i] = []int64{0}
+	}
+	for e := 0; e < epochs; e++ {
+		if err := g.RunEpoch(func(i int) error {
+			state[i][0] = state[i][0]*3 + int64(i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range state {
+		var want int64
+		for e := 0; e < epochs; e++ {
+			want = want*3 + int64(i)
+		}
+		if state[i][0] != want {
+			t.Fatalf("job %d state = %d, want %d", i, state[i][0], want)
+		}
+	}
+}

@@ -109,19 +109,23 @@ const maxTagLine = Line(1)<<31 - 1
 // and prefetch filter performs — touches at most two host cache lines for a
 // 20-way set, while the replacement metadata lives in parallel arrays that
 // exist only for the policy that reads them (recency stamps for LRU,
-// insertion stamps for FIFO, neither for Random).
+// insertion stamps for FIFO, neither for Random). Stamps are 32-bit —
+// halving the hottest random-access arrays — with a periodic renumbering
+// pass (see renumber) that compacts them order-preservingly before the
+// sequence counter can wrap.
 type Cache struct {
 	cfg       CacheConfig
 	sets      int64
 	setMask   int64
 	assoc     int64
 	lines     []int32  // packed tags, sets × assoc row-major; invalidTag = empty
-	lastUse   []int64  // LRU recency stamps (nil unless PolicyLRU)
-	insBy     []int64  // FIFO insertion stamps (nil unless PolicyFIFO)
+	lastUse   []uint32 // LRU recency stamps (nil unless PolicyLRU)
+	insBy     []uint32 // FIFO insertion stamps (nil unless PolicyFIFO)
 	dirty     []bool   // dirtiness, parallel to lines
 	empty     []uint32 // per-set bitmask of empty ways (bit i = way base+i)
 	emptyWays int64    // total empty ways; 0 lets fill skip the mask probe
-	seq       int64    // monotone access sequence used for LRU/FIFO ordering
+	seq       uint32   // monotone access sequence used for LRU/FIFO ordering
+	renumbers int64    // completed stamp-renumbering passes (telemetry/tests)
 	rng       *xrand.Rand
 
 	// filter, when non-nil, is a shared membership filter kept in sync with
@@ -156,9 +160,9 @@ func NewCache(cfg CacheConfig, seed uint64) *Cache {
 	}
 	switch cfg.Policy {
 	case PolicyLRU:
-		c.lastUse = make([]int64, n)
+		c.lastUse = make([]uint32, n)
 	case PolicyFIFO:
-		c.insBy = make([]int64, n)
+		c.insBy = make([]uint32, n)
 	}
 	for i := range c.lines {
 		c.lines[i] = invalidTag
@@ -214,6 +218,63 @@ func (c *Cache) stamp(i int64) {
 	}
 }
 
+// tick advances the access sequence counter, renumbering all stamps first
+// when the counter is about to exhaust the 32-bit stamp space. The branch is
+// taken once per 2³²−1 accesses and perfectly predicted otherwise.
+func (c *Cache) tick() {
+	if c.seq == ^uint32(0) {
+		c.renumber()
+	}
+	c.seq++
+}
+
+// renumber compacts the replacement stamps so the sequence counter can
+// restart far below the 32-bit limit. Victim selection (see victim) compares
+// stamps only within one set, minimising the packed (stamp, way) key, so
+// replacing each set's stamps by their dense rank in exactly that order
+// preserves every future eviction decision bit-for-bit. Stamps of empty ways
+// participate harmlessly: they are overwritten on fill and never read by
+// victim, which runs only on full sets.
+func (c *Cache) renumber() {
+	c.renumbers++
+	stamps := c.lastUse
+	if stamps == nil {
+		stamps = c.insBy
+	}
+	if stamps == nil { // PolicyRandom keeps no stamps
+		c.seq = 0
+		return
+	}
+	a := int(c.assoc)
+	var order [32]int64 // Assoc ≤ 32, enforced by CacheConfig.Validate
+	for base := 0; base < len(stamps); base += a {
+		ws := stamps[base : base+a : base+a]
+		for i := 0; i < a; i++ {
+			order[i] = int64(i)
+		}
+		// Insertion sort by (stamp, way) — a strict total order, and the
+		// exact key victim minimises. Stamps of valid ways are distinct
+		// (each sequence value stamps at most one way), so ties can only
+		// involve cleared ways, whose order is irrelevant but still fixed.
+		for i := 1; i < a; i++ {
+			o := order[i]
+			j := i
+			for ; j > 0; j-- {
+				p := order[j-1]
+				if ws[p] < ws[o] || (ws[p] == ws[o] && p < o) {
+					break
+				}
+				order[j] = p
+			}
+			order[j] = o
+		}
+		for r, w := range order[:a] {
+			ws[w] = uint32(r) + 1
+		}
+	}
+	c.seq = uint32(a) // the next tick stamps above every assigned rank
+}
+
 // fill installs line into set (whose first way index is base) after a
 // failed find, reusing the lowest empty way when one exists and otherwise
 // evicting the policy's victim. It is the single insertion path shared by
@@ -260,7 +321,7 @@ install:
 // InvalidLine) along with its dirtiness so the caller can cascade
 // writebacks and inclusive invalidations.
 func (c *Cache) Access(line Line, write bool) (hit bool, victim Line, victimDirty bool) {
-	c.seq++
+	c.tick()
 	tag := tagOf(line)
 	set := c.setOf(line)
 	base := set * c.assoc
@@ -281,7 +342,7 @@ func (c *Cache) Access(line Line, write bool) (hit bool, victim Line, victimDirt
 // It marks the line dirty but does not count as a demand hit or miss. The
 // returned victim allows cascading, exactly as for Access.
 func (c *Cache) InsertWriteback(line Line) (victim Line, victimDirty bool) {
-	c.seq++
+	c.tick()
 	tag := tagOf(line)
 	set := c.setOf(line)
 	base := set * c.assoc
@@ -296,7 +357,7 @@ func (c *Cache) InsertWriteback(line Line) (victim Line, victimDirty bool) {
 // InsertClean installs a line without marking it dirty and without demand
 // statistics; it is used for prefetch fills.
 func (c *Cache) InsertClean(line Line) (victim Line, victimDirty bool) {
-	c.seq++
+	c.tick()
 	tag := tagOf(line)
 	set := c.setOf(line)
 	base := set * c.assoc
@@ -322,7 +383,7 @@ func (c *Cache) victim(base int64) int64 {
 	ws := stamps[base : base+c.assoc]
 	best := int64(1<<63 - 1)
 	for i, s := range ws {
-		k := s<<5 | int64(i)
+		k := int64(s)<<5 | int64(i)
 		m := (k - best) >> 63 // branch-free running minimum
 		best += (k - best) & m
 	}

@@ -36,6 +36,9 @@ func (c HierarchyConfig) Validate() error {
 	if err := c.Bus.Validate(); err != nil {
 		return err
 	}
+	if err := c.Prefetch.Validate(); err != nil {
+		return err
+	}
 	if c.MemLatency < 0 {
 		return fmt.Errorf("mem: negative memory latency")
 	}
@@ -157,6 +160,11 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// PrefetcherIssued returns how many prefetch candidates the given core's
+// prefetcher has emitted (before cache and bus filtering) — the training
+// activity the golden tests pin.
+func (h *Hierarchy) PrefetcherIssued(core int) int64 { return h.prefetchers[core].Issued }
 
 // LineSize returns the (uniform) cache line size.
 func (h *Hierarchy) LineSize() int64 { return h.lineSize }

@@ -1,6 +1,11 @@
 package mem
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
 
 // PrefetchConfig describes the per-core stride prefetcher, a simplified
 // model of the Sandy Bridge L2 streamer. The paper's BWThr deliberately uses
@@ -15,6 +20,44 @@ type PrefetchConfig struct {
 	MaxLag  int   // bus backlog (in line-transfer times) above which prefetch is suppressed
 }
 
+// Limits enforced by PrefetchConfig.Validate. The window bound keeps a
+// confirmed stride inside int32 and a packed (distance, stream) scan key
+// inside int64.
+const (
+	maxPrefetchStreams = 256
+	maxPrefetchWindow  = int64(1) << 30
+)
+
+// Validate checks the prefetcher configuration. A disabled prefetcher
+// carries no constraints (its remaining fields are ignored); an enabled one
+// needs positive stream/degree/window values within the supported ranges.
+// It is the single validation point: HierarchyConfig.Validate calls it, and
+// NewPrefetcher panics on exactly these errors.
+func (c PrefetchConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.Streams <= 0 {
+		return fmt.Errorf("mem: prefetcher: non-positive stream count %d", c.Streams)
+	}
+	if c.Streams > maxPrefetchStreams {
+		return fmt.Errorf("mem: prefetcher: %d streams exceed the supported %d", c.Streams, maxPrefetchStreams)
+	}
+	if c.Degree <= 0 {
+		return fmt.Errorf("mem: prefetcher: non-positive degree %d", c.Degree)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("mem: prefetcher: non-positive training window %d", c.Window)
+	}
+	if c.Window > maxPrefetchWindow {
+		return fmt.Errorf("mem: prefetcher: training window %d exceeds the supported %d lines", c.Window, maxPrefetchWindow)
+	}
+	if c.MaxLag < 0 {
+		return fmt.Errorf("mem: prefetcher: negative bus lag bound %d", c.MaxLag)
+	}
+	return nil
+}
+
 // DefaultPrefetch returns the configuration used by the Xeon20MB model.
 func DefaultPrefetch() PrefetchConfig {
 	return PrefetchConfig{Enabled: true, Streams: 32, Degree: 4, Window: 2048, MaxLag: 32}
@@ -23,43 +66,64 @@ func DefaultPrefetch() PrefetchConfig {
 // pfInactive marks an unallocated stream slot. It sits far enough from any
 // real line number that |line - pfInactive| always exceeds the training
 // window, so inactive slots lose every nearest-stream comparison without a
-// separate activity check in the scan.
+// separate activity check in the linear scan. (The bucketed index simply
+// never holds inactive slots.)
 const pfInactive = int64(-1) << 62
+
+// Stream counts served by the bucketed index: below the minimum the
+// branch-free linear scan over a handful of packed entries wins, above the
+// maximum the per-bucket slot bitmask would not fit uint64 (such configs
+// keep the linear scan; they exist only for ablations).
+const (
+	streamIndexMinStreams = 16
+	streamIndexMaxStreams = 64
+)
 
 // Prefetcher detects constant-stride access streams. Observe is called on
 // demand L1 misses; once a stream has confirmed its stride twice the
 // prefetcher emits the next Degree line addresses.
 //
-// Stream state is laid out structure-of-arrays: the nearest-stream scan —
-// run on every L1 demand miss — reads only the packed lastLine array, and
-// the LRU allocation scan only the packed lastUse array.
+// Stream state is laid out structure-of-arrays with the recency and stride
+// metadata shrunk to 32 bits (recency stamps renumber periodically, exactly
+// like the caches'; |stride| is bounded by the validated window). The
+// nearest-stream scan — run on every L1 demand miss — is served by a
+// bucketed index over lastLine for the default 32-stream configuration, so
+// a random-access (CSThr-style) miss probes three small hash buckets
+// instead of scanning every stream.
 type Prefetcher struct {
-	cfg      PrefetchConfig
-	lastLine []int64 // last-missed lines; pfInactive = unallocated
-	lastUse  []int64
-	stride   []int64
-	hits     []int32
-	seq      int64
-	scratch  [8]Line
+	cfg       PrefetchConfig
+	lastLine  []int64 // last-missed lines; pfInactive = unallocated
+	lastUse   []uint32
+	stride    []int32
+	hits      []uint8
+	seq       uint32
+	renumbers int64        // completed stamp-renumbering passes (tests)
+	ix        *streamIndex // nil → linear nearest scan
+	scratch   [8]Line
 
 	// Issued counts prefetch candidates emitted (before cache/bus filtering).
 	Issued int64
 }
 
-// NewPrefetcher builds a prefetcher; a disabled config yields a prefetcher
-// whose Observe always returns nil.
+// NewPrefetcher builds a prefetcher; it panics on an invalid configuration
+// (the errors of PrefetchConfig.Validate — machine construction is
+// programmer error territory, matching NewCache). A disabled config yields
+// a prefetcher whose Observe always returns nil.
 func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	p := &Prefetcher{cfg: cfg}
 	if cfg.Enabled {
-		if cfg.Streams > 256 {
-			panic("mem: prefetcher supports at most 256 streams")
-		}
 		p.lastLine = make([]int64, cfg.Streams)
-		p.lastUse = make([]int64, cfg.Streams)
-		p.stride = make([]int64, cfg.Streams)
-		p.hits = make([]int32, cfg.Streams)
+		p.lastUse = make([]uint32, cfg.Streams)
+		p.stride = make([]int32, cfg.Streams)
+		p.hits = make([]uint8, cfg.Streams)
 		for i := range p.lastLine {
 			p.lastLine[i] = pfInactive
+		}
+		if cfg.Streams >= streamIndexMinStreams && cfg.Streams <= streamIndexMaxStreams {
+			p.ix = newStreamIndex(cfg.Streams, cfg.Window)
 		}
 	}
 	return p
@@ -68,23 +132,106 @@ func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
 // Config returns the prefetcher configuration.
 func (p *Prefetcher) Config() PrefetchConfig { return p.cfg }
 
+// tick advances the observation sequence counter, renumbering the recency
+// stamps first when the counter is about to exhaust the 32-bit space.
+func (p *Prefetcher) tick() {
+	if p.seq == ^uint32(0) {
+		p.renumber()
+	}
+	p.seq++
+}
+
+// renumber compacts the stream recency stamps order-preservingly: slots are
+// ranked by (stamp, slot) — exactly the key the LRU allocation scan
+// minimises — so every future victim choice is unchanged while the sequence
+// counter restarts just above the stream count.
+func (p *Prefetcher) renumber() {
+	p.renumbers++
+	order := make([]int, len(p.lastUse))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		oa, ob := order[a], order[b]
+		if p.lastUse[oa] != p.lastUse[ob] {
+			return p.lastUse[oa] < p.lastUse[ob]
+		}
+		return oa < ob
+	})
+	for r, s := range order {
+		p.lastUse[s] = uint32(r) + 1
+	}
+	p.seq = uint32(len(p.lastUse))
+}
+
 // Observe trains on a demand-missed line and returns the lines to prefetch
 // (possibly none). The returned slice is only valid until the next call.
 func (p *Prefetcher) Observe(line Line) []Line {
 	if len(p.lastLine) == 0 {
 		return nil
 	}
-	p.seq++
+	p.tick()
 	// Find the stream nearest to this access (first index wins ties); the
 	// threshold against the training window is applied once after the scan,
-	// which is equivalent to filtering inside it. Distances beyond the
-	// window are clamped — their exact value is never used — so (distance,
-	// index) packs into one key and the running minimum compiles to
-	// conditional moves instead of unpredictable branches.
+	// which is equivalent to filtering inside it.
+	var best int
+	var bestDelta int64
+	if p.ix != nil {
+		best, bestDelta = p.nearestIndexed(int64(line))
+	} else {
+		best, bestDelta = p.nearestLinear(int64(line))
+	}
+	if bestDelta <= p.cfg.Window {
+		delta := int64(line) - p.lastLine[best]
+		p.lastUse[best] = p.seq
+		if delta == 0 {
+			return nil
+		}
+		if delta == int64(p.stride[best]) {
+			// Saturate the confirmation count at the emit threshold; only
+			// the >= 2 comparison is ever made, so this is invisible.
+			h := p.hits[best] + 1
+			if h > 2 {
+				h = 2
+			}
+			p.hits[best] = h
+			p.moveStream(best, int64(line))
+			if h >= 2 {
+				return p.emit(line, delta)
+			}
+			return nil
+		}
+		// Retrain with the newly observed stride (|delta| ≤ Window, which
+		// Validate bounds to int32 range).
+		p.stride[best] = int32(delta)
+		p.hits[best] = 1
+		p.moveStream(best, int64(line))
+		return nil
+	}
+	// Allocate the least recently used stream slot.
+	victim := p.lruVictim()
+	if p.ix != nil {
+		if old := p.lastLine[victim]; old != pfInactive {
+			p.ix.remove(victim, old)
+		}
+		p.ix.add(victim, int64(line))
+	}
+	p.lastLine[victim] = int64(line)
+	p.lastUse[victim] = p.seq
+	p.stride[victim] = 0
+	p.hits[victim] = 0
+	return nil
+}
+
+// nearestLinear scans every stream slot. Distances beyond the window are
+// clamped — their exact value is never used — so (distance, index) packs
+// into one key and the running minimum compiles to conditional moves
+// instead of unpredictable branches.
+func (p *Prefetcher) nearestLinear(line int64) (best int, bestDelta int64) {
 	clamp := p.cfg.Window + 1
 	bestKey := int64(math.MaxInt64)
 	for i, ll := range p.lastLine {
-		d := int64(line) - ll
+		d := line - ll
 		s := d >> 63 // arithmetic |d|: branch-free, mispredict-free
 		d = (d ^ s) - s
 		over := (d - clamp) >> 63 // min(d, clamp)
@@ -93,39 +240,55 @@ func (p *Prefetcher) Observe(line Line) []Line {
 		m := (k - bestKey) >> 63 // min(k, bestKey)
 		bestKey += (k - bestKey) & m
 	}
-	best, bestDelta := int(bestKey&255), bestKey>>8
-	if bestDelta <= p.cfg.Window {
-		delta := int64(line) - p.lastLine[best]
-		p.lastUse[best] = p.seq
-		if delta == 0 {
-			return nil
-		}
-		if delta == p.stride[best] {
-			p.hits[best]++
-			p.lastLine[best] = int64(line)
-			if p.hits[best] >= 2 {
-				return p.emit(line, delta)
-			}
-			return nil
-		}
-		// Retrain with the newly observed stride.
-		p.stride[best] = delta
-		p.hits[best] = 1
-		p.lastLine[best] = int64(line)
-		return nil
+	return int(bestKey & 255), bestKey >> 8
+}
+
+// nearestIndexed consults the bucketed index: every stream within the
+// training window of line lies in one of the three buckets around it, so
+// only those candidates need exact distances. The (distance, index) packed
+// minimum reproduces the linear scan's first-index tie-breaking exactly; a
+// candidate beyond the window can never outrank one inside it, and when no
+// in-window stream exists the caller takes the allocation path on the
+// returned over-window distance, just as with the clamped linear scan.
+func (p *Prefetcher) nearestIndexed(line int64) (best int, bestDelta int64) {
+	cands := p.ix.candidates(line)
+	if cands == 0 {
+		return 0, p.cfg.Window + 1
 	}
-	// Allocate the least recently used stream slot.
-	victim := 0
+	bestKey := int64(math.MaxInt64)
+	for m := cands; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		d := line - p.lastLine[i]
+		s := d >> 63
+		d = (d ^ s) - s
+		if k := d<<8 | int64(i); k < bestKey {
+			bestKey = k
+		}
+	}
+	return int(bestKey & 255), bestKey >> 8
+}
+
+// lruVictim returns the least recently used stream slot (first index wins
+// ties), as a branch-free packed (stamp, slot) minimum.
+func (p *Prefetcher) lruVictim() int {
+	bestKey := int64(math.MaxInt64)
 	for i, lu := range p.lastUse {
-		if lu < p.lastUse[victim] {
-			victim = i
-		}
+		k := int64(lu)<<8 | int64(i)
+		m := (k - bestKey) >> 63
+		bestKey += (k - bestKey) & m
 	}
-	p.lastLine[victim] = int64(line)
-	p.lastUse[victim] = p.seq
-	p.stride[victim] = 0
-	p.hits[victim] = 0
-	return nil
+	return int(bestKey & 255)
+}
+
+// moveStream retargets stream s to line, keeping the bucketed index in sync
+// when the stream crosses a bucket boundary.
+func (p *Prefetcher) moveStream(s int, line int64) {
+	old := p.lastLine[s]
+	p.lastLine[s] = line
+	if p.ix != nil && old>>p.ix.shift != line>>p.ix.shift {
+		p.ix.remove(s, old)
+		p.ix.add(s, line)
+	}
 }
 
 func (p *Prefetcher) emit(line Line, stride int64) []Line {
@@ -149,4 +312,130 @@ func (p *Prefetcher) Reset() {
 		p.hits[i] = 0
 	}
 	p.seq = 0
+	if p.ix != nil {
+		p.ix.reset()
+	}
+}
+
+// streamIndex buckets active stream slots by lastLine >> shift in a small
+// open-addressed hash table (linear probing, backward-shift deletion). The
+// bucket span exceeds the training window, so a stream within the window of
+// an observed line is always in the observed line's bucket or one of its
+// two neighbours: Observe probes three buckets instead of scanning all
+// slots. Values are per-bucket slot bitmasks, which caps indexed
+// configurations at 64 streams.
+type streamIndex struct {
+	shift uint     // bucket granularity: 1<<shift > Window
+	keys  []int64  // bucket ids; -1 = empty slot (real ids are ≥ 0)
+	masks []uint64 // stream-slot bitmask per bucket
+}
+
+func newStreamIndex(streams int, window int64) *streamIndex {
+	// At most one occupied bucket per stream; 4× slots keep probes short
+	// and the table permanently under-full.
+	n := 1
+	for n < streams*4 {
+		n <<= 1
+	}
+	ix := &streamIndex{
+		shift: uint(bits.Len64(uint64(window))), // smallest shift with 1<<shift > window
+		keys:  make([]int64, n),
+		masks: make([]uint64, n),
+	}
+	for i := range ix.keys {
+		ix.keys[i] = -1
+	}
+	return ix
+}
+
+func (ix *streamIndex) slotOf(key int64) int {
+	z := uint64(key) * 0x9e3779b97f4a7c15
+	z ^= z >> 29
+	return int(z & uint64(len(ix.keys)-1))
+}
+
+// candidates returns the union bitmask of streams bucketed around line — a
+// superset of every stream within the training window of it. Lines are
+// non-negative (see Addr), so bucket ids never collide with the -1 empty
+// sentinel; the probed id b-1 may be -1, which harmlessly matches an empty
+// slot's zero mask.
+func (ix *streamIndex) candidates(line int64) uint64 {
+	b := line >> ix.shift
+	return ix.lookup(b-1) | ix.lookup(b) | ix.lookup(b+1)
+}
+
+func (ix *streamIndex) lookup(key int64) uint64 {
+	mask := len(ix.keys) - 1
+	for i := ix.slotOf(key); ; i = (i + 1) & mask {
+		switch ix.keys[i] {
+		case key:
+			return ix.masks[i]
+		case -1:
+			return 0
+		}
+	}
+}
+
+// add registers stream s under line's bucket.
+func (ix *streamIndex) add(s int, line int64) {
+	key := line >> ix.shift
+	mask := len(ix.keys) - 1
+	i := ix.slotOf(key)
+	for ix.keys[i] != key && ix.keys[i] != -1 {
+		i = (i + 1) & mask
+	}
+	ix.keys[i] = key
+	ix.masks[i] |= 1 << uint(s)
+}
+
+// remove drops stream s from line's bucket; the stream must be registered
+// under exactly that line.
+func (ix *streamIndex) remove(s int, line int64) {
+	key := line >> ix.shift
+	mask := len(ix.keys) - 1
+	i := ix.slotOf(key)
+	for ix.keys[i] != key {
+		i = (i + 1) & mask
+	}
+	ix.masks[i] &^= 1 << uint(s)
+	if ix.masks[i] == 0 {
+		ix.deleteSlot(i)
+	}
+}
+
+// deleteSlot empties slot i, shifting later probe-chain entries backward so
+// lookups never need tombstones (same scheme as inflightTable).
+func (ix *streamIndex) deleteSlot(i int) {
+	mask := len(ix.keys) - 1
+	j := i
+	for {
+		ix.keys[i] = -1
+		ix.masks[i] = 0
+		for {
+			j = (j + 1) & mask
+			k := ix.keys[j]
+			if k == -1 {
+				return
+			}
+			home := ix.slotOf(k)
+			var inChain bool
+			if i <= j {
+				inChain = home > i && home <= j
+			} else {
+				inChain = home > i || home <= j
+			}
+			if !inChain {
+				break
+			}
+		}
+		ix.keys[i], ix.masks[i] = ix.keys[j], ix.masks[j]
+		i = j
+	}
+}
+
+func (ix *streamIndex) reset() {
+	for i := range ix.keys {
+		ix.keys[i] = -1
+		ix.masks[i] = 0
+	}
 }

@@ -1,6 +1,10 @@
 package mem
 
-import "testing"
+import (
+	"testing"
+
+	"activemem/internal/xrand"
+)
 
 func newPF() *Prefetcher {
 	return NewPrefetcher(PrefetchConfig{Enabled: true, Streams: 4, Degree: 2, Window: 256, MaxLag: 4})
@@ -112,6 +116,196 @@ func TestPrefetcherReset(t *testing.T) {
 	// After reset the locked stream is gone; next observation allocates.
 	if out := p.Observe(4); out != nil {
 		t.Fatal("reset did not clear streams")
+	}
+}
+
+func TestPrefetchConfigValidate(t *testing.T) {
+	good := []PrefetchConfig{
+		{Enabled: false},
+		{Enabled: false, Streams: -7, Degree: -1, Window: -2, MaxLag: -3}, // disabled ignores the rest
+		DefaultPrefetch(),
+		{Enabled: true, Streams: 1, Degree: 1, Window: 1},
+		{Enabled: true, Streams: 256, Degree: 8, Window: maxPrefetchWindow, MaxLag: 100},
+	}
+	for i, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+	bad := []PrefetchConfig{
+		{Enabled: true, Streams: 0, Degree: 4, Window: 2048},
+		{Enabled: true, Streams: -1, Degree: 4, Window: 2048},
+		{Enabled: true, Streams: 257, Degree: 4, Window: 2048},
+		{Enabled: true, Streams: 32, Degree: 0, Window: 2048},
+		{Enabled: true, Streams: 32, Degree: 4, Window: 0},
+		{Enabled: true, Streams: 32, Degree: 4, Window: -5},
+		{Enabled: true, Streams: 32, Degree: 4, Window: maxPrefetchWindow + 1},
+		{Enabled: true, Streams: 32, Degree: 4, Window: 2048, MaxLag: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d (%+v) accepted", i, cfg)
+		}
+	}
+}
+
+func TestNewPrefetcherPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPrefetcher accepted an invalid config")
+		}
+	}()
+	NewPrefetcher(PrefetchConfig{Enabled: true, Streams: 300, Degree: 4, Window: 2048})
+}
+
+func TestHierarchyConfigValidatesPrefetch(t *testing.T) {
+	cc := CacheConfig{Name: "C", Size: 4096, LineSize: 64, Assoc: 4, Latency: 1}
+	cfg := HierarchyConfig{
+		Cores: 1, L1: cc, L2: cc, L3: cc,
+		Bus:      BusConfig{CyclesPerChunk: 10, BytesPerChunk: 64},
+		Prefetch: PrefetchConfig{Enabled: true, Streams: 32, Degree: 0, Window: 2048},
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("hierarchy config with invalid prefetcher accepted")
+	}
+	cfg.Prefetch = DefaultPrefetch()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid hierarchy config rejected: %v", err)
+	}
+}
+
+// TestStreamIndexMatchesLinearScan is the equivalence fuzz for the bucketed
+// nearest-stream index: an indexed prefetcher and a forced-linear twin
+// consume an adversarial line mixture (far random lines, bucket-boundary
+// clusters, drifting streams, window-spanning jumps, interleaved strides)
+// and must emit identical candidates AND hold identical internal stream
+// state at every step — any divergence in nearest-stream choice,
+// tie-breaking or LRU allocation surfaces immediately.
+func TestStreamIndexMatchesLinearScan(t *testing.T) {
+	for _, streams := range []int{16, 32, 64} {
+		cfg := PrefetchConfig{Enabled: true, Streams: streams, Degree: 3, Window: 2048, MaxLag: 4}
+		a := NewPrefetcher(cfg)
+		if a.ix == nil {
+			t.Fatalf("streams=%d: index not active", streams)
+		}
+		b := NewPrefetcher(cfg)
+		b.ix = nil // the linear reference twin
+		r := xrand.New(uint64(streams) * 7919)
+		var cursor int64 = 1 << 18
+		for i := 0; i < 150_000; i++ {
+			var line Line
+			switch r.Intn(6) {
+			case 0:
+				line = Line(r.Intn(1 << 24)) // far random (CSThr-like)
+			case 1:
+				line = Line(1<<20 + int64(r.Intn(4096))) // clustered at a bucket boundary
+			case 2:
+				cursor += int64(r.Intn(64)) // drifting near-stream
+				line = Line(cursor)
+			case 3:
+				line = Line(1<<21 - 2048 + int64(r.Intn(4097))) // spans exactly one window
+			case 4:
+				line = Line(int64(r.Intn(64))<<12 + int64(r.Intn(2))*4095) // bucket edges
+			default:
+				line = Line(100_000*int64(r.Intn(8)+1) + int64(r.Intn(3))*17) // interleaved strides
+			}
+			ga := append([]Line(nil), a.Observe(line)...)
+			gb := append([]Line(nil), b.Observe(line)...)
+			if len(ga) != len(gb) {
+				t.Fatalf("streams=%d op %d line %d: emitted %v, linear reference %v", streams, i, line, ga, gb)
+			}
+			for j := range ga {
+				if ga[j] != gb[j] {
+					t.Fatalf("streams=%d op %d line %d: emitted %v, linear reference %v", streams, i, line, ga, gb)
+				}
+			}
+			if i%1024 == 0 {
+				comparePrefetcherState(t, a, b, streams, i)
+			}
+		}
+		comparePrefetcherState(t, a, b, streams, -1)
+		if a.Issued == 0 {
+			t.Fatalf("streams=%d: fuzz mixture never emitted a prefetch", streams)
+		}
+	}
+}
+
+func comparePrefetcherState(t *testing.T, a, b *Prefetcher, streams, op int) {
+	t.Helper()
+	for s := 0; s < streams; s++ {
+		if a.lastLine[s] != b.lastLine[s] || a.lastUse[s] != b.lastUse[s] ||
+			a.stride[s] != b.stride[s] || a.hits[s] != b.hits[s] {
+			t.Fatalf("streams=%d op %d: slot %d diverged: indexed (%d,%d,%d,%d) vs linear (%d,%d,%d,%d)",
+				streams, op, s,
+				a.lastLine[s], a.lastUse[s], a.stride[s], a.hits[s],
+				b.lastLine[s], b.lastUse[s], b.stride[s], b.hits[s])
+		}
+	}
+	if a.Issued != b.Issued {
+		t.Fatalf("streams=%d op %d: Issued %d vs %d", streams, op, a.Issued, b.Issued)
+	}
+}
+
+// TestStreamIndexTieBreak pins the equidistant case: two streams the same
+// distance below and above the observed line must resolve to the
+// lower-indexed slot, exactly as the linear scan's packed key does.
+func TestStreamIndexTieBreak(t *testing.T) {
+	for _, order := range [][2]Line{{1000, 1200}, {1200, 1000}} {
+		cfg := PrefetchConfig{Enabled: true, Streams: 16, Degree: 2, Window: 128, MaxLag: 4}
+		p := NewPrefetcher(cfg)
+		if p.ix == nil {
+			t.Fatal("index not active at 16 streams")
+		}
+		p.Observe(order[0]) // allocates slot 0
+		p.Observe(order[1]) // 200 apart > window: allocates slot 1
+		if p.lastLine[0] != int64(order[0]) || p.lastLine[1] != int64(order[1]) {
+			t.Fatalf("setup failed: lastLine = %v, %v", p.lastLine[0], p.lastLine[1])
+		}
+		p.Observe(1100) // distance 100 to both: slot 0 must win the tie
+		if p.lastLine[0] != 1100 {
+			t.Fatalf("tie broke to the wrong slot: lastLine[0]=%d lastLine[1]=%d",
+				p.lastLine[0], p.lastLine[1])
+		}
+		if p.lastLine[1] != int64(order[1]) {
+			t.Fatalf("higher slot disturbed by tie: lastLine[1]=%d", p.lastLine[1])
+		}
+	}
+}
+
+// TestPrefetcherStampRebase forces the 32-bit observation counter to its
+// limit repeatedly in one prefetcher while a twin trains on the same
+// sequence with small, never-wrapping stamps. Stamps matter only through
+// their relative order, which both the forced jumps and the renumbering
+// passes preserve, so emitted candidates and stream state must stay
+// identical throughout.
+func TestPrefetcherStampRebase(t *testing.T) {
+	cfg := PrefetchConfig{Enabled: true, Streams: 8, Degree: 2, Window: 64, MaxLag: 4}
+	a := NewPrefetcher(cfg) // repeatedly forced to renumber
+	b := NewPrefetcher(cfg) // never renumbers: the reference
+	r := xrand.New(4242)
+	for i := 0; i < 50_000; i++ {
+		if i%10_000 == 500 {
+			a.seq = ^uint32(0) - 2 // a renumbers within three observations
+		}
+		line := Line(r.Intn(1 << 16))
+		ga := append([]Line(nil), a.Observe(line)...)
+		gb := append([]Line(nil), b.Observe(line)...)
+		if len(ga) != len(gb) {
+			t.Fatalf("op %d: emitted %v vs %v", i, ga, gb)
+		}
+		for j := range ga {
+			if ga[j] != gb[j] {
+				t.Fatalf("op %d: emitted %v vs %v", i, ga, gb)
+			}
+		}
+		for s := 0; s < cfg.Streams; s++ {
+			if a.lastLine[s] != b.lastLine[s] || a.stride[s] != b.stride[s] || a.hits[s] != b.hits[s] {
+				t.Fatalf("op %d slot %d: state diverged", i, s)
+			}
+		}
+	}
+	if a.renumbers < 5 {
+		t.Fatalf("renumbers = %d, want several", a.renumbers)
 	}
 }
 

@@ -1,0 +1,222 @@
+package mem
+
+import (
+	"testing"
+
+	"activemem/internal/xrand"
+)
+
+// refWayCache is an int64-stamp reference implementation of the cache's
+// replacement behaviour: stamps never wrap, so it needs no renumbering. The
+// rebase stress test drives it in lockstep with the real uint32-stamp cache
+// to prove that renumbering passes preserve every eviction decision.
+type refWayCache struct {
+	assoc, setMask int64
+	lines          []int64 // -1 = empty
+	stamps         []int64
+	dirty          []bool
+	seq            int64
+	fifo           bool
+}
+
+func newRefWayCache(cfg CacheConfig) *refWayCache {
+	n := cfg.Sets() * int64(cfg.Assoc)
+	r := &refWayCache{
+		assoc:   int64(cfg.Assoc),
+		setMask: cfg.Sets() - 1,
+		lines:   make([]int64, n),
+		stamps:  make([]int64, n),
+		dirty:   make([]bool, n),
+		fifo:    cfg.Policy == PolicyFIFO,
+	}
+	for i := range r.lines {
+		r.lines[i] = -1
+	}
+	return r
+}
+
+func (r *refWayCache) find(line Line) int64 {
+	base := (int64(line) & r.setMask) * r.assoc
+	for i := base; i < base+r.assoc; i++ {
+		if r.lines[i] == int64(line) {
+			return i
+		}
+	}
+	return -1
+}
+
+// fill mirrors Cache.fill: lowest empty way first, else the way minimising
+// (stamp, way).
+func (r *refWayCache) fill(line Line, dirty bool) (Line, bool) {
+	base := (int64(line) & r.setMask) * r.assoc
+	slot := int64(-1)
+	for i := base; i < base+r.assoc; i++ {
+		if r.lines[i] == -1 {
+			slot = i
+			break
+		}
+	}
+	victim, victimDirty := InvalidLine, false
+	if slot < 0 {
+		slot = base
+		for i := base + 1; i < base+r.assoc; i++ {
+			if r.stamps[i] < r.stamps[slot] {
+				slot = i
+			}
+		}
+		victim, victimDirty = Line(r.lines[slot]), r.dirty[slot]
+	}
+	r.lines[slot] = int64(line)
+	r.stamps[slot] = r.seq
+	r.dirty[slot] = dirty
+	return victim, victimDirty
+}
+
+func (r *refWayCache) access(line Line, write bool) (bool, Line, bool) {
+	r.seq++
+	if i := r.find(line); i >= 0 {
+		if !r.fifo {
+			r.stamps[i] = r.seq
+		}
+		if write {
+			r.dirty[i] = true
+		}
+		return true, InvalidLine, false
+	}
+	v, d := r.fill(line, write)
+	return false, v, d
+}
+
+func (r *refWayCache) insertWriteback(line Line) (Line, bool) {
+	r.seq++
+	if i := r.find(line); i >= 0 {
+		r.dirty[i] = true
+		return InvalidLine, false
+	}
+	return r.fill(line, true)
+}
+
+func (r *refWayCache) insertClean(line Line) (Line, bool) {
+	r.seq++
+	if i := r.find(line); i >= 0 {
+		return InvalidLine, false
+	}
+	return r.fill(line, false)
+}
+
+func (r *refWayCache) invalidate(line Line) bool {
+	if i := r.find(line); i >= 0 {
+		r.lines[i] = -1
+		r.stamps[i] = 0
+		r.dirty[i] = false
+		return true
+	}
+	return false
+}
+
+// TestStampRebaseMatchesInt64Reference forces the 32-bit sequence counter to
+// the wrap threshold repeatedly mid-run and asserts that every observable
+// outcome (hit, victim identity, victim dirtiness, invalidate presence) stays
+// identical to the never-wrapping int64 reference, for both stamp policies
+// and across all insertion paths.
+func TestStampRebaseMatchesInt64Reference(t *testing.T) {
+	for _, pol := range []Policy{PolicyLRU, PolicyFIFO} {
+		cfg := CacheConfig{Name: "R", Size: 8 * 64 * 4, LineSize: 64,
+			Assoc: 4, Latency: 1, Policy: pol}
+		c := NewCache(cfg, 1)
+		ref := newRefWayCache(cfg)
+		r := xrand.New(99)
+		for i := 0; i < 200_000; i++ {
+			if i%20_000 == 1_000 {
+				// Leave only a handful of ticks before the counter exhausts
+				// the stamp space, forcing a renumbering pass shortly.
+				c.seq = ^uint32(0) - 3
+			}
+			line := Line(r.Intn(256))
+			write := r.Intn(2) == 0
+			switch r.Intn(12) {
+			case 0:
+				p1, d1 := c.Invalidate(line)
+				p2 := ref.invalidate(line)
+				if p1 != p2 {
+					t.Fatalf("%s op %d: Invalidate(%d) present %v, reference %v",
+						pol, i, line, p1, p2)
+				}
+				_ = d1
+			case 1:
+				v1, d1 := c.InsertWriteback(line)
+				v2, d2 := ref.insertWriteback(line)
+				if v1 != v2 || d1 != d2 {
+					t.Fatalf("%s op %d: InsertWriteback(%d) = (%d,%v), reference (%d,%v)",
+						pol, i, line, v1, d1, v2, d2)
+				}
+			case 2:
+				v1, d1 := c.InsertClean(line)
+				v2, d2 := ref.insertClean(line)
+				if v1 != v2 || d1 != d2 {
+					t.Fatalf("%s op %d: InsertClean(%d) = (%d,%v), reference (%d,%v)",
+						pol, i, line, v1, d1, v2, d2)
+				}
+			default:
+				h1, v1, d1 := c.Access(line, write)
+				h2, v2, d2 := ref.access(line, write)
+				if h1 != h2 || v1 != v2 || d1 != d2 {
+					t.Fatalf("%s op %d: Access(%d,%v) = (%v,%d,%v), reference (%v,%d,%v)",
+						pol, i, line, write, h1, v1, d1, h2, v2, d2)
+				}
+			}
+		}
+		if c.renumbers < 5 {
+			t.Fatalf("%s: %d renumbering passes, want several (forcing broken?)", pol, c.renumbers)
+		}
+	}
+}
+
+// TestStampRebaseRandomPolicy pins that a Random-policy cache (which keeps no
+// stamps) survives counter exhaustion by simply restarting its sequence.
+func TestStampRebaseRandomPolicy(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "R", Size: 4 * 64 * 4, LineSize: 64,
+		Assoc: 4, Latency: 1, Policy: PolicyRandom}, 1)
+	c.seq = ^uint32(0) - 1
+	for i := Line(0); i < 64; i++ {
+		c.Access(i, false)
+	}
+	if c.renumbers != 1 {
+		t.Fatalf("renumbers = %d, want 1", c.renumbers)
+	}
+	if c.Occupancy() != 16 {
+		t.Fatalf("occupancy = %d after wrap, want 16", c.Occupancy())
+	}
+}
+
+// TestRenumberPreservesVictimOrder is the white-box check: stamp a set with
+// an adversarial recency pattern, renumber directly, and assert the full
+// eviction order of the set is untouched.
+func TestRenumberPreservesVictimOrder(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "W", Size: 2 * 64 * 8, LineSize: 64,
+		Assoc: 8, Latency: 1, Policy: PolicyLRU}, 1)
+	sets := c.cfg.Sets()
+	// Fill set 0, then touch in a shuffled order to scramble recency.
+	for i := int64(0); i < 8; i++ {
+		c.Access(Line(i*sets), false)
+	}
+	for _, i := range []int64{5, 2, 7, 0, 4, 1, 6, 3} {
+		c.Access(Line(i*sets), false)
+	}
+	want := make([]uint32, len(c.lastUse))
+	copy(want, c.lastUse)
+	c.renumber()
+	// Ranks must order exactly as the original stamps did.
+	base := 0
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if (want[base+i] < want[base+j]) != (c.lastUse[base+i] < c.lastUse[base+j]) {
+				t.Fatalf("renumber reordered ways %d and %d: %v -> %v",
+					i, j, want[:8], c.lastUse[:8])
+			}
+		}
+	}
+	if c.seq != 8 {
+		t.Fatalf("seq after renumber = %d, want assoc", c.seq)
+	}
+}
