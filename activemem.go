@@ -265,6 +265,7 @@ func MeasureProfile(m Machine, name string, app WorkloadFactory, opts *MeasureOp
 		defer cache.Close()
 	}
 	ex := lab.New(lab.Config{Workers: o.Concurrency, Progress: o.Progress, Cache: cache})
+	defer ex.Close()
 	warmup, window := measureWindows(m)
 	cfg := core.MeasureConfig{Spec: m, Warmup: warmup, Window: window, Seed: o.Seed}
 

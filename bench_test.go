@@ -12,6 +12,7 @@ package activemem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"activemem/internal/apps/mcb"
@@ -20,13 +21,16 @@ import (
 	"activemem/internal/dist"
 	"activemem/internal/engine"
 	"activemem/internal/experiments"
+	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
 	"activemem/internal/model"
 	"activemem/internal/trace"
 	"activemem/internal/units"
 	"activemem/internal/workload/interfere"
+	"activemem/internal/workload/pchase"
 	"activemem/internal/workload/stream"
+	"activemem/internal/workload/synthetic"
 	"activemem/internal/xrand"
 )
 
@@ -382,6 +386,104 @@ func BenchmarkPrefetcherObserveRandom(b *testing.B) {
 		lines[i] = mem.Line(r.Intn(1 << 22))
 	}
 	benchObserve(b, lines)
+}
+
+// BenchmarkPrefetcherAllocate forces the LRU stream-allocation path on every
+// call: consecutive lines land in distinct far-apart regions (more regions
+// than stream slots), so no observation ever matches a tracked stream and
+// each one evicts the least recently used slot.
+func BenchmarkPrefetcherAllocate(b *testing.B) {
+	lines := make([]mem.Line, 1<<16)
+	for i := range lines {
+		// 64 regions, each 1<<24 lines apart (far beyond the 2048 window);
+		// successive visits to a region drift so the same line never repeats.
+		lines[i] = mem.Line(int64(i%64)<<24 + int64(i/64)*5000)
+	}
+	benchObserve(b, lines)
+}
+
+// BenchmarkPChaseStep measures engine stepping of the dependent-load pointer
+// chase at its default single-hop batch — the unbatchable per-access path
+// (one L1-missing load per step through the counter tally).
+func BenchmarkPChaseStep(b *testing.B) {
+	spec := machine.Scaled(8)
+	h := spec.NewSocket(1)
+	e := engine.New(h, spec.MSHRs)
+	alloc := mem.NewAlloc(64)
+	e.PlaceDaemon(0, pchase.New(pchase.Config{
+		BufBytes: spec.L3.Size * 4, LineSize: spec.LineSize(), Seed: 2,
+	}, alloc), 3)
+	horizon := units.Cycles(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		horizon += 1000
+		e.RunUntil(horizon)
+	}
+}
+
+// BenchmarkExecutorBatchChurn measures the executor's per-batch dispatch
+// cost: many small batches of trivial jobs on one executor, the shape of a
+// campaign's sweep ladders and calibration batches.
+func BenchmarkExecutorBatchChurn(b *testing.B) {
+	ex := lab.New(lab.Config{Workers: 8})
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Run(8, func(j int) error {
+			sink.Add(int64(j))
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ex.Close()
+}
+
+// BenchmarkCampaignSweepLadder is a multi-batch campaign in miniature — the
+// cmd/activemem shape: a storage sweep, a bandwidth sweep and both §III
+// calibration ladders scheduled on one executor (explicitly 4-wide, so the
+// pool engages even on single-CPU hosts), whose batches all reuse one
+// resident worker pool.
+func BenchmarkCampaignSweepLadder(b *testing.B) {
+	spec := machine.Scaled(8)
+	cfg := core.MeasureConfig{Spec: spec, Warmup: 2_000_000, Window: 1_000_000, Seed: 1}
+	app := func(alloc *mem.Alloc, seed uint64) engine.Workload {
+		return synthetic.New(synthetic.Config{
+			Dist: dist.NewUniform(spec.L3.Size * 2 / 4), ElemSize: 4, ComputePerLoad: 1,
+		}, alloc)
+	}
+	var reuses int
+	for i := 0; i < b.N; i++ {
+		// A fresh executor per iteration: sharing one would let memoization
+		// collapse every iteration after the first to pure cache hits.
+		ex := lab.New(lab.Config{Workers: 4})
+		if _, err := core.RunSweep(core.SweepConfig{
+			MeasureConfig: cfg, Kind: core.Storage, MaxThreads: 5, Exec: ex,
+		}, "churn", app); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.RunSweep(core.SweepConfig{
+			MeasureConfig: cfg, Kind: core.Bandwidth, MaxThreads: 2, Exec: ex,
+		}, "churn", app); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.CalibrateBandwidth(cfg, 2, interfere.BWConfig{}, ex); err != nil {
+			b.Fatal(err)
+		}
+		bufs, _ := core.DefaultCalibrationGrid(spec, 2)
+		ds := core.Table2Constructors()
+		if _, err := core.CalibrateCapacity(core.CalibrationConfig{
+			MeasureConfig: cfg, MaxThreads: 2, BufferBytes: bufs,
+			Dists:          []func(int64) dist.Dist{ds[9]},
+			ComputePerLoad: 1, ElemSize: 4, Exec: ex,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		reuses = ex.Stats().GroupReuses
+		ex.Close()
+	}
+	b.ReportMetric(float64(reuses), "pool-reuses")
 }
 
 // BenchmarkClusterIteration measures exact-mode bulk-synchronous iterations:

@@ -79,6 +79,7 @@ func main() {
 		defer cache.Close()
 	}
 	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
+	defer ex.Close()
 	spec := machine.Scaled(*scale)
 	if *buf == 0 {
 		*buf = spec.L3.Size * 2
@@ -143,6 +144,9 @@ func main() {
 			l3/float64(units.MB), bw, s*100)
 	}
 	ex.PrintCacheSummary(os.Stderr)
+	if *progress {
+		ex.PrintPoolSummary(os.Stderr)
+	}
 }
 
 func clampScale(s int) units.Cycles {

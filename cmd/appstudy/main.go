@@ -51,6 +51,7 @@ func main() {
 		defer cache.Close()
 	}
 	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
+	defer ex.Close()
 	opt := experiments.Options{
 		Scale: *scale,
 		Grid:  parseGrid(*grid),
@@ -93,6 +94,9 @@ func main() {
 		emit("fig12", prof.Table())
 	}
 	ex.PrintCacheSummary(os.Stderr)
+	if *progress {
+		ex.PrintPoolSummary(os.Stderr)
+	}
 }
 
 func calibrationSummary(capAvail, bwAvail []float64) string {

@@ -53,6 +53,7 @@ func main() {
 		defer cache.Close()
 	}
 	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
+	defer ex.Close()
 	opt := experiments.Options{
 		Scale: *scale,
 		Grid:  parseGrid(*grid),
@@ -110,6 +111,9 @@ func main() {
 		emit("fig8", r.Table())
 	}
 	ex.PrintCacheSummary(os.Stderr)
+	if *progress {
+		ex.PrintPoolSummary(os.Stderr)
+	}
 }
 
 func parseGrid(s string) experiments.Grid {

@@ -127,7 +127,8 @@ func CalibrateCapacity(cfg CalibrationConfig) (CapacityCalibration, error) {
 	if err := cfg.Validate(); err != nil {
 		return CapacityCalibration{}, err
 	}
-	ex := executor(cfg.Exec)
+	ex, done := executor(cfg.Exec)
+	defer done()
 	cal := CapacityCalibration{Spec: cfg.Spec}
 	cal.Points = make([]CapacityPoint, cfg.MaxThreads+1)
 	type cell struct {
@@ -226,7 +227,8 @@ func CalibrateBandwidth(cfg MeasureConfig, maxThreads int, bw interfere.BWConfig
 	if bw == (interfere.BWConfig{}) {
 		bw = interfere.DefaultBWConfig(cfg.Spec.L3.Size)
 	}
-	ex = executor(ex)
+	ex, done := executor(ex)
+	defer done()
 	cal := BandwidthCalibration{PeakGBs: cfg.Spec.PeakBandwidthGBs()}
 	cal.ConsumedGBs = make([]float64, maxThreads+1)
 	err := ex.RunLabeled(fmt.Sprintf("§III-A bandwidth ladder k=0..%d", maxThreads),

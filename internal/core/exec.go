@@ -60,10 +60,14 @@ func measureMemo(ex *lab.Executor, cfg MeasureConfig, appName string, app Worklo
 	})
 }
 
-// executor resolves a possibly-nil shared executor into a usable one.
-func executor(ex *lab.Executor) *lab.Executor {
+// executor resolves a possibly-nil shared executor into a usable one. done
+// releases a locally created executor's resident worker pool when the
+// caller finishes; for a shared executor it is a no-op, since the owner
+// decides when the campaign's pool retires (lab.Executor.Close).
+func executor(ex *lab.Executor) (_ *lab.Executor, done func()) {
 	if ex != nil {
-		return ex
+		return ex, func() {}
 	}
-	return lab.New(lab.Config{})
+	ex = lab.New(lab.Config{})
+	return ex, ex.Close
 }

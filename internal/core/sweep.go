@@ -77,7 +77,8 @@ func RunSweep(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, erro
 	if cfg.Knee > 0 {
 		return runSweepAdaptive(cfg, appName, app)
 	}
-	ex := executor(cfg.Exec)
+	ex, done := executor(cfg.Exec)
+	defer done()
 	s := Sweep{Kind: cfg.Kind, App: appName, Points: make([]Metrics, cfg.MaxThreads+1)}
 	err := ex.RunLabeled(fmt.Sprintf("%s sweep: %s", cfg.Kind, appName),
 		len(s.Points), func(k int) error {
@@ -99,7 +100,8 @@ func RunSweep(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, erro
 // here — each one's scheduling decision depends on the previous slowdowns —
 // so the executor contributes its memo tiers rather than its worker pool.
 func runSweepAdaptive(cfg SweepConfig, appName string, app WorkloadFactory) (Sweep, error) {
-	ex := executor(cfg.Exec)
+	ex, done := executor(cfg.Exec)
+	defer done()
 	patience := cfg.KneePatience
 	if patience <= 0 {
 		patience = 2

@@ -33,12 +33,22 @@ type Workload interface {
 
 // Ctx gives a workload timed access to its core and socket. All latencies
 // feed the core-local clock.
+//
+// Demand counters accumulate in a per-context mem.Tally and are folded into
+// the hierarchy's PerCore block at the end of every workload step (the
+// engine flushes after each Step call), so per-access paths pay two
+// branch-free increments instead of the PerCore counter switch. Anything
+// that observes counters between steps — measurement windows, ResetStats,
+// stop predicates — sees exact values; only code driving a Ctx directly
+// outside the engine loop (tests) must flush via the engine or avoid
+// reading PerCore mid-stream.
 type Ctx struct {
 	coreID int
 	hier   *mem.Hierarchy
 	rng    *xrand.Rand
 	now    units.Cycles
 	mshrs  int
+	tally  mem.Tally
 
 	// completion ring for overlapped loads
 	outstanding []units.Cycles
@@ -72,7 +82,7 @@ func (c *Ctx) Compute(n units.Cycles) {
 
 // Load performs a blocking read of addr; the clock advances by its latency.
 func (c *Ctx) Load(addr mem.Addr) {
-	_, lat := c.hier.Access(c.coreID, addr, c.now, false)
+	_, lat := c.hier.AccessTallied(c.coreID, addr, c.now, false, &c.tally)
 	c.now += lat
 	c.accesses++
 }
@@ -80,7 +90,7 @@ func (c *Ctx) Load(addr mem.Addr) {
 // Store performs a write of addr (write-allocate); the clock advances by its
 // latency.
 func (c *Ctx) Store(addr mem.Addr) {
-	_, lat := c.hier.Access(c.coreID, addr, c.now, true)
+	_, lat := c.hier.AccessTallied(c.coreID, addr, c.now, true, &c.tally)
 	c.now += lat
 	c.accesses++
 }
@@ -90,7 +100,7 @@ func (c *Ctx) Store(addr mem.Addr) {
 // tracer overhead amortised over the batch. Counters and timing are
 // bit-identical to the per-call form.
 func (c *Ctx) LoadBatch(addrs []mem.Addr) {
-	c.now = c.hier.LoadBatch(c.coreID, c.now, addrs, 0)
+	c.now = c.hier.LoadBatch(c.coreID, c.now, addrs, 0, &c.tally)
 	c.accesses += int64(len(addrs))
 }
 
@@ -101,14 +111,14 @@ func (c *Ctx) LoadComputeBatch(addrs []mem.Addr, computePer units.Cycles) {
 	if computePer < 0 {
 		panic("engine: negative compute time")
 	}
-	c.now = c.hier.LoadBatch(c.coreID, c.now, addrs, computePer)
+	c.now = c.hier.LoadBatch(c.coreID, c.now, addrs, computePer, &c.tally)
 	c.accesses += int64(len(addrs))
 }
 
 // StoreBatch performs blocking stores of addrs in order, the batched
 // equivalent of calling Store per address.
 func (c *Ctx) StoreBatch(addrs []mem.Addr) {
-	c.now = c.hier.StoreBatch(c.coreID, c.now, addrs)
+	c.now = c.hier.StoreBatch(c.coreID, c.now, addrs, &c.tally)
 	c.accesses += int64(len(addrs))
 }
 
@@ -118,7 +128,7 @@ func (c *Ctx) RMWBatch(addrs []mem.Addr, compute units.Cycles) {
 	if compute < 0 {
 		panic("engine: negative compute time")
 	}
-	c.now = c.hier.RMWBatch(c.coreID, c.now, addrs, compute)
+	c.now = c.hier.RMWBatch(c.coreID, c.now, addrs, compute, &c.tally)
 	c.accesses += 2 * int64(len(addrs))
 }
 
@@ -127,8 +137,14 @@ func (c *Ctx) RMWBatch(addrs []mem.Addr, compute units.Cycles) {
 // LoadBatch/StoreBatch/RMWBatch for kernels whose per-element sequence is
 // irregular (e.g. a stencil's two loads and a store).
 func (c *Ctx) Exec(ops []mem.BatchOp) {
-	c.now = c.hier.AccessBatch(c.coreID, c.now, ops)
+	c.now = c.hier.AccessBatch(c.coreID, c.now, ops, &c.tally)
 	c.accesses += int64(len(ops))
+}
+
+// flushTally folds the context's pending demand counters into PerCore; the
+// engine calls it after every workload step.
+func (c *Ctx) flushTally() {
+	c.hier.FlushTally(c.coreID, &c.tally)
 }
 
 // LoadOverlapped issues the given addresses with up to the core's MSHR
@@ -154,7 +170,7 @@ func (c *Ctx) LoadOverlapped(addrs []mem.Addr, issueGap units.Cycles) {
 			out[min] = out[len(out)-1]
 			out = out[:len(out)-1]
 		}
-		_, lat := c.hier.Access(c.coreID, a, issue, false)
+		_, lat := c.hier.AccessTallied(c.coreID, a, issue, false, &c.tally)
 		out = append(out, issue+lat)
 		issue += issueGap
 		c.accesses++
@@ -325,7 +341,8 @@ func (e *Engine) remove(i int) {
 }
 
 // RunUntil advances all occupied cores until every core's clock reaches t
-// (or its workload finishes). It is used for warmup phases.
+// (or its workload finishes). It is used for warmup phases. Counter tallies
+// flush at every step end, so PerCore is exact on return.
 func (e *Engine) RunUntil(t units.Cycles) {
 	e.rebuild()
 	for len(e.pq) > 0 {
@@ -336,9 +353,11 @@ func (e *Engine) RunUntil(t units.Cycles) {
 		before := c.now
 		if !c.wl.Step(c) {
 			c.finished = true
+			c.flushTally()
 			e.remove(i)
 			continue
 		}
+		c.flushTally()
 		if c.now == before {
 			panic(fmt.Sprintf("engine: workload %s made no progress on core %d",
 				c.wl.Name(), c.coreID))
@@ -365,7 +384,9 @@ func (e *Engine) Run(stop func() bool) {
 	for len(e.pq) > 0 {
 		i, c := e.next()
 		before := c.now
-		if !c.wl.Step(c) {
+		done := !c.wl.Step(c)
+		c.flushTally() // before stop(): predicates may read PerCore
+		if done {
 			c.finished = true
 			e.remove(i)
 			if !c.daemon {

@@ -173,7 +173,8 @@ func luleshEdges(grid Grid) []int {
 // geometry; labels keep the full-scale counts.
 func Fig9MCB(opt Options) (StudyResult, error) {
 	opt = opt.withDefaults()
-	ex := opt.executor()
+	ex, done := opt.executor()
+	defer done()
 	spec := opt.Spec()
 	const ranks = 24
 	res := StudyResult{Spec: spec, App: "MCB"}
@@ -216,7 +217,8 @@ func Fig9MCB(opt Options) (StudyResult, error) {
 // panel at one rank per socket.
 func Fig11Lulesh(opt Options) (StudyResult, error) {
 	opt = opt.withDefaults()
-	ex := opt.executor()
+	ex, done := opt.executor()
+	defer done()
 	spec := opt.Spec()
 	const ranksPerDim = 4 // 64 ranks
 	res := StudyResult{Spec: spec, App: "Lulesh"}
@@ -414,6 +416,8 @@ func StudyCalibrations(opt Options) (capAvail, bwAvail []float64, err error) {
 	warmup, window := calibWindows(opt)
 	bufs, _ := core.DefaultCalibrationGrid(spec, 2)
 	ds := core.Table2Constructors()
+	ex, done := opt.executor() // one pool for both calibration ladders
+	defer done()
 	cal, err := core.CalibrateCapacity(core.CalibrationConfig{
 		MeasureConfig:  core.MeasureConfig{Spec: spec, Warmup: warmup, Window: window, Seed: opt.Seed},
 		MaxThreads:     maxStorageThreads,
@@ -421,14 +425,14 @@ func StudyCalibrations(opt Options) (capAvail, bwAvail []float64, err error) {
 		Dists:          []func(int64) dist.Dist{ds[9]}, // uniform: the most stable inversion
 		ComputePerLoad: 1,
 		ElemSize:       4,
-		Exec:           opt.executor(),
+		Exec:           ex,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	bw, err := core.CalibrateBandwidth(
 		core.MeasureConfig{Spec: spec, Warmup: 2_000_000, Window: 6_000_000, Seed: opt.Seed},
-		maxBandwidthThreads, interfere.BWConfig{}, opt.executor())
+		maxBandwidthThreads, interfere.BWConfig{}, ex)
 	if err != nil {
 		return nil, nil, err
 	}

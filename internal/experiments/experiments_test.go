@@ -206,6 +206,65 @@ func TestFig7ResumesFromDiskStore(t *testing.T) {
 	}
 }
 
+// validateGridResults bundles every experiment a `validate -grid` run
+// drives, so resident-pool and fresh-pool executions can be compared as one
+// value.
+type validateGridResults struct {
+	SecIIIA SecIIIAResult
+	Fig5    Fig5Result
+	Fig6    Fig6Result
+	Fig7    Fig7Result
+	Fig8    Fig8Result
+}
+
+// TestValidateGridResidentPoolDeterminism pins the resident-pool contract
+// end to end for the full `validate` grid driver set (§III-A, Figs. 5-8, as
+// cmd/validate runs them): one shared executor whose resident workers serve
+// every figure's batches must produce results bit-identical to fresh
+// serial executors per driver — the reference ordering with no pool at all.
+// (The grid runs at smoke size; the drivers and scheduling paths are
+// exactly those of -grid paper, which only adds cells.)
+func TestValidateGridResidentPoolDeterminism(t *testing.T) {
+	run := func(opt Options) validateGridResults {
+		var r validateGridResults
+		var err error
+		if r.SecIIIA, err = SecIIIA(opt); err != nil {
+			t.Fatal(err)
+		}
+		if r.Fig5, err = Fig5(opt); err != nil {
+			t.Fatal(err)
+		}
+		if r.Fig6, err = Fig6(opt); err != nil {
+			t.Fatal(err)
+		}
+		if r.Fig7, err = Fig7(opt); err != nil {
+			t.Fatal(err)
+		}
+		if r.Fig8, err = Fig8(opt); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	// Shared wide executor: one resident pool across all five drivers.
+	shared := smoke()
+	shared.Exec = lab.New(lab.Config{Workers: 8})
+	defer shared.Exec.Close()
+	resident := run(shared)
+	st := shared.Exec.Stats()
+	if st.WorkerSpawns != 8 || st.GroupReuses == 0 {
+		t.Fatalf("shared campaign pool stats = %+v, want one spawn generation and reused batches", st)
+	}
+
+	// Fresh serial executors: each driver builds (and closes) its own
+	// Workers-agnostic executor; Workers: 1 never spawns a pool.
+	fresh := smoke()
+	fresh.Concurrency = 1
+	if got := run(fresh); !reflect.DeepEqual(resident, got) {
+		t.Fatalf("resident-pool grid diverges from fresh-pool grid:\n%+v\n%+v", resident, got)
+	}
+}
+
 func TestFig9MCBShapes(t *testing.T) {
 	r, err := Fig9MCB(smoke())
 	if err != nil {
@@ -253,6 +312,19 @@ func TestAppStudyDeterministicAndMemoized(t *testing.T) {
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("parallel study diverges from serial:\n%+v\n%+v", serial, parallel)
 	}
+	// Memo activity must match across concurrency; the pool counters differ
+	// by design (a serial executor runs inline and never spawns workers), so
+	// blank them before comparing and pin them separately: the parallel
+	// study's 8 sweep batches share one resident pool — one spawn generation,
+	// every later batch a reuse.
+	if parallelStats.WorkerSpawns != 8 || parallelStats.GroupReuses != 7 {
+		t.Fatalf("parallel pool stats = %+v, want 8 spawns / 7 batch reuses", parallelStats)
+	}
+	if serialStats.WorkerSpawns != 0 || serialStats.GroupReuses != 0 {
+		t.Fatalf("serial pool stats = %+v, want none", serialStats)
+	}
+	serialStats.WorkerSpawns, serialStats.GroupReuses = 0, 0
+	parallelStats.WorkerSpawns, parallelStats.GroupReuses = 0, 0
 	if serialStats != parallelStats {
 		t.Fatalf("memo stats differ across concurrency: %+v vs %+v", serialStats, parallelStats)
 	}

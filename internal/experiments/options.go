@@ -81,11 +81,15 @@ func (o Options) withDefaults() Options {
 }
 
 // executor returns the shared executor, or builds one for this driver.
-func (o Options) executor() *lab.Executor {
+// done releases a driver-local executor's resident worker pool when the
+// driver finishes; sharing via Exec keeps the pool (and memo) alive for the
+// whole campaign, with the owner closing it.
+func (o Options) executor() (_ *lab.Executor, done func()) {
 	if o.Exec != nil {
-		return o.Exec
+		return o.Exec, func() {}
 	}
-	return lab.New(lab.Config{Workers: o.Concurrency, Progress: o.Progress})
+	ex := lab.New(lab.Config{Workers: o.Concurrency, Progress: o.Progress})
+	return ex, ex.Close
 }
 
 // Spec returns the machine specification for the options.

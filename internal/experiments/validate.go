@@ -56,7 +56,9 @@ func SecIIIA(opt Options) (SecIIIAResult, error) {
 	spec := opt.Spec()
 	cfg := core.MeasureConfig{Spec: spec, Warmup: 2_000_000, Window: 6_000_000, Seed: opt.Seed}
 	max := spec.CoresPerSocket - 1
-	cal, err := core.CalibrateBandwidth(cfg, max, interfere.BWConfig{}, opt.executor())
+	ex, done := opt.executor()
+	defer done()
+	cal, err := core.CalibrateBandwidth(cfg, max, interfere.BWConfig{}, ex)
 	if err != nil {
 		return SecIIIAResult{}, err
 	}
@@ -131,6 +133,8 @@ func Fig5(opt Options) (Fig5Result, error) {
 	spec := opt.Spec()
 	bufs, dists := calibGrid(spec, opt.Grid)
 	warmup, window := calibWindows(opt)
+	ex, done := opt.executor()
+	defer done()
 	cal, err := core.CalibrateCapacity(core.CalibrationConfig{
 		MeasureConfig:  core.MeasureConfig{Spec: spec, Warmup: warmup, Window: window, Seed: opt.Seed},
 		MaxThreads:     0,
@@ -138,7 +142,7 @@ func Fig5(opt Options) (Fig5Result, error) {
 		Dists:          dists,
 		ComputePerLoad: 1,
 		ElemSize:       4,
-		Exec:           opt.executor(),
+		Exec:           ex,
 	})
 	if err != nil {
 		return Fig5Result{}, err
@@ -201,7 +205,8 @@ func Fig6(opt Options) (Fig6Result, error) {
 	if opt.Grid == GridSmoke {
 		maxThreads = 3
 	}
-	ex := opt.executor() // shared across compute intensities (and callers via opt.Exec)
+	ex, done := opt.executor() // shared across compute intensities (and callers via opt.Exec)
+	defer done()
 	for _, c := range res.Computes {
 		cal, err := core.CalibrateCapacity(core.CalibrationConfig{
 			MeasureConfig:  core.MeasureConfig{Spec: spec, Warmup: warmup, Window: window, Seed: opt.Seed},
@@ -261,7 +266,8 @@ func Fig7(opt Options) (Fig7Result, error) {
 	res := Fig7Result{Spec: spec, Rows: make([]Fig7Row, 6)}
 	warm := csWarmup(spec)
 	const window = units.Cycles(6_000_000)
-	ex := opt.executor()
+	ex, done := opt.executor()
+	defer done()
 	err := ex.RunLabeled("Fig. 7 BWThr vs CSThrs", len(res.Rows), func(k int) error {
 		row, err := lab.Memo(ex, lab.KeyOf(spec, opt.Seed, "fig7", warm, window, k),
 			func() (Fig7Row, error) { return fig7Cell(spec, opt.Seed, warm, window, k), nil })
@@ -337,7 +343,8 @@ func Fig8(opt Options) (Fig8Result, error) {
 	res := Fig8Result{Spec: spec, Rows: make([]Fig8Row, 6)}
 	warm := csWarmup(spec)
 	const window = units.Cycles(6_000_000)
-	ex := opt.executor()
+	ex, done := opt.executor()
+	defer done()
 	err := ex.RunLabeled("Fig. 8 CSThr vs BWThrs", len(res.Rows), func(k int) error {
 		row, err := lab.Memo(ex, lab.KeyOf(spec, opt.Seed, "fig8", warm, window, k),
 			func() (Fig8Row, error) { return fig8Cell(spec, opt.Seed, warm, window, k), nil })

@@ -184,3 +184,18 @@ func (e *Executor) PrintCacheSummary(w io.Writer) {
 	}
 	fmt.Fprintf(w, "%s entries=%d dir=%s\n", e.CacheSummary(), e.cache.Len(), e.cache.Dir())
 }
+
+// PoolSummary renders the resident worker-pool counters in the form the
+// CLIs print under -progress: how many worker goroutines the campaign
+// spawned and how many batches reused the already-resident pool.
+func (e *Executor) PoolSummary() string {
+	st := e.Stats()
+	return fmt.Sprintf("pool: workers=%d worker_spawns=%d group_reuses=%d",
+		e.workers, st.WorkerSpawns, st.GroupReuses)
+}
+
+// PrintPoolSummary writes the pool epilogue the CLIs print when progress
+// reporting is enabled.
+func (e *Executor) PrintPoolSummary(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", e.PoolSummary())
+}

@@ -16,6 +16,12 @@ import (
 // barrier, so an epoch costs two barrier crossings instead of a pool
 // setup/teardown.
 //
+// The Executor's resident worker pool generalises the same idea to
+// arbitrary batches (dynamic job claiming, any batch size, memo tiers);
+// PersistentGroup remains for the bulk-synchronous case because its static
+// partition pins job i's mutable state (a simulated socket) to one
+// goroutine for the whole run, which dynamic claiming cannot guarantee.
+//
 // Semantics match Executor.RunLabeled for a batch of n jobs: once any job
 // fails no further jobs of that epoch start (jobs already running
 // complete), RunEpoch returns the error of the lowest-indexed failed job

@@ -5,8 +5,11 @@
 // phases) — and all of them schedule their cells through one Executor
 // instead of hand-rolled goroutine fan-outs. The Executor provides:
 //
-//   - a bounded worker pool: at most Config.Workers cells run concurrently
-//     (default GOMAXPROCS), so arbitrarily wide grids use bounded memory;
+//   - a bounded resident worker pool: at most Config.Workers cells run
+//     concurrently (default GOMAXPROCS), so arbitrarily wide grids use
+//     bounded memory, and the pool goroutines persist across batches, so a
+//     campaign of hundreds of small batches pays worker spawning once
+//     (Close releases them);
 //   - content-addressed memoization: Do/Memo run a computation at most once
 //     per Key, where a Key (built with KeyOf) fingerprints the experiment's
 //     full input content — machine spec, workload identity, interference
@@ -136,17 +139,32 @@ type Config struct {
 // Executor schedules experiment cells. Construct with New; the zero value
 // is not ready for use. An Executor (and its memo cache) may be shared by
 // any number of concurrent batches: the Workers bound holds across all of
-// them (a semaphore, not a per-batch pool), as does progress-callback
-// serialisation. Run must not be called from inside one of its own jobs on
-// the same Executor — a job holds a worker slot, so same-executor nesting
-// can exhaust the pool and deadlock (give nested work its own Executor, as
-// the cluster runner does).
+// them (one resident worker pool, not a per-batch pool), as does
+// progress-callback serialisation. Run must not be called from inside one
+// of its own jobs on the same Executor — a job occupies a resident worker,
+// so same-executor nesting can starve the pool and deadlock; give nested
+// work its own Executor or PersistentGroup, as the cluster cells scheduled
+// by the app studies do (each cell runs its sockets on a private
+// single-worker group, never back on the executor that ran the cell).
+//
+// The pool is lazily created by the first parallel batch and persists
+// across batches: a campaign of sweep ladders, calibration grids and
+// adaptive re-runs crosses a channel handoff per job instead of spawning
+// and tearing down Workers goroutines per batch (the same resident-worker
+// idea PersistentGroup applies to bulk-synchronous cluster epochs, without
+// that type's static job pinning). Close releases the resident workers; a
+// later batch lazily respawns them. Stats reports WorkerSpawns and
+// GroupReuses so campaigns can see the pool working.
 type Executor struct {
 	workers  int
-	slots    chan struct{} // executor-wide worker semaphore
 	progress func(label string, done, total int)
 	progMu   sync.Mutex // serialises progress across batches
 	cache    *store.Store
+
+	poolMu sync.Mutex
+	pool   *workerPool // nil until the first parallel batch (and after Close)
+	spawns int         // worker goroutines spawned over the executor's lifetime
+	reuses int         // parallel batches dispatched onto an already-resident pool
 
 	mu        sync.Mutex
 	memo      map[Key]*memoEntry
@@ -162,18 +180,113 @@ type memoEntry struct {
 	err   error
 }
 
+// workerPool is one generation of resident worker goroutines, all ranging
+// over one unbuffered task channel. Submitters feed one task per job index,
+// so concurrent batches interleave per job exactly as the semaphore they
+// replace did, and the worker count is the concurrency bound.
+type workerPool struct {
+	tasks chan poolTask
+	wg    sync.WaitGroup
+}
+
+// poolTask is one job index of one batch.
+type poolTask struct {
+	b *poolBatch
+	i int
+}
+
+// poolBatch is the shared state of one RunLabeled call in flight.
+type poolBatch struct {
+	job    func(i int) error
+	report func()
+	wg     sync.WaitGroup
+	failed atomic.Bool
+
+	errMu  sync.Mutex
+	errIdx int
+	errVal error
+}
+
+// fail records job i's error, keeping the lowest-indexed one.
+func (b *poolBatch) fail(i int, err error) {
+	b.errMu.Lock()
+	if b.errIdx < 0 || i < b.errIdx {
+		b.errIdx, b.errVal = i, err
+	}
+	b.errMu.Unlock()
+	b.failed.Store(true)
+}
+
+// run executes one claimed task, skipping the job if its batch already
+// failed (matching the executor's historical no-new-jobs-after-failure
+// semantics for tasks handed to a worker before the failure was observed).
+func (t poolTask) run() {
+	defer t.b.wg.Done()
+	if t.b.failed.Load() {
+		return
+	}
+	if err := t.b.job(t.i); err != nil {
+		t.b.fail(t.i, err)
+		return
+	}
+	t.b.report()
+}
+
 // New returns an Executor for the configuration.
 func New(cfg Config) *Executor {
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Executor{workers: w, slots: make(chan struct{}, w),
+	return &Executor{workers: w,
 		progress: cfg.Progress, cache: cfg.Cache, memo: map[Key]*memoEntry{}}
 }
 
 // Workers returns the executor's concurrency bound.
 func (e *Executor) Workers() int { return e.workers }
+
+// ensurePool returns the resident pool, spawning its workers on first use
+// (or first use after Close) and counting reuse otherwise.
+func (e *Executor) ensurePool() *workerPool {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if e.pool == nil {
+		// A workers-deep buffer lets submitters hand tasks over without a
+		// scheduler round trip per job while still bounding queued work;
+		// only the worker count bounds concurrency.
+		p := &workerPool{tasks: make(chan poolTask, e.workers)}
+		p.wg.Add(e.workers)
+		for range e.workers {
+			go func() {
+				defer p.wg.Done()
+				for t := range p.tasks {
+					t.run()
+				}
+			}()
+		}
+		e.spawns += e.workers
+		e.pool = p
+	} else {
+		e.reuses++
+	}
+	return e.pool
+}
+
+// Close shuts the resident worker pool down and blocks until its goroutines
+// have exited (waiting out any still-running jobs). It is idempotent, safe
+// on an executor whose pool was never spawned, and not final: a later batch
+// lazily respawns the pool. Close must not overlap an in-flight Run on the
+// same executor — close between batches, not during one.
+func (e *Executor) Close() {
+	e.poolMu.Lock()
+	p := e.pool
+	e.pool = nil
+	e.poolMu.Unlock()
+	if p != nil {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+}
 
 // Run executes jobs 0..n-1 on the worker pool with an anonymous batch
 // label; see RunLabeled.
@@ -181,13 +294,13 @@ func (e *Executor) Run(n int, job func(i int) error) error {
 	return e.RunLabeled("", n, job)
 }
 
-// RunLabeled executes jobs 0..n-1 on the worker pool and blocks until they
-// finish or fail. The label names the batch in progress reporting (e.g.
-// "storage sweep: MCB" or "capacity grid c=10"), making long experiment
-// campaigns legible. Once any job returns an error no further jobs start
-// (jobs already running complete), and the call returns the error of the
-// lowest-indexed failed job. Jobs must write their results by index into
-// caller-owned storage; no output ordering is imposed.
+// RunLabeled executes jobs 0..n-1 on the resident worker pool and blocks
+// until they finish or fail. The label names the batch in progress
+// reporting (e.g. "storage sweep: MCB" or "capacity grid c=10"), making
+// long experiment campaigns legible. Once any job returns an error no
+// further jobs start (jobs already running complete), and the call returns
+// the error of the lowest-indexed failed job. Jobs must write their results
+// by index into caller-owned storage; no output ordering is imposed.
 func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -217,21 +330,11 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 		}
 	}
 
-	// runJob executes one job under the executor-wide worker semaphore, so
-	// the Workers bound holds even when batches overlap.
-	runJob := func(i int) error {
-		e.slots <- struct{}{}
-		defer func() { <-e.slots }()
-		return job(i)
-	}
-
-	w := e.workers
-	if w > n {
-		w = n
-	}
-	if w == 1 {
+	// Workers: 1 is the serial reference ordering; it runs inline with no
+	// pool (and no other goroutine can exist to share the bound with).
+	if e.workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := runJob(i); err != nil {
+			if err := job(i); err != nil {
 				abort()
 				return err
 			}
@@ -240,41 +343,22 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 		return nil
 	}
 
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-		errMu  sync.Mutex
-		errIdx = -1
-		errVal error
-	)
-	for range w {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := runJob(i); err != nil {
-					errMu.Lock()
-					if errIdx < 0 || i < errIdx {
-						errIdx, errVal = i, err
-					}
-					errMu.Unlock()
-					failed.Store(true)
-					return
-				}
-				report()
-			}
-		}()
+	b := &poolBatch{job: job, report: report, errIdx: -1}
+	pool := e.ensurePool()
+	// Feed one task per index into the pool's queue: only the resident
+	// workers execute tasks, so the worker count bounds concurrency across
+	// overlapping batches, and the FIFO queue interleaves their jobs fairly.
+	// On failure stop feeding; tasks already queued or handed to workers
+	// check the failed flag before running.
+	for i := 0; i < n && !b.failed.Load(); i++ {
+		b.wg.Add(1)
+		pool.tasks <- poolTask{b, i}
 	}
-	wg.Wait()
-	if errVal != nil {
+	b.wg.Wait()
+	if b.errVal != nil {
 		abort()
 	}
-	return errVal
+	return b.errVal
 }
 
 // Progress feeds one externally sequenced unit of work to the executor's
@@ -361,7 +445,7 @@ func Memo[T any](e *Executor, key Key, fn func() (T, error)) (T, error) {
 	return t, nil
 }
 
-// Stats summarises the executor's memoization activity.
+// Stats summarises the executor's memoization and worker-pool activity.
 type Stats struct {
 	// Computed is the number of distinct computations executed via Do.
 	Computed int
@@ -371,14 +455,26 @@ type Stats struct {
 	DiskHits int
 	// Persisted is the number of computed results written to the store.
 	Persisted int
+	// WorkerSpawns is the number of resident worker goroutines spawned over
+	// the executor's lifetime: Workers per pool creation, so it stays at
+	// Workers for a whole campaign unless Close intervenes.
+	WorkerSpawns int
+	// GroupReuses is the number of parallel batches dispatched onto an
+	// already-resident pool — every batch after a campaign's first that did
+	// not pay worker spawning.
+	GroupReuses int
 }
 
-// Stats returns a snapshot of the memoization counters.
+// Stats returns a snapshot of the memoization and pool counters.
 func (e *Executor) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return Stats{Computed: e.computed, Hits: e.hits,
+	st := Stats{Computed: e.computed, Hits: e.hits,
 		DiskHits: e.diskHits, Persisted: e.persisted}
+	e.mu.Unlock()
+	e.poolMu.Lock()
+	st.WorkerSpawns, st.GroupReuses = e.spawns, e.reuses
+	e.poolMu.Unlock()
+	return st
 }
 
 // StderrProgress returns a Progress callback that renders a per-batch

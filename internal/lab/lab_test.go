@@ -263,6 +263,140 @@ func TestRunEmptyBatch(t *testing.T) {
 	}
 }
 
+// TestPoolPersistsAcrossBatches pins the resident-pool contract: a campaign
+// of many batches spawns its worker goroutines once, and every later batch
+// is a pool reuse.
+func TestPoolPersistsAcrossBatches(t *testing.T) {
+	const workers, batches = 4, 25
+	e := New(Config{Workers: workers})
+	defer e.Close()
+	for b := 0; b < batches; b++ {
+		out := make([]int, 10)
+		if err := e.Run(len(out), func(i int) error {
+			out[i] = i + b
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i+b {
+				t.Fatalf("batch %d: out[%d] = %d", b, i, v)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.WorkerSpawns != workers {
+		t.Fatalf("spawned %d workers over %d batches, want %d once", st.WorkerSpawns, batches, workers)
+	}
+	if st.GroupReuses != batches-1 {
+		t.Fatalf("pool reuses = %d, want %d", st.GroupReuses, batches-1)
+	}
+}
+
+// TestSerialExecutorNeverSpawns pins that Workers: 1 — the deterministic
+// reference ordering — stays a pure inline loop with no resident state, so
+// Close is optional for it.
+func TestSerialExecutorNeverSpawns(t *testing.T) {
+	e := New(Config{Workers: 1})
+	for b := 0; b < 5; b++ {
+		if err := e.Run(4, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.WorkerSpawns != 0 || st.GroupReuses != 0 {
+		t.Fatalf("serial executor touched the pool: %+v", st)
+	}
+	e.Close() // harmless
+}
+
+// TestCloseWhileIdle exercises the Close contract between batches: it is
+// idempotent, safe before any batch ever ran, releases the resident
+// workers, and a later batch transparently respawns them.
+func TestCloseWhileIdle(t *testing.T) {
+	New(Config{Workers: 3}).Close() // pool never spawned
+
+	e := New(Config{Workers: 3})
+	if err := e.Run(6, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if st := e.Stats(); st.WorkerSpawns != 3 {
+		t.Fatalf("spawns after close = %d", st.WorkerSpawns)
+	}
+	// The pool respawns lazily after Close.
+	out := make([]int, 6)
+	if err := e.Run(len(out), func(i int) error { out[i] = i + 1; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("post-close batch: out[%d] = %d", i, v)
+		}
+	}
+	if st := e.Stats(); st.WorkerSpawns != 6 {
+		t.Fatalf("respawn generation missing: spawns = %d, want 6", st.WorkerSpawns)
+	}
+	e.Close()
+}
+
+// TestInterleavedBatchesShareResidentPool is the -race coverage for pool
+// reuse across interleaved Run/RunLabeled calls from concurrent goroutines:
+// one spawn generation serves them all, the Workers bound holds, and every
+// job of every batch runs exactly once.
+func TestInterleavedBatchesShareResidentPool(t *testing.T) {
+	const workers, callers, batchesPer, jobs = 3, 5, 8, 12
+	e := New(Config{Workers: workers})
+	defer e.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	results := make([][][]int, callers)
+	for c := 0; c < callers; c++ {
+		results[c] = make([][]int, batchesPer)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for b := 0; b < batchesPer; b++ {
+				out := make([]int, jobs)
+				results[c][b] = out
+				label := fmt.Sprintf("caller %d batch %d", c, b)
+				err := e.RunLabeled(label, jobs, func(i int) error {
+					n := cur.Add(1)
+					for {
+						p := peak.Load()
+						if n <= p || peak.CompareAndSwap(p, n) {
+							break
+						}
+					}
+					out[i] = c<<16 | b<<8 | i
+					cur.Add(-1)
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d resident workers", p, workers)
+	}
+	for c := range results {
+		for b, out := range results[c] {
+			for i, v := range out {
+				if v != c<<16|b<<8|i {
+					t.Fatalf("caller %d batch %d job %d = %#x", c, b, i, v)
+				}
+			}
+		}
+	}
+	if st := e.Stats(); st.WorkerSpawns != workers || st.GroupReuses != callers*batchesPer-1 {
+		t.Fatalf("pool stats across interleaved batches = %+v", st)
+	}
+}
+
 func TestRunLabeledReportsLabel(t *testing.T) {
 	var mu sync.Mutex
 	var labels []string

@@ -195,26 +195,9 @@ func (h *Hierarchy) Tracer() func(core int, line Line, level Level) { return h.t
 // fully emergent: the shared L3's replacement state and the bus queue are
 // mutated in place.
 func (h *Hierarchy) Access(core int, addr Addr, now units.Cycles, write bool) (Level, units.Cycles) {
-	level, lat := h.access(core, addr, now, write)
-	ctr := &h.PerCore[core]
-	if write {
-		ctr.Stores++
-	} else {
-		ctr.Loads++
-	}
-	switch level {
-	case LevelL1:
-		ctr.L1Hits++
-	case LevelL2:
-		ctr.L2Hits++
-	case LevelL3:
-		ctr.L3Hits++
-	default:
-		ctr.MemAccs++
-	}
-	if h.tracer != nil {
-		h.tracer(core, LineOf(addr, h.lineSize), level)
-	}
+	var t Tally
+	level, lat := h.AccessTallied(core, addr, now, write, &t)
+	t.flushInto(&h.PerCore[core])
 	return level, lat
 }
 
@@ -226,134 +209,156 @@ type BatchOp struct {
 	Compute units.Cycles
 }
 
-// tally accumulates demand counters across one batch so the per-access hot
-// path touches only registers; flush folds it into PerCore exactly once.
-type tally struct {
-	loads, stores       int64
-	l1, l2, l3, memAccs int64
+// Tally accumulates demand counters across any number of accesses so the
+// per-access hot path performs two branch-free array increments instead of
+// a data-dependent switch and six read-modify-writes on the shared PerCore
+// block; FlushTally folds it into PerCore. The engine keeps one Tally per
+// core context and flushes it at workload step end, so PerCore is exact at
+// every scheduling boundary (and therefore whenever anything outside a
+// running step — ResetStats, measurement reads, golden snapshots — looks).
+type Tally struct {
+	ops [2]int64 // accesses indexed by write (0 = loads, 1 = stores)
+	lvl [4]int64 // accesses indexed by service Level
 }
 
-func (t *tally) count(level Level, write bool) {
+// Count records one demand access served at level. The service levels are
+// contiguous small integers, so both increments compile branch-free — the
+// level switch this replaces mispredicts heavily on random-access (CSThr,
+// pointer-chase) mixtures whose service level is essentially random.
+func (t *Tally) Count(level Level, write bool) {
+	w := 0
 	if write {
-		t.stores++
-	} else {
-		t.loads++
+		w = 1
 	}
-	switch level {
-	case LevelL1:
-		t.l1++
-	case LevelL2:
-		t.l2++
-	case LevelL3:
-		t.l3++
-	default:
-		t.memAccs++
-	}
+	t.ops[w]++
+	t.lvl[level]++
 }
 
-func (t *tally) flush(ctr *CoreCounters) {
-	ctr.Loads += t.loads
-	ctr.Stores += t.stores
-	ctr.L1Hits += t.l1
-	ctr.L2Hits += t.l2
-	ctr.L3Hits += t.l3
-	ctr.MemAccs += t.memAccs
+// Empty reports whether the tally holds no pending counts.
+func (t *Tally) Empty() bool { return t.ops[0]|t.ops[1] == 0 }
+
+// flushInto adds the pending counts to ctr and clears the tally.
+func (t *Tally) flushInto(ctr *CoreCounters) {
+	ctr.Loads += t.ops[0]
+	ctr.Stores += t.ops[1]
+	ctr.L1Hits += t.lvl[LevelL1]
+	ctr.L2Hits += t.lvl[LevelL2]
+	ctr.L3Hits += t.lvl[LevelL3]
+	ctr.MemAccs += t.lvl[LevelMem]
+	*t = Tally{}
+}
+
+// FlushTally folds t's pending demand counts into core's PerCore block and
+// clears t. An empty tally is a cheap no-op, so callers may flush
+// unconditionally at step boundaries.
+func (h *Hierarchy) FlushTally(core int, t *Tally) {
+	if t.Empty() {
+		return
+	}
+	t.flushInto(&h.PerCore[core])
+}
+
+// AccessTallied is Access with the demand counters deferred into t instead
+// of written to PerCore — the per-access entry point of the engine's
+// unbatchable paths (single loads/stores, MSHR-overlapped loads). Latency,
+// bus-attributed counters and the tracer hook behave identically; the
+// PerCore totals are identical once t is flushed.
+func (h *Hierarchy) AccessTallied(core int, addr Addr, now units.Cycles, write bool, t *Tally) (Level, units.Cycles) {
+	level, lat := h.access(core, addr, now, write)
+	t.Count(level, write)
+	if h.tracer != nil {
+		h.tracer(core, Line(addr>>h.lineShift), level)
+	}
+	return level, lat
 }
 
 // AccessBatch issues ops in order as blocking accesses starting at now and
 // returns the clock after the last op's access and compute. Counters are
-// identical to issuing each op through Access; they are accumulated locally
-// and flushed once per batch, and the tracer branch is resolved once per
-// batch instead of per access.
-func (h *Hierarchy) AccessBatch(core int, now units.Cycles, ops []BatchOp) units.Cycles {
+// identical to issuing each op through Access, accumulated into the
+// caller's tally (flushed by the caller, e.g. at engine step end); the
+// tracer hook is resolved once per batch instead of per access.
+func (h *Hierarchy) AccessBatch(core int, now units.Cycles, ops []BatchOp, t *Tally) units.Cycles {
 	if h.tracer != nil {
 		for _, op := range ops {
 			if op.Compute < 0 {
 				panic("mem: negative compute in batch op")
 			}
-			_, lat := h.Access(core, op.Addr, now, op.Write)
+			_, lat := h.AccessTallied(core, op.Addr, now, op.Write, t)
 			now += lat + op.Compute
 		}
 		return now
 	}
-	var t tally
 	for _, op := range ops {
 		if op.Compute < 0 {
 			panic("mem: negative compute in batch op")
 		}
 		level, lat := h.access(core, op.Addr, now, op.Write)
-		t.count(level, op.Write)
+		t.Count(level, op.Write)
 		now += lat + op.Compute
 	}
-	t.flush(&h.PerCore[core])
 	return now
 }
 
 // LoadBatch issues blocking loads of addrs in order, spending computePer
 // cycles after each, and returns the final clock. Counter-identical to the
-// equivalent Access sequence.
-func (h *Hierarchy) LoadBatch(core int, now units.Cycles, addrs []Addr, computePer units.Cycles) units.Cycles {
+// equivalent Access sequence once t is flushed.
+func (h *Hierarchy) LoadBatch(core int, now units.Cycles, addrs []Addr, computePer units.Cycles, t *Tally) units.Cycles {
 	if h.tracer != nil {
 		for _, a := range addrs {
-			_, lat := h.Access(core, a, now, false)
+			_, lat := h.AccessTallied(core, a, now, false, t)
 			now += lat + computePer
 		}
 		return now
 	}
-	var t tally
 	for _, a := range addrs {
 		level, lat := h.access(core, a, now, false)
-		t.count(level, false)
+		t.Count(level, false)
 		now += lat + computePer
 	}
-	t.flush(&h.PerCore[core])
 	return now
 }
 
 // StoreBatch issues blocking stores of addrs in order and returns the final
-// clock. Counter-identical to the equivalent Access sequence.
-func (h *Hierarchy) StoreBatch(core int, now units.Cycles, addrs []Addr) units.Cycles {
+// clock. Counter-identical to the equivalent Access sequence once t is
+// flushed.
+func (h *Hierarchy) StoreBatch(core int, now units.Cycles, addrs []Addr, t *Tally) units.Cycles {
 	if h.tracer != nil {
 		for _, a := range addrs {
-			_, lat := h.Access(core, a, now, true)
+			_, lat := h.AccessTallied(core, a, now, true, t)
 			now += lat
 		}
 		return now
 	}
-	var t tally
 	for _, a := range addrs {
 		level, lat := h.access(core, a, now, true)
-		t.count(level, true)
+		t.Count(level, true)
 		now += lat
 	}
-	t.flush(&h.PerCore[core])
 	return now
 }
 
 // RMWBatch issues a load, compute cycles, then a store for each addr in
 // order — the read-modify-write triple of CSThr and tally-style kernels —
 // and returns the final clock. Counter-identical to the equivalent Access
-// sequence.
-func (h *Hierarchy) RMWBatch(core int, now units.Cycles, addrs []Addr, compute units.Cycles) units.Cycles {
+// sequence once t is flushed.
+func (h *Hierarchy) RMWBatch(core int, now units.Cycles, addrs []Addr, compute units.Cycles, t *Tally) units.Cycles {
 	if h.tracer != nil {
 		for _, a := range addrs {
-			_, lat := h.Access(core, a, now, false)
+			_, lat := h.AccessTallied(core, a, now, false, t)
 			now += lat + compute
-			_, lat = h.Access(core, a, now, true)
+			_, lat = h.AccessTallied(core, a, now, true, t)
 			now += lat
 		}
 		return now
 	}
-	var t tally
 	for _, a := range addrs {
 		level, lat := h.access(core, a, now, false)
-		t.count(level, false)
+		t.Count(level, false)
 		now += lat + compute
 		level, lat = h.access(core, a, now, true)
-		t.count(level, true)
+		t.Count(level, true)
 		now += lat
 	}
-	t.flush(&h.PerCore[core])
 	return now
 }
 
@@ -541,6 +546,11 @@ type inflightTable struct {
 	lines []Line // power-of-two slots; InvalidLine = empty
 	ready []units.Cycles
 	n     int
+	// filt holds exact per-(line&255) entry counts: a zero proves the line
+	// is absent, so the contains/take probes on every L2/L3 hit usually
+	// exit on one byte load instead of walking the hash chain (the table
+	// holds a handful of entries against 256 filter slots).
+	filt [256]uint16
 }
 
 func (t *inflightTable) init(slots int) {
@@ -550,6 +560,7 @@ func (t *inflightTable) init(slots int) {
 		t.lines[i] = InvalidLine
 	}
 	t.n = 0
+	t.filt = [256]uint16{}
 }
 
 // home returns line's preferred slot.
@@ -561,7 +572,7 @@ func (t *inflightTable) home(l Line) int {
 
 // contains reports whether l is pending.
 func (t *inflightTable) contains(l Line) bool {
-	if t.n == 0 {
+	if t.filt[l&255] == 0 {
 		return false
 	}
 	mask := len(t.lines) - 1
@@ -588,17 +599,22 @@ func (t *inflightTable) put(l Line, ready units.Cycles) {
 	}
 	t.lines[i] = l
 	t.ready[i] = ready
+	t.filt[l&255]++
 	t.n++
 }
 
 // take removes l if present, returning its ready time.
 func (t *inflightTable) take(l Line) (units.Cycles, bool) {
+	if t.filt[l&255] == 0 {
+		return 0, false
+	}
 	mask := len(t.lines) - 1
 	for i := t.home(l); ; i = (i + 1) & mask {
 		switch t.lines[i] {
 		case l:
 			r := t.ready[i]
 			t.deleteSlot(i)
+			t.filt[l&255]--
 			t.n--
 			return r, true
 		case InvalidLine:

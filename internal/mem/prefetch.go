@@ -89,7 +89,10 @@ const (
 // nearest-stream scan — run on every L1 demand miss — is served by a
 // bucketed index over lastLine for the default 32-stream configuration, so
 // a random-access (CSThr-style) miss probes three small hash buckets
-// instead of scanning every stream.
+// instead of scanning every stream; stream allocation takes its LRU victim
+// from a lazily repaired sorted victim queue in O(1) amortised instead of
+// scanning every slot's stamp, with identical (stamp, slot) victim order
+// and zero bookkeeping on the (hot) stream-match path.
 type Prefetcher struct {
 	cfg       PrefetchConfig
 	lastLine  []int64 // last-missed lines; pfInactive = unallocated
@@ -101,6 +104,20 @@ type Prefetcher struct {
 	ix        *streamIndex // nil → linear nearest scan
 	scratch   [8]Line
 
+	// Lazily repaired victim queue: vq[vqPos:] holds packed (stamp << 8 |
+	// slot) keys sorted ascending as of the last rebuild. Between explicit
+	// invalidations stamps only grow, so a queue entry whose slot still
+	// carries its snapshot stamp is untouched and provably precedes every
+	// touched slot — the first such entry IS the (stamp, slot) scan victim,
+	// ties included. Touches cost nothing here (the stamp write itself
+	// stales the entry); allocation pays one equality check, skipping stale
+	// entries and re-sorting only when the queue drains, so victim selection
+	// is O(1) amortised instead of an O(Streams) scan per allocation.
+	// victimScan forces the linear reference scan (tests).
+	vq         []int64
+	vqPos      int
+	victimScan bool
+
 	// Issued counts prefetch candidates emitted (before cache/bus filtering).
 	Issued int64
 }
@@ -109,6 +126,13 @@ type Prefetcher struct {
 // (the errors of PrefetchConfig.Validate — machine construction is
 // programmer error territory, matching NewCache). A disabled config yields
 // a prefetcher whose Observe always returns nil.
+//
+// The victim queue initialised here interacts with the uint32 stamp rebase:
+// a renumbering pass rewrites lastUse by dense rank in exactly the queue's
+// snapshot key order, so victim selection is stable across arbitrarily many
+// rebases; because the rewrite is non-monotonic in stamp VALUES, renumber
+// additionally drains the queue so the next allocation re-sorts under the
+// new ranks rather than trusting pre-rebase snapshots.
 func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -119,6 +143,8 @@ func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
 		p.lastUse = make([]uint32, cfg.Streams)
 		p.stride = make([]int32, cfg.Streams)
 		p.hits = make([]uint8, cfg.Streams)
+		p.vq = make([]int64, cfg.Streams)
+		p.vqPos = cfg.Streams // empty: the first allocation rebuilds
 		for i := range p.lastLine {
 			p.lastLine[i] = pfInactive
 		}
@@ -127,6 +153,32 @@ func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
 		}
 	}
 	return p
+}
+
+// vqInvalidate drains the victim queue so the next allocation re-sorts. It
+// must run whenever stamps are rewritten non-monotonically — renumbering
+// and Reset — because the queue's stale-entry skip is only sound while
+// stamps grow.
+func (p *Prefetcher) vqInvalidate() { p.vqPos = len(p.vq) }
+
+// vqRebuild snapshots every slot's packed (stamp << 8 | slot) key in
+// ascending order — the exact victim-scan order, ties included. Insertion
+// sort: the queue holds at most 256 entries, usually 32, where it beats
+// the generic sort's dispatch overhead.
+func (p *Prefetcher) vqRebuild() {
+	q := p.vq[:len(p.lastUse)]
+	for i, lu := range p.lastUse {
+		q[i] = int64(lu)<<8 | int64(i)
+	}
+	for i := 1; i < len(q); i++ {
+		k := q[i]
+		j := i
+		for ; j > 0 && q[j-1] > k; j-- {
+			q[j] = q[j-1]
+		}
+		q[j] = k
+	}
+	p.vqPos = 0
 }
 
 // Config returns the prefetcher configuration.
@@ -142,9 +194,13 @@ func (p *Prefetcher) tick() {
 }
 
 // renumber compacts the stream recency stamps order-preservingly: slots are
-// ranked by (stamp, slot) — exactly the key the LRU allocation scan
-// minimises — so every future victim choice is unchanged while the sequence
-// counter restarts just above the stream count.
+// ranked by (stamp, slot) — exactly the key lruVictimScan minimises and the
+// victim queue snapshots — so every future victim choice is unchanged while
+// the sequence counter restarts just above the stream count. Renumbering
+// rewrites stamps non-monotonically (values shrink), which would break the
+// queue's stale-entry reasoning, so the queue is drained here and re-sorts
+// on the next allocation — by the new dense ranks, whose order is identical
+// (asserted by TestPrefetcherRenumberPreservesVictimOrder).
 func (p *Prefetcher) renumber() {
 	p.renumbers++
 	order := make([]int, len(p.lastUse))
@@ -162,6 +218,7 @@ func (p *Prefetcher) renumber() {
 		p.lastUse[s] = uint32(r) + 1
 	}
 	p.seq = uint32(len(p.lastUse))
+	p.vqInvalidate()
 }
 
 // Observe trains on a demand-missed line and returns the lines to prefetch
@@ -183,7 +240,7 @@ func (p *Prefetcher) Observe(line Line) []Line {
 	}
 	if bestDelta <= p.cfg.Window {
 		delta := int64(line) - p.lastLine[best]
-		p.lastUse[best] = p.seq
+		p.lastUse[best] = p.seq // stales best's victim-queue entry, if any
 		if delta == 0 {
 			return nil
 		}
@@ -217,7 +274,7 @@ func (p *Prefetcher) Observe(line Line) []Line {
 		p.ix.add(victim, int64(line))
 	}
 	p.lastLine[victim] = int64(line)
-	p.lastUse[victim] = p.seq
+	p.lastUse[victim] = p.seq // stales the victim's queue entry
 	p.stride[victim] = 0
 	p.hits[victim] = 0
 	return nil
@@ -269,8 +326,32 @@ func (p *Prefetcher) nearestIndexed(line int64) (best int, bestDelta int64) {
 }
 
 // lruVictim returns the least recently used stream slot (first index wins
-// ties), as a branch-free packed (stamp, slot) minimum.
+// ties): the first victim-queue entry whose slot still carries its snapshot
+// stamp. Entries whose stamp moved were touched after the snapshot, so they
+// rank behind every untouched entry (stamps only grow between queue
+// invalidations); a drained queue re-sorts. The caller stamps the returned
+// victim, staling its entry for the next call. The O(Streams) packed-minimum
+// scan survives as lruVictimScan, the reference the lockstep fuzz test
+// forces via victimScan.
 func (p *Prefetcher) lruVictim() int {
+	if p.victimScan {
+		return p.lruVictimScan()
+	}
+	for p.vqPos < len(p.vq) {
+		k := p.vq[p.vqPos]
+		s := int(k & 255)
+		if int64(p.lastUse[s])<<8|int64(s) == k {
+			return s
+		}
+		p.vqPos++ // stale: touched since the snapshot
+	}
+	p.vqRebuild()
+	return int(p.vq[0] & 255)
+}
+
+// lruVictimScan is the branch-free packed (stamp, slot) minimum over every
+// stream slot — the pre-list victim selection, kept as the fuzz reference.
+func (p *Prefetcher) lruVictimScan() int {
 	bestKey := int64(math.MaxInt64)
 	for i, lu := range p.lastUse {
 		k := int64(lu)<<8 | int64(i)
@@ -312,6 +393,7 @@ func (p *Prefetcher) Reset() {
 		p.hits[i] = 0
 	}
 	p.seq = 0
+	p.vqInvalidate() // stamps were rewritten to zero: snapshots are void
 	if p.ix != nil {
 		p.ix.reset()
 	}

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"fmt"
 	"testing"
 
 	"activemem/internal/xrand"
@@ -306,6 +307,143 @@ func TestPrefetcherStampRebase(t *testing.T) {
 	}
 	if a.renumbers < 5 {
 		t.Fatalf("renumbers = %d, want several", a.renumbers)
+	}
+}
+
+// assertVictimQueueExact checks the victim-queue invariants everything
+// rests on: the pending entries are sorted ascending by their packed
+// (stamp, slot) snapshot keys, and the victim the queue yields is exactly
+// the slot the linear (stamp, slot) scan would select. lruVictim may
+// lazily skip stale entries or re-sort, so calling it here mutates only
+// repair state, never the choice.
+func assertVictimQueueExact(t *testing.T, p *Prefetcher, ctx string) {
+	t.Helper()
+	for i := p.vqPos + 1; i < len(p.vq); i++ {
+		if p.vq[i-1] >= p.vq[i] {
+			t.Fatalf("%s: victim queue not strictly sorted at %d: %#x >= %#x",
+				ctx, i, p.vq[i-1], p.vq[i])
+		}
+	}
+	if got, want := p.lruVictim(), p.lruVictimScan(); got != want {
+		t.Fatalf("%s: queue victim %d (stamp %d) differs from scan victim %d (stamp %d)",
+			ctx, got, p.lastUse[got], want, p.lastUse[want])
+	}
+}
+
+// TestPrefetcherVictimQueueMatchesScan is the lockstep fuzz for the
+// O(1)-amortised allocation structure: a queue-victim prefetcher and a twin
+// forced onto the linear (stamp, slot) victim scan consume an adversarial
+// mixture (random allocation storms, stream matches, retrains, forced stamp
+// rebases, resets) and must emit identical candidates and hold identical
+// stream state, while the queue's pending entries stay sorted by exactly
+// the scan's key and always yield the scan's victim.
+func TestPrefetcherVictimQueueMatchesScan(t *testing.T) {
+	for _, streams := range []int{1, 4, 8, 32, 64, 256} {
+		cfg := PrefetchConfig{Enabled: true, Streams: streams, Degree: 2, Window: 256, MaxLag: 4}
+		a := NewPrefetcher(cfg)
+		b := NewPrefetcher(cfg)
+		b.victimScan = true // the linear reference twin
+		r := xrand.New(uint64(streams)*31 + 7)
+		var cursor int64 = 1 << 20
+		for i := 0; i < 120_000; i++ {
+			if i%30_000 == 17_000 {
+				a.seq = ^uint32(0) - 2 // force a rebase in both twins...
+				b.seq = ^uint32(0) - 2 // ...so stamps stay comparable
+			}
+			if i%50_000 == 49_999 {
+				a.Reset()
+				b.Reset()
+			}
+			var line Line
+			switch r.Intn(4) {
+			case 0:
+				line = Line(r.Intn(1 << 26)) // far random: allocation storm
+			case 1:
+				cursor += int64(r.Intn(32)) // drifting stream: match path
+				line = Line(cursor)
+			case 2:
+				line = Line(1<<24 + int64(r.Intn(streams*512))) // clustered contention
+			default:
+				line = Line(100_000 * int64(r.Intn(streams+2))) // slot-count regions
+			}
+			ga := append([]Line(nil), a.Observe(line)...)
+			gb := append([]Line(nil), b.Observe(line)...)
+			if len(ga) != len(gb) {
+				t.Fatalf("streams=%d op %d line %d: emitted %v, scan reference %v", streams, i, line, ga, gb)
+			}
+			for j := range ga {
+				if ga[j] != gb[j] {
+					t.Fatalf("streams=%d op %d line %d: emitted %v, scan reference %v", streams, i, line, ga, gb)
+				}
+			}
+			if i%2048 == 0 {
+				comparePrefetcherState(t, a, b, streams, i)
+				assertVictimQueueExact(t, a, fmt.Sprintf("streams=%d op %d", streams, i))
+			}
+		}
+		comparePrefetcherState(t, a, b, streams, -1)
+		assertVictimQueueExact(t, a, fmt.Sprintf("streams=%d final", streams))
+	}
+}
+
+// TestPrefetcherRenumberPreservesVictimOrder pins the rebase interaction
+// the renumber docs promise: a renumbering pass rewrites the stamps by
+// dense rank in exactly the victim queue's snapshot key order, drains the
+// queue (its pre-rebase snapshots are void once stamps shrink), and the
+// re-sorted queue continues the identical victim sequence.
+func TestPrefetcherRenumberPreservesVictimOrder(t *testing.T) {
+	cfg := PrefetchConfig{Enabled: true, Streams: 8, Degree: 2, Window: 64, MaxLag: 4}
+	p := NewPrefetcher(cfg)
+	r := xrand.New(5)
+	for i := 0; i < 10_000; i++ {
+		p.Observe(Line(r.Intn(1 << 22)))
+	}
+	// The full eviction order before the rebase: slots by (stamp, slot).
+	order := func() []int {
+		type sl struct {
+			stamp uint32
+			slot  int
+		}
+		all := make([]sl, len(p.lastUse))
+		for s, lu := range p.lastUse {
+			all[s] = sl{lu, s}
+		}
+		out := make([]int, 0, len(all))
+		for len(out) < len(p.lastUse) {
+			best := -1
+			for _, c := range all {
+				if c.slot < 0 {
+					continue
+				}
+				if best < 0 || c.stamp < all[best].stamp ||
+					(c.stamp == all[best].stamp && c.slot < all[best].slot) {
+					best = c.slot
+				}
+			}
+			out = append(out, best)
+			all[best].slot = -1
+		}
+		return out
+	}
+	before := order()
+	p.renumber()
+	if p.vqPos != len(p.vq) {
+		t.Fatalf("renumber left %d victim-queue snapshots live", len(p.vq)-p.vqPos)
+	}
+	after := order()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("renumber reordered eviction: %v -> %v", before, after)
+		}
+		// Dense ranks: the i-th slot in eviction order carries stamp i+1.
+		if p.lastUse[after[i]] != uint32(i)+1 {
+			t.Fatalf("renumbered stamp of eviction-order slot %d = %d, want %d",
+				after[i], p.lastUse[after[i]], i+1)
+		}
+	}
+	assertVictimQueueExact(t, p, "after renumber")
+	if p.seq != uint32(cfg.Streams) {
+		t.Fatalf("seq after renumber = %d, want %d", p.seq, cfg.Streams)
 	}
 }
 
