@@ -9,7 +9,7 @@
 //	activemem [-workload uniform|norm4|norm8|exp4|pchase] [-buf BYTES]
 //	          [-compute N] [-scale N] [-threshold F] [-j N] [-progress]
 //	          [-predict-l3 MB] [-predict-bw GBS] [-seed N]
-//	          [-cache-dir DIR] [-knee F] [-knee-patience M]
+//	          [-cache-dir DIR] [-cache-mem BYTES] [-knee F] [-knee-patience M]
 //
 // -knee switches the interference sweeps to adaptive mode: levels run in
 // ascending order and stop once the slowdown exceeds the given threshold
@@ -59,6 +59,8 @@ func main() {
 		progress  = flag.Bool("progress", false, "report per-batch experiment progress on stderr")
 		cacheDir  = flag.String("cache-dir", os.Getenv("ACTIVEMEM_CACHE_DIR"),
 			"persist results to this on-disk store and resume from it (default $ACTIVEMEM_CACHE_DIR)")
+		cacheMem = flag.Int64("cache-mem", -1,
+			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 		knee     = flag.Float64("knee", 0, "adaptive sweeps: stop past this slowdown threshold (0 = measure every level)")
 		patience = flag.Int("knee-patience", 2, "consecutive over-threshold levels that stop an adaptive sweep")
 	)
@@ -73,7 +75,10 @@ func main() {
 		*knee = *threshold
 	}
 
-	cache, err := lab.OpenCache(*cacheDir)
+	if *cacheMem < 0 {
+		*cacheMem = lab.HotBytesFromEnv()
+	}
+	cache, err := lab.OpenCacheSized(*cacheDir, *cacheMem)
 	check(err)
 	if cache != nil {
 		defer cache.Close()

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	appstudy [-app mcb|lulesh|both] [-scale N] [-grid smoke|quick|paper]
-//	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR]
+//	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR] [-cache-mem BYTES]
 //
 // The default -scale 8 runs a 1/8-geometry Xeon20MB with proportionally
 // scaled inputs (see DESIGN.md); the printed profiles include the ×scale
@@ -38,6 +38,8 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "also write each table as CSV into this directory")
 		cacheDir = flag.String("cache-dir", os.Getenv("ACTIVEMEM_CACHE_DIR"),
 			"persist results to this on-disk store and resume from it (default $ACTIVEMEM_CACHE_DIR)")
+		cacheMem = flag.Int64("cache-mem", -1,
+			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,10 @@ func main() {
 	// shared baselines and the p=1 sweeps repeated by the size panels; the
 	// optional disk tier shares them across runs (e.g. with cmd/validate's
 	// calibrations) and machines.
-	cache, err := lab.OpenCache(*cacheDir)
+	if *cacheMem < 0 {
+		*cacheMem = lab.HotBytesFromEnv()
+	}
+	cache, err := lab.OpenCacheSized(*cacheDir, *cacheMem)
 	check(err)
 	if cache != nil {
 		defer cache.Close()

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	validate [-scale N] [-grid smoke|quick|paper] [-fig all|table1,table2,3a,5,6,7,8]
-//	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR]
+//	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR] [-cache-mem BYTES]
 //
 // The default -scale 1 runs the full Xeon20MB geometry. -grid paper runs
 // the paper's complete 660-configuration synthetic grid (slow at scale 1).
@@ -41,13 +41,18 @@ func main() {
 		csvdir   = flag.String("csvdir", "", "also write each table as CSV into this directory")
 		cacheDir = flag.String("cache-dir", os.Getenv("ACTIVEMEM_CACHE_DIR"),
 			"persist results to this on-disk store and resume from it (default $ACTIVEMEM_CACHE_DIR)")
+		cacheMem = flag.Int64("cache-mem", -1,
+			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 	)
 	flag.Parse()
 
 	// One executor for every figure: its memo cache deduplicates identical
 	// cells across figures (Fig. 5's grid is the k=0 slice of Fig. 6's),
 	// and the optional disk tier shares them across runs and machines.
-	cache, err := lab.OpenCache(*cacheDir)
+	if *cacheMem < 0 {
+		*cacheMem = lab.HotBytesFromEnv()
+	}
+	cache, err := lab.OpenCacheSized(*cacheDir, *cacheMem)
 	check(err)
 	if cache != nil {
 		defer cache.Close()

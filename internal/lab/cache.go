@@ -1,7 +1,8 @@
 // The executor's persistent cache tier. The in-memory memo (lab.go) makes
 // identical cells run once per process; attaching a store.Store makes them
-// run once per cache directory: Do consults memory, then disk, then
-// computes — and persists what it computed. Values cross the disk boundary
+// run once per cache directory: Do consults the in-process memo, then the
+// store's in-memory hot set (decoded values, no segment read), then disk,
+// then computes — and persists what it computed. Values cross the disk boundary
 // through a registry of typed codecs, so every result struct that flows
 // through Memo (core.Metrics, cluster.Result, …) registers itself once and
 // round-trips exactly (gob preserves float64 bit patterns), keeping warm
@@ -14,7 +15,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
 	"reflect"
+	"strconv"
 	"sync"
 
 	"activemem/internal/store"
@@ -100,32 +103,41 @@ func init() {
 	RegisterResult[bool]("go.bool")
 }
 
-// cacheGet looks key up in the disk tier. Any failure — no cache, a miss,
-// an unregistered type name, a decode error — reports a miss and lets the
-// cell recompute. A record that decodes no longer (a payload encoding from
-// before an incompatible type change) is invalidated so the recomputed
-// result can replace it; an unknown type name is left alone, since a
-// different binary sharing the directory may still decode it.
-func (e *Executor) cacheGet(key Key) (any, bool) {
+// cacheGet looks key up in the cache tiers: the store's in-memory hot set
+// first — a hit there carries the already-decoded value, skipping both the
+// segment read and the gob decode — then the disk tier. Any failure — no
+// cache, a miss, an unregistered type name, a decode error — reports a
+// miss and lets the cell recompute. A record that decodes no longer (a
+// payload encoding from before an incompatible type change) is
+// invalidated so the recomputed result can replace it; an unknown type
+// name is left alone, since a different binary sharing the directory may
+// still decode it. The hot return distinguishes the tiers for Stats.
+func (e *Executor) cacheGet(key Key) (v any, hot, ok bool) {
 	if e.cache == nil {
-		return nil, false
+		return nil, false, false
+	}
+	if v, ok := e.cache.GetDecoded(string(key)); ok {
+		return v, true, true
 	}
 	typeName, payload, ok := e.cache.Get(string(key))
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
 	codecMu.RLock()
 	c := codecByName[typeName]
 	codecMu.RUnlock()
 	if c == nil {
-		return nil, false
+		return nil, false, false
 	}
 	v, err := c.decode(payload)
 	if err != nil {
 		e.cache.Invalidate(string(key))
-		return nil, false
+		return nil, false, false
 	}
-	return v, true
+	// Pay the decode once: attach the value so the hot set can serve the
+	// next Do for this key — from any executor on this store — directly.
+	e.cache.AddDecoded(string(key), v, int64(len(payload)))
+	return v, false, true
 }
 
 // cachePut persists a freshly computed result, reporting whether a record
@@ -148,22 +160,51 @@ func (e *Executor) cachePut(key Key, v any) bool {
 		return false
 	}
 	added, err := e.cache.Put(string(key), c.name, payload)
+	if err == nil {
+		e.cache.AddDecoded(string(key), v, int64(len(payload)))
+	}
 	return err == nil && added
 }
 
 // Cache returns the executor's disk tier, or nil.
 func (e *Executor) Cache() *store.Store { return e.cache }
 
+// DefaultHotBytes is the in-memory hot-set budget a cache opens with when
+// neither the ACTIVEMEM_CACHE_MEM environment variable nor an explicit
+// -cache-mem setting overrides it.
+const DefaultHotBytes = 64 << 20
+
+// HotBytesFromEnv resolves the hot-set budget from ACTIVEMEM_CACHE_MEM
+// (bytes; "0" disables the in-memory tier). Unset or unparsable values
+// fall back to DefaultHotBytes.
+func HotBytesFromEnv() int64 {
+	v := os.Getenv("ACTIVEMEM_CACHE_MEM")
+	if v == "" {
+		return DefaultHotBytes
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return DefaultHotBytes
+	}
+	return n
+}
+
 // OpenCache opens the persistent result store in dir under the current
 // ResultSchemaVersion — the one way the CLIs and the facade resolve a
 // -cache-dir / MeasureOptions.CacheDir setting, so the schema stamp can
-// never diverge between them. An empty dir returns (nil, nil): caching
-// disabled.
+// never diverge between them. The hot-set budget comes from
+// ACTIVEMEM_CACHE_MEM. An empty dir returns (nil, nil): caching disabled.
 func OpenCache(dir string) (*store.Store, error) {
+	return OpenCacheSized(dir, HotBytesFromEnv())
+}
+
+// OpenCacheSized is OpenCache with an explicit hot-set budget in bytes
+// (0 disables the in-memory tier), for the CLIs' -cache-mem flag.
+func OpenCacheSized(dir string, hotBytes int64) (*store.Store, error) {
 	if dir == "" {
 		return nil, nil
 	}
-	return store.Open(dir, store.Options{Schema: ResultSchemaVersion})
+	return store.Open(dir, store.Options{Schema: ResultSchemaVersion, HotBytes: hotBytes})
 }
 
 // CacheSummary renders the memo counters in the machine-readable form the
@@ -172,8 +213,8 @@ func OpenCache(dir string) (*store.Store, error) {
 // in-process memo, or served from disk.
 func (e *Executor) CacheSummary() string {
 	st := e.Stats()
-	return fmt.Sprintf("cache: computed=%d disk_hits=%d mem_hits=%d persisted=%d",
-		st.Computed, st.DiskHits, st.Hits, st.Persisted)
+	return fmt.Sprintf("cache: computed=%d disk_hits=%d hot_hits=%d mem_hits=%d persisted=%d",
+		st.Computed, st.DiskHits, st.HotHits, st.Hits, st.Persisted)
 }
 
 // PrintCacheSummary writes the cache epilogue every CLI prints to w, or

@@ -171,6 +171,7 @@ type Executor struct {
 	computed  int
 	hits      int
 	diskHits  int
+	hotHits   int
 	persisted int
 }
 
@@ -237,6 +238,13 @@ func New(cfg Config) *Executor {
 	w := cfg.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
+		// Floor the default at two: even a single-CPU host profits from a
+		// resident pool, because cells block on the disk tier (cache preads,
+		// segment fsyncs) and a second worker overlaps that wait with
+		// compute. An explicit Workers: 1 still means fully serial.
+		if w < 2 {
+			w = 2
+		}
 	}
 	return &Executor{workers: w,
 		progress: cfg.Progress, cache: cfg.Cache, memo: map[Key]*memoEntry{}}
@@ -395,11 +403,11 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 	}
 	e.mu.Unlock()
 
-	ran, fromDisk, wrote := false, false, false
+	ran, fromDisk, fromHot, wrote := false, false, false, false
 	ent.once.Do(func() {
-		if v, ok := e.cacheGet(key); ok {
+		if v, hot, ok := e.cacheGet(key); ok {
 			ent.value = v
-			fromDisk = true
+			fromDisk, fromHot = true, hot
 			return
 		}
 		ent.value, ent.err = fn()
@@ -416,6 +424,8 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 		if wrote {
 			e.persisted++
 		}
+	case fromHot:
+		e.hotHits++
 	case fromDisk:
 		e.diskHits++
 	default:
@@ -451,8 +461,13 @@ type Stats struct {
 	Computed int
 	// Hits is the number of Do calls served from the in-memory memo.
 	Hits int
-	// DiskHits is the number of Do calls served from the persistent store.
+	// DiskHits is the number of Do calls served from the persistent store
+	// (a segment read plus a decode).
 	DiskHits int
+	// HotHits is the number of Do calls served from the store's in-memory
+	// hot set with the decoded value already attached — no segment read, no
+	// decode.
+	HotHits int
 	// Persisted is the number of computed results written to the store.
 	Persisted int
 	// WorkerSpawns is the number of resident worker goroutines spawned over
@@ -469,7 +484,7 @@ type Stats struct {
 func (e *Executor) Stats() Stats {
 	e.mu.Lock()
 	st := Stats{Computed: e.computed, Hits: e.hits,
-		DiskHits: e.diskHits, Persisted: e.persisted}
+		DiskHits: e.diskHits, HotHits: e.hotHits, Persisted: e.persisted}
 	e.mu.Unlock()
 	e.poolMu.Lock()
 	st.WorkerSpawns, st.GroupReuses = e.spawns, e.reuses

@@ -3,6 +3,7 @@ package lab
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -87,11 +88,22 @@ func TestWorkersBoundHoldsAcrossBatches(t *testing.T) {
 }
 
 func TestRunDefaultsToGOMAXPROCS(t *testing.T) {
-	if w := New(Config{}).Workers(); w < 1 {
-		t.Fatalf("default workers = %d", w)
+	// The default is GOMAXPROCS floored at two: even on a single-CPU host
+	// the campaign gets a resident pool that overlaps cache I/O with
+	// compute.
+	want := runtime.GOMAXPROCS(0)
+	if want < 2 {
+		want = 2
 	}
-	if w := New(Config{Workers: -3}).Workers(); w < 1 {
-		t.Fatalf("negative workers resolved to %d", w)
+	if w := New(Config{}).Workers(); w != want {
+		t.Fatalf("default workers = %d, want %d", w, want)
+	}
+	if w := New(Config{Workers: -3}).Workers(); w != want {
+		t.Fatalf("negative workers resolved to %d, want %d", w, want)
+	}
+	// An explicit 1 is the serial reference ordering and must stay serial.
+	if w := New(Config{Workers: 1}).Workers(); w != 1 {
+		t.Fatalf("explicit Workers: 1 resolved to %d", w)
 	}
 }
 

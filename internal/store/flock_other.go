@@ -2,22 +2,28 @@
 
 package store
 
-import "sync"
+import (
+	"os"
+	"sync"
+)
 
-// dirMus serialises store access per cache directory within this process
-// on platforms without flock. Cross-process sharing of one directory is
-// not coordinated here: the record checksums still prevent a torn append
-// from being served — at worst the tail is truncated at the next open —
-// but concurrent processes should use distinct directories.
-var dirMus sync.Map // dir -> *sync.Mutex
+// lockMus serialises access per lock file within this process on platforms
+// without flock. Cross-process sharing of one directory is not coordinated
+// here: the record checksums still prevent a torn append from being served
+// — at worst the tail is truncated at the next open — but concurrent
+// processes should use distinct directories.
+var lockMus sync.Map // lock-file path -> *sync.Mutex
 
-// withLock on platforms without flock degrades to in-process, per-directory
-// serialisation: any number of Store handles on one directory within this
-// process remain fully coordinated (s.mu only covers a single handle);
-// exclusive and shared acquisitions collapse to one mutex, which is fine at
-// the store's call rates.
-func (s *Store) withLock(exclusive bool, fn func() error) error {
-	v, _ := dirMus.LoadOrStore(s.dir, &sync.Mutex{})
+// flockHeld on platforms without flock degrades to in-process, per-lock-file
+// serialisation: any number of handles on one directory within this process
+// remain fully coordinated (each lock file — one per shard, one per layout —
+// maps to one mutex); exclusive and shared acquisitions collapse together,
+// which is fine at the store's call rates.
+func flockHeld(f *os.File, name string, exclusive bool, fn func() error) error {
+	if f == nil {
+		return fn()
+	}
+	v, _ := lockMus.LoadOrStore(name, &sync.Mutex{})
 	mu := v.(*sync.Mutex)
 	mu.Lock()
 	defer mu.Unlock()

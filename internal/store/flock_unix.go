@@ -4,27 +4,30 @@ package store
 
 import (
 	"fmt"
+	"os"
 	"syscall"
 )
 
-// withLock runs fn while holding the store's cross-process file lock:
-// exclusive for writers (appends, compaction), shared for readers scanning
-// the tail. In-process callers are already serialised by s.mu, so the
-// flock state of the single lock descriptor is never manipulated by two
-// goroutines at once; distinct Store instances — in this or any other
-// process — contend through the kernel.
-func (s *Store) withLock(exclusive bool, fn func() error) error {
-	if s.lockF == nil { // read-only open of a bare copied segment
+// flockHeld runs fn while holding a file lock on f: exclusive for writers
+// (appends, compaction, layout changes), shared for readers scanning a
+// tail. A nil f (read-only open of a bare copied directory, which nothing
+// else can be writing) runs fn lock-free. Callers serialise their own use
+// of one descriptor — the shard mutex for shard locks, Open for the
+// directory lock — so its flock state is never manipulated by two
+// goroutines at once; distinct handles, in this or any other process,
+// contend through the kernel.
+func flockHeld(f *os.File, name string, exclusive bool, fn func() error) error {
+	if f == nil {
 		return fn()
 	}
 	how := syscall.LOCK_SH
 	if exclusive {
 		how = syscall.LOCK_EX
 	}
-	if err := flockRetry(int(s.lockF.Fd()), how); err != nil {
-		return fmt.Errorf("store: lock %s: %w", s.dir, err)
+	if err := flockRetry(int(f.Fd()), how); err != nil {
+		return fmt.Errorf("store: lock %s: %w", name, err)
 	}
-	defer flockRetry(int(s.lockF.Fd()), syscall.LOCK_UN)
+	defer flockRetry(int(f.Fd()), syscall.LOCK_UN)
 	return fn()
 }
 

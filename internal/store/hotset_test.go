@@ -1,0 +1,215 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func openHot(t *testing.T, dir string, hotBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{Schema: testSchema, HotBytes: hotBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestHotSetServesRepeatedGets: the second Get of a key is a memory hit —
+// no segment pread, no snapshot-path counter movement.
+func TestHotSetServesRepeatedGets(t *testing.T) {
+	s := openHot(t, t.TempDir(), 1<<20)
+	defer s.Close()
+	if _, err := s.Put("key-a", "t", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	// Put warms the hot set, so even the first Get is a memory hit.
+	for i := 0; i < 3; i++ {
+		typ, p, ok := s.Get("key-a")
+		if !ok || typ != "t" || string(p) != "alpha" {
+			t.Fatalf("get %d = (%q, %q, %v)", i, typ, p, ok)
+		}
+	}
+	c := s.Counters()
+	if c.HotHits != 3 {
+		t.Fatalf("hot hits = %d, want 3", c.HotHits)
+	}
+	if c.SnapshotHits != 0 {
+		t.Fatalf("snapshot hits = %d, want 0 (hot set should absorb them)", c.SnapshotHits)
+	}
+	hs := s.HotStats()
+	if hs.Entries != 1 || hs.Hits != 3 || hs.MaxBytes != 1<<20 {
+		t.Fatalf("hot stats = %+v", hs)
+	}
+}
+
+// TestHotSetDisabled: HotBytes 0 keeps every byte on disk.
+func TestHotSetDisabled(t *testing.T) {
+	s := openT(t, t.TempDir())
+	defer s.Close()
+	put(t, s, "key-a", "t", "alpha")
+	wantEntry(t, s, "key-a", "t", "alpha")
+	c := s.Counters()
+	if c.HotHits != 0 {
+		t.Fatalf("hot hits = %d with the hot set disabled", c.HotHits)
+	}
+	if hs := s.HotStats(); hs.MaxBytes != 0 || hs.Entries != 0 {
+		t.Fatalf("hot stats = %+v, want zeroes", hs)
+	}
+}
+
+// TestHotSetBoundedBytes: resident bytes never exceed the budget no matter
+// how many distinct keys pass through.
+func TestHotSetBoundedBytes(t *testing.T) {
+	const budget = 256 << 10
+	s := openHot(t, t.TempDir(), budget)
+	defer s.Close()
+	payload := bytes.Repeat([]byte("x"), 4<<10)
+	for i := 0; i < 400; i++ {
+		if _, err := s.Put(fmt.Sprintf("key-%04d", i), "t", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hs := s.HotStats()
+	if hs.Bytes > budget {
+		t.Fatalf("hot set holds %d bytes, budget %d", hs.Bytes, budget)
+	}
+	if hs.Entries == 0 {
+		t.Fatal("hot set admitted nothing")
+	}
+	if hs.Evicts == 0 && hs.Rejects == 0 {
+		t.Fatal("400 4KiB inserts into a 256KiB budget caused no eviction or rejection")
+	}
+	// Evicted keys still serve from disk.
+	for i := 0; i < 400; i += 37 {
+		k := fmt.Sprintf("key-%04d", i)
+		if _, p, ok := s.Get(k); !ok || !bytes.Equal(p, payload) {
+			t.Fatalf("evicted key %q lost", k)
+		}
+	}
+}
+
+// TestHotSetAdmissionPrefersFrequent: a stream of one-shot keys cannot
+// wash out a frequently-used working set — the frequency sketch rejects
+// cold candidates whose estimate does not beat the resident victim's.
+// (One-shot keys displacing each other is allowed: ties admit.)
+func TestHotSetAdmissionPrefersFrequent(t *testing.T) {
+	// Each stripe's budget fits ~2 of these payloads, so every insert into
+	// a warm stripe faces the admission filter.
+	hot := newHotSet(16 * 12 << 10) // 12KiB per stripe
+	payload := bytes.Repeat([]byte("v"), 4<<10)
+
+	// Build a frequent working set: the sketch sees each key several times
+	// before and after it becomes resident.
+	resident := make([]string, 48)
+	for i := range resident {
+		resident[i] = fmt.Sprintf("res-%03d", i)
+		for j := 0; j < 4; j++ {
+			hot.get(resident[i])
+		}
+		hot.add(resident[i], "t", payload, nil)
+	}
+	for _, k := range resident {
+		hot.get(k)
+	}
+
+	// Flood with one-shot keys: each arrives with a sketch estimate of 1
+	// and must lose the admission duel against a frequent resident.
+	for i := 0; i < 2048; i++ {
+		hot.add(fmt.Sprintf("scan-%05d", i), "t", payload, nil)
+	}
+	st := hot.stats()
+	if st.Rejects == 0 {
+		t.Fatalf("scan flood recorded no admission rejects: %+v", st)
+	}
+	survivors := 0
+	for _, k := range resident {
+		if _, ok := hot.get(k); ok {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("a one-shot scan flood washed out the entire frequent working set")
+	}
+}
+
+// TestHotSetGetDecoded: decoded values attach to resident entries and come
+// back typed; invalidation removes both tiers.
+func TestHotSetGetDecoded(t *testing.T) {
+	s := openHot(t, t.TempDir(), 1<<20)
+	defer s.Close()
+	if _, err := s.Put("key-a", "t", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetDecoded("key-a"); ok {
+		t.Fatal("GetDecoded hit before any value was attached")
+	}
+	type result struct{ N int }
+	s.AddDecoded("key-a", result{41}, 5)
+	v, ok := s.GetDecoded("key-a")
+	if !ok {
+		t.Fatal("GetDecoded missed after AddDecoded")
+	}
+	if r, _ := v.(result); r.N != 41 {
+		t.Fatalf("GetDecoded = %#v", v)
+	}
+	s.Invalidate("key-a")
+	if _, ok := s.GetDecoded("key-a"); ok {
+		t.Fatal("GetDecoded hit after Invalidate")
+	}
+	if _, _, ok := s.Get("key-a"); ok {
+		t.Fatal("Get hit after Invalidate")
+	}
+}
+
+// TestHotSetSegmentedLRUPromotion: a re-referenced entry survives pressure
+// that evicts its never-re-referenced cohort.
+func TestHotSetSegmentedLRUPromotion(t *testing.T) {
+	hot := newHotSet(16 * 16 << 10)
+	payload := bytes.Repeat([]byte("v"), 2<<10)
+	hot.add("keeper", "t", payload, nil)
+	hot.get("keeper") // probation -> protected
+	for i := 0; i < 64; i++ {
+		hot.add(fmt.Sprintf("filler-%03d", i), "t", payload, nil)
+	}
+	if _, ok := hot.get("keeper"); !ok {
+		t.Fatal("protected entry evicted while probation filler remained")
+	}
+}
+
+// TestHotSetInvalidateAllowsReplacementPayload: after Invalidate+Put the
+// hot tier must serve the new payload, not the cached old one.
+func TestHotSetInvalidateAllowsReplacementPayload(t *testing.T) {
+	s := openHot(t, t.TempDir(), 1<<20)
+	defer s.Close()
+	if _, err := s.Put("key-a", "t", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	s.Get("key-a")
+	s.Invalidate("key-a")
+	if _, err := s.Put("key-a", "t", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, p, ok := s.Get("key-a"); !ok || string(p) != "new" {
+		t.Fatalf("post-replacement get = (%q, %v), want new payload", p, ok)
+	}
+}
+
+// TestSketchEstimateSaturatesAndAges: counters cap at 15 and halve on
+// aging, so ancient popularity cannot pin an entry forever.
+func TestSketchEstimateSaturatesAndAges(t *testing.T) {
+	var sk cmSketch
+	sk.init(1024)
+	h := hotHash("key-a")
+	for i := 0; i < 100; i++ {
+		sk.inc(h)
+	}
+	if got := sk.estimate(h); got != 15 {
+		t.Fatalf("estimate after 100 incs = %d, want saturation at 15", got)
+	}
+	before := sk.estimate(h)
+	sk.age()
+	if got := sk.estimate(h); got != before/2 {
+		t.Fatalf("estimate after aging = %d, want %d", got, before/2)
+	}
+}

@@ -1,0 +1,203 @@
+// Migration of the legacy v1 single-segment layout to the sharded one. A
+// read-write Open detects results.seg, rebuilds it as shards/ in a
+// temporary directory, and swaps the directory in with one rename — the
+// same atomic temp+rename idiom compaction uses for a single segment — so
+// a crash at any point leaves either an intact v1 store or an intact
+// sharded one, never a half-migrated hybrid. Records are copied byte for
+// byte (stamps, payloads and checksums included): a migrated store serves
+// exactly the bytes the v1 store held.
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// prepareLayoutLocked brings dir to the sharded layout: creating it fresh,
+// adopting an existing one (finishing an interrupted migration's cleanup),
+// or migrating a v1 single-segment directory in place. Runs under the
+// exclusive directory lock, so exactly one process makes the decision.
+func (s *Store) prepareLayoutLocked() error {
+	// Sweep stale migration temp dirs (a migrating process that died
+	// before its rename).
+	if stale, _ := filepath.Glob(filepath.Join(s.dir, shardsDirName+".tmp-*")); len(stale) > 0 {
+		for _, d := range stale {
+			os.RemoveAll(d)
+		}
+	}
+	shardsDir := filepath.Join(s.dir, shardsDirName)
+	if fi, err := os.Stat(shardsDir); err == nil && fi.IsDir() {
+		if err := checkLayoutStamp(filepath.Join(shardsDir, layoutName)); err != nil {
+			// Written with a different shard routing: every key would route
+			// wrong. Same remedy as a schema change — discard and reset.
+			s.reset = true
+			if err := os.RemoveAll(shardsDir); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			return s.createShardsLocked()
+		}
+		// A crash after migration's rename but before its cleanup leaves
+		// the old segment behind; the sharded layout is the authoritative
+		// one, finish the cleanup.
+		os.Remove(filepath.Join(s.dir, v1SegmentName))
+		if _, err := os.Stat(filepath.Join(shardsDir, layoutName)); os.IsNotExist(err) {
+			return writeLayoutStamp(shardsDir)
+		}
+		return nil
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, v1SegmentName)); err == nil {
+		return s.migrateV1Locked()
+	}
+	return s.createShardsLocked()
+}
+
+// createShardsLocked lays down a fresh sharded layout. The shard files
+// themselves are created lazily by openShard. Directory lock held.
+func (s *Store) createShardsLocked() error {
+	shardsDir := filepath.Join(s.dir, shardsDirName)
+	if err := os.MkdirAll(shardsDir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return writeLayoutStamp(shardsDir)
+}
+
+// writeLayoutStamp records the shard routing, atomically.
+func writeLayoutStamp(shardsDir string) error {
+	tmp := filepath.Join(shardsDir, layoutName+".tmp")
+	if err := os.WriteFile(tmp, []byte(layoutStamp), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(shardsDir, layoutName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// migrateV1Locked upgrades a v1 single-segment directory to the sharded
+// layout. Live records (last-wins per key, checksum-verified) are copied
+// byte for byte into their shard segments inside a temp dir, which then
+// replaces shardsDirName in one rename; the old segment is removed only
+// after that succeeds. A v1 segment under a different schema (or an
+// unrecognised format) gets the same treatment a v1 read-write Open gave
+// it: its contents are discarded and the store starts fresh.
+func (s *Store) migrateV1Locked() error {
+	segPath := filepath.Join(s.dir, v1SegmentName)
+	f, err := os.Open(segPath)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if fi.Size() == 0 {
+		// A created-but-never-written v1 store: nothing to carry over.
+		os.Remove(segPath)
+		return s.createShardsLocked()
+	}
+	onDisk, hdrLen, err := readHeader(f)
+	if err != nil || onDisk != s.schema {
+		s.reset = true
+		if err := os.Remove(segPath); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return s.createShardsLocked()
+	}
+
+	buf := make([]byte, fi.Size()-hdrLen)
+	if _, err := f.ReadAt(buf, hdrLen); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Last-wins per key, exactly the index a v1 open would have built; a
+	// torn tail or corrupt record is dropped the way every scan drops it.
+	index := map[string]entryRef{}
+	walkRecords(buf, hdrLen, func(off int64, rec parsedRecord, st recStatus) {
+		if st == recGood {
+			index[rec.key] = entryRef{off: off, recLen: rec.recLen}
+		}
+	})
+	live := make([]keyedRef, 0, len(index))
+	for k, ref := range index {
+		live = append(live, keyedRef{k, ref})
+	}
+	sortRefsByOff(live)
+
+	tmpDir := filepath.Join(s.dir, fmt.Sprintf("%s.tmp-%d", shardsDirName, os.Getpid()))
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.RemoveAll(tmpDir) // no-op after a successful rename
+
+	files := make([]*os.File, numShards)
+	writers := make([]*bufio.Writer, numShards)
+	for i := 0; i < numShards; i++ {
+		sf, err := os.OpenFile(shardSegPath(tmpDir, i), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		files[i] = sf
+		writers[i] = bufio.NewWriterSize(sf, 256<<10)
+		if _, err := writers[i].Write(encodeHeader(s.schema)); err != nil {
+			closeAll(files)
+			return fmt.Errorf("store: %w", err)
+		}
+		// Pre-create the lock file so read-only openers of the migrated
+		// layout coordinate through it from the first moment.
+		lf, err := os.OpenFile(shardLockPath(tmpDir, i), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			closeAll(files)
+			return fmt.Errorf("store: %w", err)
+		}
+		lf.Close()
+	}
+	for _, p := range live {
+		rec := buf[p.ref.off-hdrLen : p.ref.off-hdrLen+p.ref.recLen]
+		if _, err := writers[shardOf(p.key)].Write(rec); err != nil {
+			closeAll(files)
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	for i := 0; i < numShards; i++ {
+		if err := writers[i].Flush(); err != nil {
+			closeAll(files)
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := files[i].Sync(); err != nil {
+			closeAll(files)
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := files[i].Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := writeLayoutStamp(tmpDir); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpDir, filepath.Join(s.dir, shardsDirName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(s.dir)
+	os.Remove(segPath)
+	s.migrated = true
+	s.migratedEntries = len(live)
+	return nil
+}
+
+func closeAll(files []*os.File) {
+	for _, f := range files {
+		if f != nil {
+			f.Close()
+		}
+	}
+}
+
+// syncDir best-effort fsyncs a directory so a rename survives power loss.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,218 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeV1Store synthesises a legacy single-segment store: a results.seg
+// with the given records (in order) and a LOCK file. Returns the segment
+// path.
+func writeV1Store(t *testing.T, dir, schema string, recs [][]byte) string {
+	t.Helper()
+	seg := encodeHeader(schema)
+	for _, r := range recs {
+		seg = append(seg, r...)
+	}
+	segPath := filepath.Join(dir, v1SegmentName)
+	if err := os.WriteFile(segPath, seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, lockName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return segPath
+}
+
+// TestMigrateV1RoundTrip pins the migration contract: a read-write Open of
+// a v1 directory rebuilds it as shards with byte-identical payloads,
+// preserved stamps, and the old segment gone.
+func TestMigrateV1RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	stamp := time.Now().Add(-3 * time.Hour).Unix()
+	payloads := map[string][]byte{}
+	var recs [][]byte
+	for _, k := range []string{"key-a", "key-b", "key-c", "key-d"} {
+		p := bytes.Repeat([]byte(k), 7)
+		payloads[k] = p
+		recs = append(recs, encodeRecord(k, "t.Mig", p, stamp))
+	}
+	// A superseded duplicate: last-wins must carry the replacement only.
+	recs = append(recs, encodeRecord("key-a", "t.Mig", []byte("replacement"), stamp+1))
+	payloads["key-a"] = []byte("replacement")
+	writeV1Store(t, dir, testSchema, recs)
+
+	s := openT(t, dir)
+	defer s.Close()
+	if migrated, n := s.MigratedOnOpen(); !migrated || n != 4 {
+		t.Fatalf("MigratedOnOpen = (%v, %d), want (true, 4)", migrated, n)
+	}
+	if s.ResetOnOpen() {
+		t.Fatal("migration reported a reset")
+	}
+	if _, err := os.Stat(filepath.Join(dir, v1SegmentName)); !os.IsNotExist(err) {
+		t.Fatal("v1 segment survived the migration")
+	}
+	if _, err := os.Stat(filepath.Join(dir, shardsDirName, layoutName)); err != nil {
+		t.Fatal("migrated layout has no LAYOUT stamp")
+	}
+
+	for k, p := range payloads {
+		typ, got, ok := s.Get(k)
+		if !ok || typ != "t.Mig" || !bytes.Equal(got, p) {
+			t.Fatalf("migrated %q = (%q, %q, %v), want byte-identical payload", k, typ, got, ok)
+		}
+	}
+	// Stamps carried over byte-for-byte (the record bytes were copied, not
+	// re-encoded).
+	for _, e := range s.Entries() {
+		want := stamp
+		if e.Key == "key-a" {
+			want = stamp + 1
+		}
+		if e.Stamp.Unix() != want {
+			t.Fatalf("migrated %q stamp = %d, want %d", e.Key, e.Stamp.Unix(), want)
+		}
+	}
+	if res, err := s.Verify(); err != nil || res.Live != 4 || res.Corrupt != 0 || res.TornBytes != 0 {
+		t.Fatalf("post-migration verify = (%+v, %v)", res, err)
+	}
+
+	// The migrated layout reopens as a plain sharded store.
+	s.Close()
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if migrated, _ := s2.MigratedOnOpen(); migrated {
+		t.Fatal("second open re-migrated")
+	}
+	wantEntry(t, s2, "key-a", "t.Mig", "replacement")
+}
+
+// TestMigrateV1TornTailAndCorruption: migration applies the same scan
+// policy as every open — torn tails dropped, checksum failures skipped,
+// later records kept.
+func TestMigrateV1TornTailAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	good := encodeRecord("key-a", "t", []byte("alpha"), 1)
+	bad := encodeRecord("key-b", "t", []byte("beta"), 2)
+	bad[len(bad)-6] ^= 0x40 // flip a payload byte: checksum fails
+	after := encodeRecord("key-c", "t", []byte("gamma"), 3)
+	torn := encodeRecord("key-d", "t", []byte("delta"), 4)[:10]
+	writeV1Store(t, dir, testSchema, [][]byte{good, bad, after, torn})
+
+	s := openT(t, dir)
+	defer s.Close()
+	if migrated, n := s.MigratedOnOpen(); !migrated || n != 2 {
+		t.Fatalf("MigratedOnOpen = (%v, %d), want (true, 2)", migrated, n)
+	}
+	wantEntry(t, s, "key-a", "t", "alpha")
+	wantMiss(t, s, "key-b")
+	wantEntry(t, s, "key-c", "t", "gamma")
+	wantMiss(t, s, "key-d")
+}
+
+// TestMigrateV1SchemaMismatchResets: a v1 store under another schema gets
+// the same treatment a v1 read-write open gave it — discarded wholesale.
+func TestMigrateV1SchemaMismatchResets(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, "old-schema", [][]byte{encodeRecord("key-a", "t", []byte("alpha"), 1)})
+
+	s := openT(t, dir)
+	defer s.Close()
+	if !s.ResetOnOpen() {
+		t.Fatal("schema-mismatched v1 store did not report a reset")
+	}
+	if migrated, _ := s.MigratedOnOpen(); migrated {
+		t.Fatal("a discarded store reported a migration")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("stale entries survived: %d", s.Len())
+	}
+	wantMiss(t, s, "key-a")
+}
+
+// TestMigrateEmptyV1 treats a created-but-never-written v1 store as a
+// fresh store.
+func TestMigrateEmptyV1(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, testSchema, nil)
+	if err := os.Truncate(filepath.Join(dir, v1SegmentName), 0); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir)
+	defer s.Close()
+	if s.ResetOnOpen() {
+		t.Fatal("empty v1 store reported a reset")
+	}
+	put(t, s, "key-a", "t", "alpha")
+	wantEntry(t, s, "key-a", "t", "alpha")
+}
+
+// TestMigrationV1ExportImportsIntoSharded: record bytes are layout
+// agnostic, so a bundle exported from a (read-only, legacy-mode) v1 store
+// imports into a sharded store unchanged.
+func TestMigrationV1ExportImportsIntoSharded(t *testing.T) {
+	v1dir := t.TempDir()
+	writeV1Store(t, v1dir, testSchema, [][]byte{
+		encodeRecord("key-a", "t", []byte("alpha"), 1),
+		encodeRecord("key-b", "t", []byte("beta"), 2),
+	})
+	ro, err := Open(v1dir, Options{Schema: testSchema, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	var bundle bytes.Buffer
+	if n, err := ro.Export(&bundle); err != nil || n != 2 {
+		t.Fatalf("export = (%d, %v)", n, err)
+	}
+
+	dst := openT(t, t.TempDir())
+	defer dst.Close()
+	added, skipped, err := dst.Import(bytes.NewReader(bundle.Bytes()))
+	if err != nil || added != 2 || skipped != 0 {
+		t.Fatalf("import = (%d, %d, %v), want (2, 0, nil)", added, skipped, err)
+	}
+	wantEntry(t, dst, "key-a", "t", "alpha")
+	wantEntry(t, dst, "key-b", "t", "beta")
+}
+
+// TestStaleMigrationTmpDirSwept: a migration temp dir left by a crashed
+// process is removed at the next read-write open.
+func TestStaleMigrationTmpDirSwept(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, shardsDirName+".tmp-99999")
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir)
+	defer s.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale migration temp dir survived open")
+	}
+}
+
+// TestInterruptedMigrationCleanupFinishes: a crash after the rename but
+// before the old segment's removal leaves both layouts; the sharded one is
+// authoritative and the leftover is cleaned up.
+func TestInterruptedMigrationCleanupFinishes(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	put(t, s, "key-a", "t", "alpha")
+	s.Close()
+	// Simulate the leftover v1 segment holding stale bytes.
+	writeV1Store(t, dir, testSchema, [][]byte{encodeRecord("key-a", "t", []byte("STALE"), 1)})
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	if migrated, _ := s2.MigratedOnOpen(); migrated {
+		t.Fatal("open re-migrated over an existing sharded layout")
+	}
+	if _, err := os.Stat(filepath.Join(dir, v1SegmentName)); !os.IsNotExist(err) {
+		t.Fatal("leftover v1 segment survived")
+	}
+	wantEntry(t, s2, "key-a", "t", "alpha")
+}

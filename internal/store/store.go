@@ -5,10 +5,14 @@
 // interrupted `validate -grid paper` campaign resumes with only the missing
 // cells simulated and a finished campaign can be exported to a colleague.
 //
-// Layout: a cache directory holds one append-only segment file plus a lock
-// file. The segment starts with a header naming the binary format and the
-// caller's schema version (the simulator/result version stamp); entries
-// follow as self-delimiting records:
+// Layout: a cache directory holds a shards/ subdirectory with one
+// append-only segment file and one lock file per key-hash shard (plus a
+// LAYOUT stamp naming the shard routing), and a store-wide LOCK file used
+// only for layout-level operations — fresh creation and migration of the
+// legacy v1 single-segment layout, which a read-write Open upgrades in
+// place (see migrate.go). Each segment starts with a header naming the
+// binary format and the caller's schema version (the simulator/result
+// version stamp); entries follow as self-delimiting records:
 //
 //	entryMagic  uint32   per-record sync marker
 //	keyLen      uint16
@@ -21,56 +25,46 @@
 //	crc         uint32   IEEE CRC-32 of everything above
 //
 // Crash safety is by construction: records are appended with a single
-// write under an exclusive lock, so the only possible inconsistency is a
-// torn record at the tail (a crashed writer), which Open and the next
-// writer truncate away. A corrupted record body (bit rot, a flipped byte)
-// fails its checksum and is skipped — the key simply misses and its cell
-// recomputes — while records after it stay reachable: even when the
-// damage hits a length field and desynchronises parsing, the scan
-// resynchronises on the next per-record magic marker instead of giving up
-// on the rest of the segment. Stale schema versions discard the whole
-// segment at Open: results produced by a different simulator version must
-// never be served.
+// write under an exclusive per-shard lock, so the only possible
+// inconsistency is a torn record at a segment's tail (a crashed writer),
+// which Open and the next writer truncate away. A corrupted record body
+// (bit rot, a flipped byte) fails its checksum and is skipped — the key
+// simply misses and its cell recomputes — while records after it stay
+// reachable: even when the damage hits a length field and desynchronises
+// parsing, the scan resynchronises on the next per-record magic marker
+// instead of giving up on the rest of the segment. Stale schema versions
+// discard the whole store at Open: results produced by a different
+// simulator version must never be served.
 //
 // Concurrency: one Store is safe for concurrent use by any number of
 // goroutines, and any number of processes (or Stores in one process) may
-// share a directory. Writers serialise appends through an exclusive
-// file lock; readers never lock — committed bytes are immutable — and an
-// index miss triggers a shared-lock tail rescan so results appended by
-// sibling processes become visible mid-run.
+// share a directory. Writers to different shards proceed in parallel —
+// each shard has its own exclusive file lock — and writers to one shard
+// serialise through it. The hit path is lock-free: every shard publishes
+// its index as an immutable snapshot (swapped atomically on append,
+// rescan and compaction), so a Get of an indexed key acquires no mutex
+// and no file lock; committed bytes are immutable, which is what makes
+// the unlocked read sound. An index miss falls to a locked slow path
+// whose shared-lock tail rescan makes results appended by sibling
+// processes visible mid-run.
+//
+// In front of the shards sits an optional admission-controlled in-memory
+// hot set (Options.HotBytes; see hotset.go): repeated reads of the same
+// keys are served from memory without the pread, checksum re-verification
+// or decode, under TinyLFU admission so one-shot scans cannot flush the
+// actually-hot working set.
 package store
 
 import (
 	"archive/tar"
-	"bufio"
-	"bytes"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
-)
-
-const (
-	// fileMagic names the binary format; bump the trailing digits when the
-	// record layout changes.
-	fileMagic = "AMSTOR01"
-
-	segmentName = "results.seg"
-	lockName    = "LOCK"
-
-	entryMagic  = uint32(0x414D4345) // "AMCE"
-	fixedHdrLen = 4 + 2 + 2 + 4 + 8
-	crcLen      = 4
-
-	maxKeyLen  = 1 << 10
-	maxTypeLen = 1 << 10
-	maxPayload = 1 << 26
 )
 
 // Options configures Open.
@@ -82,17 +76,48 @@ type Options struct {
 	Schema string
 	// ReadOnly opens for inspection: Get and the maintenance scans work,
 	// Put/GC/Import fail, and torn tails are tolerated rather than
-	// truncated.
+	// truncated. A read-only Open of a legacy v1 directory serves it in
+	// place instead of migrating.
 	ReadOnly bool
+	// HotBytes bounds the in-memory hot set in front of the shards; zero
+	// disables the memory tier entirely (every Get goes to the segment).
+	HotBytes int64
 }
 
-// entryRef locates one live record in the segment.
-type entryRef struct {
-	off        int64 // record start
-	recLen     int64
-	typeName   string
-	payloadLen int
-	stamp      int64
+// opCounters are the store's cumulative operation counters. They exist so
+// tests (and curious callers) can verify the concurrency contract — e.g.
+// that a Get of an indexed key acquires no mutex and no file lock — from
+// the outside.
+type opCounters struct {
+	gets         atomic.Uint64
+	puts         atomic.Uint64
+	hotHits      atomic.Uint64
+	snapshotHits atomic.Uint64
+	slowGets     atomic.Uint64
+	mutexAcqs    atomic.Uint64
+	flockAcqs    atomic.Uint64
+}
+
+// OpCounters is a point-in-time snapshot of the store's operation
+// counters.
+type OpCounters struct {
+	// Gets and Puts count public Get/GetDecoded/Put calls.
+	Gets, Puts uint64
+	// HotHits counts gets served by the in-memory hot set: no disk
+	// access, no mutex — the hit path is a lock-free map load plus a
+	// read-ring store (policy work is drained by later locked ops).
+	HotHits uint64
+	// SnapshotHits counts gets served lock-free from a shard's published
+	// index snapshot: no mutex, no file lock, one pread.
+	SnapshotHits uint64
+	// SlowGets counts gets that fell to a shard's locked slow path (index
+	// misses and verification failures).
+	SlowGets uint64
+	// MutexAcqs counts shard mutex acquisitions across all operations.
+	MutexAcqs uint64
+	// FlockAcqs counts cross-process file-lock acquisitions (shard locks
+	// and the layout lock).
+	FlockAcqs uint64
 }
 
 // Store is an open result store. Methods are safe for concurrent use.
@@ -100,19 +125,19 @@ type Store struct {
 	dir      string
 	schema   string
 	readOnly bool
+	// legacy marks a read-only open of a v1 single-segment directory,
+	// served in place through one shard.
+	legacy bool
+	reset  bool
+	// migrated reports that this Open upgraded a v1 layout (migrate.go).
+	migrated        bool
+	migratedEntries int
 
-	mu      sync.Mutex
-	f       *os.File
-	lockF   *os.File
-	index   map[string]entryRef
-	scanned int64 // offset one past the last parsed record
-	hdrLen  int64
-	reset   bool // contents were discarded at Open (schema/format change)
-	// dead poisons the handle after a partial GC swap (segment renamed but
-	// reopen failed): s.f then points at the unlinked old inode, where a
-	// Put would "succeed" into a file that vanishes at Close. Every write
-	// reports dead instead; reads miss.
-	dead error
+	shards  []*shard
+	sg      *syncGroup
+	hot     *hotSet
+	ops     opCounters
+	dirLock *os.File
 }
 
 // Open opens (creating if necessary, unless read-only) the store in dir.
@@ -123,412 +148,189 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.Schema == "" {
 		return nil, fmt.Errorf("store: empty schema version")
 	}
+	s := &Store{dir: dir, schema: opts.Schema, readOnly: opts.ReadOnly}
+	if opts.HotBytes > 0 {
+		s.hot = newHotSet(opts.HotBytes)
+	}
+
 	if !opts.ReadOnly {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
-	}
-	s := &Store{dir: dir, schema: opts.Schema, readOnly: opts.ReadOnly,
-		index: map[string]entryRef{}}
-
-	lockFlags := os.O_RDWR | os.O_CREATE
-	segFlags := os.O_RDWR | os.O_CREATE
-	if opts.ReadOnly {
-		lockFlags, segFlags = os.O_RDONLY, os.O_RDONLY
-	}
-	var err error
-	if s.lockF, err = os.OpenFile(filepath.Join(dir, lockName), lockFlags, 0o644); err != nil {
-		// A directory holding just a copied segment (no LOCK) is still
-		// inspectable: nothing else can be writing it through this
-		// directory, so read-only access proceeds lock-free.
-		if !(opts.ReadOnly && os.IsNotExist(err)) {
+		lockPath := filepath.Join(dir, lockName)
+		var err error
+		if s.dirLock, err = os.OpenFile(lockPath, os.O_RDWR|os.O_CREATE, 0o644); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
-		s.lockF = nil
-	}
-	if s.f, err = os.OpenFile(filepath.Join(dir, segmentName), segFlags, 0o644); err != nil {
-		s.closeFiles()
-		return nil, fmt.Errorf("store: %w", err)
+		// Layout decisions (fresh creation, v1 migration, stale tmp-dir
+		// cleanup) are store-wide and must not race sibling processes
+		// making the same decision; the per-shard locks only exist after
+		// this succeeds.
+		s.ops.flockAcqs.Add(1)
+		if err := flockHeld(s.dirLock, lockPath, true, func() error {
+			return s.prepareLayoutLocked()
+		}); err != nil {
+			s.dirLock.Close()
+			return nil, err
+		}
+	} else if fi, err := os.Stat(filepath.Join(dir, shardsDirName)); err != nil || !fi.IsDir() {
+		// No sharded layout: serve a legacy v1 directory in place (or fail
+		// the way opening its missing segment fails).
+		s.legacy = true
+	} else if err := checkLayoutStamp(filepath.Join(dir, shardsDirName, layoutName)); err != nil {
+		return nil, err
 	}
 
-	// The opening scan (and a possible schema reset or tail truncation)
-	// must not race other writers.
-	if err := s.withLock(!opts.ReadOnly, func() error { return s.loadLocked() }); err != nil {
-		s.closeFiles()
+	if err := s.openShards(); err != nil {
+		if s.dirLock != nil {
+			s.dirLock.Close()
+		}
 		return nil, err
+	}
+	for _, sh := range s.shards {
+		if sh.reset {
+			s.reset = true
+		}
 	}
 	return s, nil
 }
 
-// closeFiles closes whichever file handles are open.
-func (s *Store) closeFiles() error {
-	var err error
-	if s.f != nil {
-		err = s.f.Close()
-	}
-	if s.lockF != nil {
-		if cerr := s.lockF.Close(); err == nil {
-			err = cerr
+// openShards opens every shard of the active layout and joins them into
+// one group-commit domain.
+func (s *Store) openShards() error {
+	if s.legacy {
+		sh, err := openShard(filepath.Join(s.dir, v1SegmentName),
+			filepath.Join(s.dir, lockName), s.schema, s.readOnly, &s.ops)
+		if err != nil {
+			return err
+		}
+		s.shards = []*shard{sh}
+	} else {
+		shardsDir := filepath.Join(s.dir, shardsDirName)
+		s.shards = make([]*shard, 0, numShards)
+		for i := 0; i < numShards; i++ {
+			sh, err := openShard(shardSegPath(shardsDir, i), shardLockPath(shardsDir, i),
+				s.schema, s.readOnly, &s.ops)
+			if err != nil {
+				for _, prev := range s.shards {
+					prev.closeFiles()
+				}
+				return err
+			}
+			s.shards = append(s.shards, sh)
 		}
 	}
-	return err
+	s.sg = &syncGroup{shards: s.shards}
+	for _, sh := range s.shards {
+		sh.sg = s.sg
+	}
+	if !s.readOnly {
+		w, err := openWAL(filepath.Join(s.dir, shardsDirName), s.schema, &s.ops)
+		if err != nil {
+			for _, sh := range s.shards {
+				sh.closeFiles()
+			}
+			return err
+		}
+		s.sg.w = w
+		// Replay commits a crash left unreplicated into their segments,
+		// then truncate the log — this open's puts start from a clean one.
+		if err := s.sg.recover(); err != nil {
+			w.closeFiles()
+			for _, sh := range s.shards {
+				sh.closeFiles()
+			}
+			return err
+		}
+	}
+	return nil
 }
 
-// loadLocked validates the header and builds the index. File lock held.
-func (s *Store) loadLocked() error {
-	fi, err := s.f.Stat()
+func shardSegPath(shardsDir string, i int) string {
+	return filepath.Join(shardsDir, fmt.Sprintf("shard-%02d.seg", i))
+}
+
+func shardLockPath(shardsDir string, i int) string {
+	return filepath.Join(shardsDir, fmt.Sprintf("shard-%02d.lock", i))
+}
+
+// checkLayoutStamp verifies the LAYOUT file matches this binary's shard
+// routing. A missing stamp (an interrupted creation) passes — the shards
+// themselves still verify — but a conflicting one means the directory was
+// written with a different shard count and every key would route wrong.
+func checkLayoutStamp(path string) error {
+	b, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if fi.Size() == 0 {
-		if s.readOnly {
-			// A brand-new empty file is a valid empty store.
-			s.hdrLen, s.scanned = 0, 0
+		if os.IsNotExist(err) {
 			return nil
 		}
-		return s.writeHeaderLocked()
-	}
-	onDisk, hdrLen, err := readHeader(s.f)
-	switch {
-	case err != nil || onDisk != s.schema:
-		if s.readOnly {
-			if err != nil {
-				return fmt.Errorf("store: %s: unrecognised format: %w",
-					s.segPath(), err)
-			}
-			return fmt.Errorf("store: %s holds schema %q, want %q (stale store; a read-write open would reset it)",
-				s.segPath(), onDisk, s.schema)
-		}
-		// Version-mismatch invalidation: every entry was produced by a
-		// different simulator/result version and must not be served.
-		s.reset = true
-		if err := s.f.Truncate(0); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		return s.writeHeaderLocked()
-	default:
-		s.hdrLen, s.scanned = hdrLen, hdrLen
-		return s.scanTailLocked(!s.readOnly)
-	}
-}
-
-func (s *Store) segPath() string { return filepath.Join(s.dir, segmentName) }
-
-// ensureHeaderLocked validates a header that did not exist yet when this
-// handle opened: a read-only Open may race a writer's very first open and
-// see a zero-length segment (hdrLen 0). Once bytes appear, the header must
-// be parsed — and its schema checked — before any of them are read as
-// records. File lock held.
-func (s *Store) ensureHeaderLocked(size int64) error {
-	if s.hdrLen > 0 || size == 0 {
-		return nil
-	}
-	onDisk, hdrLen, err := readHeader(s.f)
-	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if onDisk != s.schema {
-		return fmt.Errorf("store: %s holds schema %q, want %q", s.segPath(), onDisk, s.schema)
-	}
-	s.hdrLen = hdrLen
-	if s.scanned < hdrLen {
-		s.scanned = hdrLen
+	if string(b) != layoutStamp {
+		return fmt.Errorf("store: %s does not match this binary's shard routing (have %q, want %q)",
+			path, strings.TrimSpace(string(b)), strings.TrimSpace(layoutStamp))
 	}
 	return nil
 }
 
-// encodeHeader renders the segment header: magic, schema length, schema.
-func encodeHeader(schema string) []byte {
-	b := make([]byte, 0, len(fileMagic)+2+len(schema))
-	b = append(b, fileMagic...)
-	var lenBuf [2]byte
-	binary.LittleEndian.PutUint16(lenBuf[:], uint16(len(schema)))
-	b = append(b, lenBuf[:]...)
-	return append(b, schema...)
-}
-
-// writeHeaderLocked initialises an empty segment. File lock held.
-func (s *Store) writeHeaderLocked() error {
-	hdr := encodeHeader(s.schema)
-	if _, err := s.f.WriteAt(hdr, 0); err != nil {
-		return fmt.Errorf("store: %w", err)
+// shardFor routes a key to its shard.
+func (s *Store) shardFor(key string) *shard {
+	if s.legacy {
+		return s.shards[0]
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	s.hdrLen = int64(len(hdr))
-	s.scanned = s.hdrLen
-	return nil
-}
-
-// readHeader parses the segment header, returning the stored schema and
-// header length.
-func readHeader(f *os.File) (schema string, hdrLen int64, err error) {
-	buf := make([]byte, len(fileMagic)+2)
-	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(len(buf))), buf); err != nil {
-		return "", 0, fmt.Errorf("short header: %w", err)
-	}
-	if string(buf[:len(fileMagic)]) != fileMagic {
-		return "", 0, fmt.Errorf("bad magic %q", buf[:len(fileMagic)])
-	}
-	n := int(binary.LittleEndian.Uint16(buf[len(fileMagic):]))
-	sb := make([]byte, n)
-	off := int64(len(buf))
-	if _, err := io.ReadFull(io.NewSectionReader(f, off, int64(n)), sb); err != nil {
-		return "", 0, fmt.Errorf("short schema: %w", err)
-	}
-	return string(sb), off + int64(n), nil
-}
-
-// encodeRecord renders one record; see the package comment for the layout.
-func encodeRecord(key, typeName string, payload []byte, stamp int64) []byte {
-	n := fixedHdrLen + len(key) + len(typeName) + len(payload) + crcLen
-	b := make([]byte, 0, n)
-	var u4 [4]byte
-	var u8 [8]byte
-	binary.LittleEndian.PutUint32(u4[:], entryMagic)
-	b = append(b, u4[:]...)
-	binary.LittleEndian.PutUint16(u4[:2], uint16(len(key)))
-	b = append(b, u4[:2]...)
-	binary.LittleEndian.PutUint16(u4[:2], uint16(len(typeName)))
-	b = append(b, u4[:2]...)
-	binary.LittleEndian.PutUint32(u4[:], uint32(len(payload)))
-	b = append(b, u4[:]...)
-	binary.LittleEndian.PutUint64(u8[:], uint64(stamp))
-	b = append(b, u8[:]...)
-	b = append(b, key...)
-	b = append(b, typeName...)
-	b = append(b, payload...)
-	binary.LittleEndian.PutUint32(u4[:], crc32.ChecksumIEEE(b))
-	return append(b, u4[:]...)
-}
-
-// recStatus classifies one scanned record.
-type recStatus int
-
-const (
-	recGood recStatus = iota
-	recBadCRC
-	recTorn // incomplete or unparseable from here on
-)
-
-// parsedRecord is the outcome of scanning one record.
-type parsedRecord struct {
-	key      string
-	typeName string
-	payload  []byte
-	stamp    int64
-	recLen   int64
-}
-
-// entryMagicBytes is the on-disk rendering of entryMagic, the marker the
-// scan resynchronises on after unparseable bytes.
-var entryMagicBytes = binary.LittleEndian.AppendUint32(nil, entryMagic)
-
-// parseRecord parses one record at the start of b. recTorn means no
-// complete record starts here: a clean end of input, a torn append, or
-// garbage (including a record whose corrupted length fields point past the
-// available bytes).
-func parseRecord(b []byte) (parsedRecord, recStatus) {
-	if len(b) < fixedHdrLen || binary.LittleEndian.Uint32(b) != entryMagic {
-		return parsedRecord{}, recTorn
-	}
-	keyLen := int(binary.LittleEndian.Uint16(b[4:]))
-	typeLen := int(binary.LittleEndian.Uint16(b[6:]))
-	payloadLen := int(binary.LittleEndian.Uint32(b[8:]))
-	if keyLen == 0 || keyLen > maxKeyLen || typeLen > maxTypeLen || payloadLen > maxPayload {
-		return parsedRecord{}, recTorn
-	}
-	total := fixedHdrLen + keyLen + typeLen + payloadLen + crcLen
-	if len(b) < total {
-		return parsedRecord{}, recTorn
-	}
-	rec := parsedRecord{
-		key:      string(b[fixedHdrLen : fixedHdrLen+keyLen]),
-		typeName: string(b[fixedHdrLen+keyLen : fixedHdrLen+keyLen+typeLen]),
-		payload:  b[fixedHdrLen+keyLen+typeLen : total-crcLen],
-		stamp:    int64(binary.LittleEndian.Uint64(b[12:])),
-		recLen:   int64(total),
-	}
-	if crc32.ChecksumIEEE(b[:total-crcLen]) != binary.LittleEndian.Uint32(b[total-crcLen:total]) {
-		return rec, recBadCRC
-	}
-	return rec, recGood
-}
-
-// walkRecords scans buf (whose first byte sits at file offset base),
-// invoking fn for every intact record and for the first checksum-failed
-// record of each damaged region. A failed checksum vouches for nothing —
-// least of all the record's own length fields — so the scan never advances
-// by a corrupt record's claimed extent; it resynchronises on the next
-// entry magic instead, which keeps every intact record after the damage
-// reachable. It returns the file offset where a trailing unparseable
-// region begins (base+len(buf) when the buffer ends at a record boundary)
-// and the number of mid-buffer garbage bytes skipped.
-func walkRecords(buf []byte, base int64, fn func(off int64, rec parsedRecord, st recStatus)) (tail, garbage int64) {
-	off, garbageStart := 0, -1
-	for off < len(buf) {
-		rec, st := parseRecord(buf[off:])
-		if st == recGood {
-			if garbageStart >= 0 {
-				garbage += int64(off - garbageStart)
-				garbageStart = -1
-			}
-			fn(base+int64(off), rec, st)
-			off += int(rec.recLen)
-			continue
-		}
-		if garbageStart < 0 {
-			garbageStart = off
-			if st == recBadCRC {
-				// The first failure of a region at a plausible record
-				// boundary is the damaged record itself; report it once.
-				fn(base+int64(off), rec, st)
-			}
-		}
-		idx := bytes.Index(buf[off+1:], entryMagicBytes)
-		if idx < 0 {
-			break // unparseable through to the end: a torn tail
-		}
-		off += 1 + idx
-	}
-	if garbageStart >= 0 {
-		return base + int64(garbageStart), garbage
-	}
-	return base + int64(len(buf)), garbage
-}
-
-// scanTailLocked parses records from s.scanned to EOF into the index.
-// Checksum failures skip the record (its key recomputes, and the record's
-// claimed extent is re-synchronised past if its lengths were the damaged
-// part); an unparseable tail stops the scan and, when truncateTorn, is cut
-// off so appends stay well-formed. Both s.mu and the file lock are held.
-func (s *Store) scanTailLocked(truncateTorn bool) error {
-	fi, err := s.f.Stat()
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	size := fi.Size()
-	if err := s.ensureHeaderLocked(size); err != nil {
-		return err
-	}
-	if truncateTorn && s.hdrLen > 0 {
-		// Writers are about to truncate at — and append past — offsets
-		// derived from this handle's history, so re-verify that history is
-		// still the file's: a reset by a different-schema process can
-		// regrow the segment to any size, making the shrink check below
-		// insufficient on its own. A header of another schema means every
-		// offset we hold is meaningless; fail the write rather than
-		// truncate someone else's committed records.
-		onDisk, _, err := readHeader(s.f)
-		if err != nil {
-			return fmt.Errorf("store: segment replaced under this handle: %w", err)
-		}
-		if onDisk != s.schema {
-			return fmt.Errorf("store: segment reset to schema %q under this %q handle (reopen the store)",
-				onDisk, s.schema)
-		}
-	}
-	if size < s.scanned {
-		// The segment shrank under us (a reset we survived only as a
-		// reader): our whole index points at vanished bytes. Drop it and
-		// rebuild from the on-disk header, which the checks above proved
-		// still carries our schema.
-		s.index = map[string]entryRef{}
-		onDisk, hdrLen, err := readHeader(s.f)
-		if err != nil {
-			return fmt.Errorf("store: segment replaced under this handle: %w", err)
-		}
-		if onDisk != s.schema {
-			return fmt.Errorf("store: segment reset to schema %q under this %q handle (reopen the store)",
-				onDisk, s.schema)
-		}
-		s.hdrLen, s.scanned = hdrLen, hdrLen
-	}
-	if size <= s.scanned {
-		return nil
-	}
-	buf := make([]byte, size-s.scanned)
-	if _, err := s.f.ReadAt(buf, s.scanned); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	tail, _ := walkRecords(buf, s.scanned, func(off int64, rec parsedRecord, st recStatus) {
-		if st == recGood {
-			s.index[rec.key] = entryRef{off: off, recLen: rec.recLen,
-				typeName: rec.typeName, payloadLen: len(rec.payload), stamp: rec.stamp}
-		}
-	})
-	s.scanned = tail
-	if tail < size && truncateTorn && !s.readOnly {
-		if err := s.f.Truncate(tail); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-	}
-	return nil
+	return s.shards[shardOf(key)]
 }
 
 // Get returns the entry for key, or ok == false when it is absent or its
-// record fails verification. A miss rescans the segment tail first, so
-// entries appended by other processes sharing the directory are found.
+// record fails verification. The hot set is consulted first; a disk hit is
+// offered back to it for admission. A shard-index miss rescans that
+// shard's tail, so entries appended by other processes sharing the
+// directory are found.
 func (s *Store) Get(key string) (typeName string, payload []byte, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.dead != nil {
-		return "", nil, false
-	}
-	if p, typeName, ok := s.getIndexedLocked(key); ok {
-		return typeName, p, true
-	}
-	if fi, err := s.f.Stat(); err == nil && fi.Size() != s.scanned {
-		// Another process appended since our last scan; committed records
-		// are immutable, so a shared lock suffices (and only guards
-		// against scanning a record mid-append).
-		_ = s.withLock(false, func() error { return s.scanTailLocked(false) })
-		if p, typeName, ok := s.getIndexedLocked(key); ok {
-			return typeName, p, true
+	s.ops.gets.Add(1)
+	if s.hot != nil {
+		if v, hit := s.hot.get(key); hit && v.payload != nil {
+			s.ops.hotHits.Add(1)
+			return v.typeName, v.payload, true
 		}
 	}
-	return "", nil, false
+	typeName, payload, ok = s.shardFor(key).get(key)
+	if ok && s.hot != nil {
+		s.hot.add(key, typeName, payload, nil)
+	}
+	return typeName, payload, ok
 }
 
-// getIndexedLocked serves key from the index, dropping the entry when its
-// record no longer verifies (concurrent GC or bit rot) so the cell
-// recomputes. s.mu held.
-func (s *Store) getIndexedLocked(key string) (payload []byte, typeName string, ok bool) {
-	ref, hit := s.index[key]
-	if !hit {
-		return nil, "", false
+// GetDecoded returns the decoded value a previous AddDecoded attached to
+// key, if the hot set still holds it. It is the fastest tier: no disk
+// read, no verification, no decode.
+func (s *Store) GetDecoded(key string) (any, bool) {
+	if s.hot == nil {
+		return nil, false
 	}
-	p, err := s.readEntryLocked(key, ref)
-	if err != nil {
-		delete(s.index, key)
-		return nil, "", false
+	s.ops.gets.Add(1)
+	if v, hit := s.hot.get(key); hit && v.value != nil {
+		s.ops.hotHits.Add(1)
+		return v.value, true
 	}
-	return p, ref.typeName, true
+	return nil, false
 }
 
-// readEntryLocked reads and re-verifies one record, returning its payload.
-// The parsed record must be the very record the index promised — same key,
-// same extent — not merely a valid record: after another process rewrites
-// the segment under this handle, a stale offset can land on a different,
-// perfectly well-formed record, and serving that one would cross result
-// generations.
-func (s *Store) readEntryLocked(key string, ref entryRef) ([]byte, error) {
-	buf := make([]byte, ref.recLen)
-	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
-		return nil, err
+// AddDecoded offers key's decoded value to the hot set, so future
+// GetDecoded calls skip the decode as well as the disk. payloadLen (the
+// encoded size) stands in as the admission cost. Decoded values are shared
+// across callers and must be treated as immutable.
+func (s *Store) AddDecoded(key string, value any, payloadLen int64) {
+	if s.hot == nil || value == nil {
+		return
 	}
-	rec, status := parseRecord(buf)
-	if status != recGood || rec.key != key || rec.recLen != ref.recLen {
-		return nil, fmt.Errorf("store: record at %d failed verification", ref.off)
-	}
-	return rec.payload, nil
+	s.hot.attach(key, value, payloadLen)
 }
 
-// Put appends an entry, reporting whether it wrote: a key already present
-// is left untouched and reports false (results are content-addressed —
-// same key, same value — so concurrent writers that raced on a computation
-// converge on one record).
+// Put appends an entry to the key's shard, reporting whether it wrote: a
+// key already present is left untouched and reports false (results are
+// content-addressed — same key, same value — so concurrent writers that
+// raced on a computation converge on one record).
 func (s *Store) Put(key, typeName string, payload []byte) (added bool, err error) {
 	if len(key) == 0 || len(key) > maxKeyLen || len(typeName) > maxTypeLen {
 		return false, fmt.Errorf("store: bad key/type length %d/%d", len(key), len(typeName))
@@ -536,70 +338,62 @@ func (s *Store) Put(key, typeName string, payload []byte) (added bool, err error
 	if len(payload) > maxPayload {
 		return false, fmt.Errorf("store: payload %d exceeds %d bytes", len(payload), maxPayload)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.readOnly {
-		return false, fmt.Errorf("store: read-only")
+	s.ops.puts.Add(1)
+	added, err = s.shardFor(key).put(key, typeName, payload, time.Now().Unix())
+	if err == nil && s.hot != nil {
+		s.hot.add(key, typeName, payload, nil)
 	}
-	if s.dead != nil {
-		return false, s.dead
-	}
-	err = s.withLock(true, func() error {
-		// Catch up on other writers (and truncate a crashed writer's torn
-		// tail) so the append lands at a record boundary.
-		if err := s.scanTailLocked(true); err != nil {
-			return err
-		}
-		if _, dup := s.index[key]; dup {
-			return nil
-		}
-		if err := s.appendLocked(encodeRecord(key, typeName, payload, time.Now().Unix())); err != nil {
-			return err
-		}
-		added = true
-		return nil
-	})
 	return added, err
 }
 
-// Invalidate drops key from this handle's index, so the next Put for it
+// Invalidate drops key from its shard's index (so the next Put for it
 // appends a fresh record, which last-wins over the old one at every future
-// scan (fresh opens immediately; live sibling handles at their next tail
-// rescan). The executor's disk tier uses it when a checksum-valid record
-// fails to decode — a stale payload encoding that, left in place, would
-// force every future run to recompute the cell without ever being able to
-// repair it.
+// scan) and from the hot set. The executor's disk tier uses it when a
+// checksum-valid record fails to decode — a stale payload encoding that,
+// left in place, would force every future run to recompute the cell
+// without ever being able to repair it.
 func (s *Store) Invalidate(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.index, key)
+	if s.hot != nil {
+		s.hot.remove(key)
+	}
+	s.shardFor(key).invalidate(key)
 }
 
-// appendLocked writes one pre-encoded record at the committed tail and
-// indexes it. Both s.mu and the exclusive file lock are held, and s.scanned
-// must equal the file size.
-func (s *Store) appendLocked(rec []byte) error {
-	if _, err := s.f.WriteAt(rec, s.scanned); err != nil {
-		return fmt.Errorf("store: %w", err)
+// Sync is a durability barrier: it checkpoints the commit log, after
+// which every acknowledged put is durable in its own segment, the log is
+// empty, and no deferred writeback is pending. Campaign tools call it
+// before handing a cache directory to something that bypasses this
+// process (a snapshot, an rsync, a read-only consumer).
+func (s *Store) Sync() error {
+	if s.sg != nil && s.sg.w != nil {
+		return s.sg.checkpoint()
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	parsed, status := parseRecord(rec)
-	if status != recGood {
-		return fmt.Errorf("store: internal error: appended record does not verify")
-	}
-	s.index[parsed.key] = entryRef{off: s.scanned, recLen: parsed.recLen,
-		typeName: parsed.typeName, payloadLen: len(parsed.payload), stamp: parsed.stamp}
-	s.scanned += parsed.recLen
 	return nil
 }
 
-// Close releases the store's file handles.
+// Close checkpoints the commit log (making every segment durable on its
+// own and truncating the log) and releases the store's file handles.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.closeFiles()
+	var err error
+	if s.sg != nil && s.sg.w != nil {
+		err = s.sg.checkpoint()
+		if cerr := s.sg.w.closeFiles(); err == nil {
+			err = cerr
+		}
+	}
+	for _, sh := range s.shards {
+		sh.lock()
+		if cerr := sh.closeFiles(); err == nil {
+			err = cerr
+		}
+		sh.mu.Unlock()
+	}
+	if s.dirLock != nil {
+		if cerr := s.dirLock.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Dir returns the store's directory.
@@ -608,19 +402,44 @@ func (s *Store) Dir() string { return s.dir }
 // Schema returns the schema version the store was opened with.
 func (s *Store) Schema() string { return s.schema }
 
-// Len returns the number of live entries.
+// Len returns the number of live entries across all shards.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.index)
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.state.Load().live()
+	}
+	return n
 }
 
-// ResetOnOpen reports whether Open discarded a previous segment because its
-// format or schema version did not match.
-func (s *Store) ResetOnOpen() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reset
+// ResetOnOpen reports whether Open discarded previous contents because
+// their format or schema version did not match.
+func (s *Store) ResetOnOpen() bool { return s.reset }
+
+// MigratedOnOpen reports whether this Open upgraded a legacy v1
+// single-segment directory to the sharded layout, and how many entries it
+// carried over.
+func (s *Store) MigratedOnOpen() (bool, int) { return s.migrated, s.migratedEntries }
+
+// Counters returns a snapshot of the store's operation counters.
+func (s *Store) Counters() OpCounters {
+	return OpCounters{
+		Gets:         s.ops.gets.Load(),
+		Puts:         s.ops.puts.Load(),
+		HotHits:      s.ops.hotHits.Load(),
+		SnapshotHits: s.ops.snapshotHits.Load(),
+		SlowGets:     s.ops.slowGets.Load(),
+		MutexAcqs:    s.ops.mutexAcqs.Load(),
+		FlockAcqs:    s.ops.flockAcqs.Load(),
+	}
+}
+
+// HotStats returns the hot set's counters; the zero value when the memory
+// tier is disabled.
+func (s *Store) HotStats() HotStats {
+	if s.hot == nil {
+		return HotStats{}
+	}
+	return s.hot.stats()
 }
 
 // EntryInfo describes one live entry.
@@ -637,28 +456,29 @@ type keyedRef struct {
 	ref entryRef
 }
 
-// liveRefsLocked returns the live entries in segment (write) order — the
-// one definition of "segment order" shared by Entries, GC and Export.
-// s.mu held.
-func (s *Store) liveRefsLocked() []keyedRef {
-	all := make([]keyedRef, 0, len(s.index))
-	for k, ref := range s.index {
-		all = append(all, keyedRef{k, ref})
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ref.off < all[j].ref.off })
-	return all
+// sortRefsByOff orders refs by segment offset (one shard's write order).
+func sortRefsByOff(refs []keyedRef) {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].ref.off < refs[j].ref.off })
 }
 
-// Entries lists live entries in segment order (write order).
+// Entries lists live entries ordered by write stamp (oldest first), with
+// the key as tiebreak: with the keyspace spread over shards there is no
+// single segment order anymore, so the stamp is the one global ordering
+// the store can still promise.
 func (s *Store) Entries() []EntryInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	all := s.liveRefsLocked()
-	out := make([]EntryInfo, len(all))
-	for i, p := range all {
-		out[i] = EntryInfo{Key: p.key, Type: p.ref.typeName,
-			PayloadBytes: p.ref.payloadLen, Stamp: time.Unix(p.ref.stamp, 0)}
+	var out []EntryInfo
+	for _, sh := range s.shards {
+		for k, ref := range sh.state.Load().merged() {
+			out = append(out, EntryInfo{Key: k, Type: ref.typeName,
+				PayloadBytes: ref.payloadLen, Stamp: time.Unix(ref.stamp, 0)})
+		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Stamp.Equal(out[j].Stamp) {
+			return out[i].Stamp.Before(out[j].Stamp)
+		}
+		return out[i].Key < out[j].Key
+	})
 	return out
 }
 
@@ -667,36 +487,46 @@ type Summary struct {
 	Dir     string
 	Schema  string
 	Entries int
-	// Bytes is the segment file size (header, live entries, and any stale
-	// or corrupt records GC has not yet compacted away).
+	// Bytes is the total segment file size (headers, live entries, and any
+	// stale or corrupt records GC has not yet compacted away).
 	Bytes          int64
 	PerType        map[string]int
 	Oldest, Newest time.Time
+	// Shards is the number of segment shards (1 for a legacy v1 directory
+	// opened read-only).
+	Shards int
+	// Layout names the on-disk layout: "sharded" or "v1".
+	Layout string
 }
 
 // Stats returns a summary of the store.
 func (s *Store) Stats() Summary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sum := Summary{Dir: s.dir, Schema: s.schema, Entries: len(s.index),
-		PerType: map[string]int{}}
-	if fi, err := s.f.Stat(); err == nil {
-		sum.Bytes = fi.Size()
+	sum := Summary{Dir: s.dir, Schema: s.schema, PerType: map[string]int{},
+		Shards: len(s.shards), Layout: "sharded"}
+	if s.legacy {
+		sum.Layout = "v1"
 	}
-	for _, ref := range s.index {
-		sum.PerType[ref.typeName]++
-		t := time.Unix(ref.stamp, 0)
-		if sum.Oldest.IsZero() || t.Before(sum.Oldest) {
-			sum.Oldest = t
+	for _, sh := range s.shards {
+		st := sh.state.Load()
+		if fi, err := st.f.Stat(); err == nil {
+			sum.Bytes += fi.Size()
 		}
-		if t.After(sum.Newest) {
-			sum.Newest = t
+		sum.Entries += st.live()
+		for _, ref := range st.merged() {
+			sum.PerType[ref.typeName]++
+			t := time.Unix(ref.stamp, 0)
+			if sum.Oldest.IsZero() || t.Before(sum.Oldest) {
+				sum.Oldest = t
+			}
+			if t.After(sum.Newest) {
+				sum.Newest = t
+			}
 		}
 	}
 	return sum
 }
 
-// VerifyResult reports a full-segment checksum scan.
+// VerifyResult reports a full-store checksum scan.
 type VerifyResult struct {
 	// Records is the number of complete records parsed (live + stale).
 	Records int
@@ -704,52 +534,31 @@ type VerifyResult struct {
 	Live int
 	// Corrupt counts records whose checksum failed.
 	Corrupt int
-	// TornBytes is the length of an unparseable tail, zero when the
-	// segment ends cleanly.
+	// TornBytes is the total length of unparseable segment tails, zero
+	// when every segment ends cleanly.
 	TornBytes int64
 	// GarbageBytes counts mid-segment bytes the scan had to resynchronise
 	// past (e.g. a record whose length fields were corrupted).
 	GarbageBytes int64
 }
 
-// Verify re-reads every record in the segment and checks its checksum.
+// Verify re-reads every record in every shard and checks its checksum.
 func (s *Store) Verify() (VerifyResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var res VerifyResult
-	err := s.withLock(false, func() error {
-		fi, err := s.f.Stat()
-		if err != nil {
-			return fmt.Errorf("store: %w", err)
+	for _, sh := range s.shards {
+		if err := sh.verify(&res); err != nil {
+			return res, err
 		}
-		size := fi.Size()
-		if err := s.ensureHeaderLocked(size); err != nil {
-			return err
-		}
-		buf := make([]byte, size-s.hdrLen)
-		if _, err := s.f.ReadAt(buf, s.hdrLen); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		tail, garbage := walkRecords(buf, s.hdrLen, func(_ int64, rec parsedRecord, st recStatus) {
-			res.Records++
-			if st == recBadCRC {
-				res.Corrupt++
-			}
-		})
-		res.TornBytes = size - tail
-		res.GarbageBytes = garbage
-		return nil
-	})
-	res.Live = len(s.index)
-	return res, err
+	}
+	return res, nil
 }
 
 // GCPolicy selects which entries a compaction keeps.
 type GCPolicy struct {
 	// MaxAge evicts entries written longer ago; zero keeps all ages.
 	MaxAge time.Duration
-	// MaxBytes bounds the surviving record bytes, evicting oldest-first;
-	// zero means unbounded.
+	// MaxBytes bounds the surviving record bytes across all shards,
+	// evicting oldest-first; zero means unbounded.
 	MaxBytes int64
 }
 
@@ -759,151 +568,151 @@ type GCResult struct {
 	BytesBefore, BytesAfter int64
 }
 
-// GC compacts the segment: stale duplicates, checksum-failed records and
+// GC compacts every shard: stale duplicates, checksum-failed records and
 // entries outside the policy are dropped, survivors are rewritten to a
 // temporary segment which atomically replaces the old one (temp file +
-// rename). Other Stores sharing the directory keep reading their old
-// segment until they reopen; run GC between campaigns, not during one.
+// rename per shard). The policy is evaluated globally — MaxBytes bounds
+// the store, not each shard — in two phases: gather every shard's live
+// set, decide the global survivor set, then compact shard by shard.
+// Entries appended between the phases are kept unconditionally. Other
+// Stores sharing the directory keep reading their old segments until
+// they reopen; run GC between campaigns, not during one.
 func (s *Store) GC(policy GCPolicy) (GCResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var res GCResult
 	if s.readOnly {
 		return res, fmt.Errorf("store: read-only")
 	}
-	if s.dead != nil {
-		return res, s.dead
+	// Phase 1: bring every shard's index current and snapshot the live
+	// sets (plus each shard's committed size, the fence for "appended
+	// after the snapshot").
+	type shardSnap struct {
+		live []keyedRef
+		size int64
 	}
-	err := s.withLock(true, func() error {
-		if err := s.scanTailLocked(true); err != nil {
-			return err
+	snaps := make([]shardSnap, len(s.shards))
+	var all []keyedRef
+	for i, sh := range s.shards {
+		sh.lock()
+		err := func() error {
+			if st := sh.state.Load(); st.dead != nil {
+				return st.dead
+			}
+			return sh.withFileLock(true, func() error { return sh.rescanLocked(true) })
+		}()
+		if err != nil {
+			sh.mu.Unlock()
+			return res, err
 		}
-		res.BytesBefore = s.scanned
+		snaps[i].live = sh.liveRefs()
+		snaps[i].size = sh.state.Load().size
+		sh.mu.Unlock()
+		res.BytesBefore += snaps[i].size
+		all = append(all, snaps[i].live...)
+	}
 
-		all := s.liveRefsLocked()
-		live := all[:0]
-		cutoff := int64(0)
-		if policy.MaxAge > 0 {
-			cutoff = time.Now().Add(-policy.MaxAge).Unix()
+	// Decide the global survivor set.
+	live := all[:0]
+	cutoff := int64(0)
+	if policy.MaxAge > 0 {
+		cutoff = time.Now().Add(-policy.MaxAge).Unix()
+	}
+	for _, p := range all {
+		if p.ref.stamp < cutoff {
+			res.Evicted++
+			continue
 		}
-		for _, p := range all {
-			if p.ref.stamp < cutoff {
+		live = append(live, p)
+	}
+	if policy.MaxBytes > 0 {
+		// Evict oldest-first until the surviving records fit.
+		sort.Slice(live, func(i, j int) bool {
+			if live[i].ref.stamp != live[j].ref.stamp {
+				return live[i].ref.stamp > live[j].ref.stamp
+			}
+			return live[i].key > live[j].key
+		})
+		var total int64
+		kept := live[:0]
+		for _, p := range live {
+			if total+p.ref.recLen > policy.MaxBytes {
 				res.Evicted++
 				continue
 			}
-			live = append(live, p)
+			total += p.ref.recLen
+			kept = append(kept, p)
 		}
-		if policy.MaxBytes > 0 {
-			// Evict oldest-first until the surviving records fit.
-			sort.Slice(live, func(i, j int) bool {
-				if live[i].ref.stamp != live[j].ref.stamp {
-					return live[i].ref.stamp > live[j].ref.stamp
-				}
-				return live[i].ref.off > live[j].ref.off
-			})
-			var total int64
-			kept := live[:0]
-			for _, p := range live {
-				if total+p.ref.recLen > policy.MaxBytes {
-					res.Evicted++
-					continue
-				}
-				total += p.ref.recLen
-				kept = append(kept, p)
-			}
-			live = kept
-		}
-		// Rewrite survivors in their original order.
-		sort.Slice(live, func(i, j int) bool { return live[i].ref.off < live[j].ref.off })
+		live = kept
+	}
+	keep := make(map[string]bool, len(live))
+	for _, p := range live {
+		keep[p.key] = true
+	}
 
-		tmpPath := s.segPath() + ".tmp"
-		tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	// Phase 2: compact each shard against the global survivor set. An
+	// entry past the phase-1 fence was appended while the policy was
+	// being decided and is kept unconditionally.
+	for i, sh := range s.shards {
+		fence := snaps[i].size
+		kept, _, bytesAfter, err := sh.compact(func(key string, ref entryRef) bool {
+			return ref.off >= fence || keep[key]
+		})
 		if err != nil {
-			return fmt.Errorf("store: %w", err)
+			return res, err
 		}
-		defer os.Remove(tmpPath) // no-op after a successful rename
-		w := bufio.NewWriterSize(tmp, 256<<10)
-		if _, err := w.Write(encodeHeader(s.schema)); err != nil {
-			tmp.Close()
-			return fmt.Errorf("store: %w", err)
+		res.Kept += kept
+		res.BytesAfter += bytesAfter
+	}
+	if s.sg != nil && s.sg.w != nil {
+		// The compacted segments are durable on their own; drop the log
+		// so a crash does not replay (and resurrect) evicted records.
+		if err := s.sg.checkpoint(); err != nil {
+			return res, err
 		}
-		for _, p := range live {
-			rec := make([]byte, p.ref.recLen)
-			if _, err := s.f.ReadAt(rec, p.ref.off); err != nil {
-				tmp.Close()
-				return fmt.Errorf("store: %w", err)
-			}
-			if _, err := w.Write(rec); err != nil {
-				tmp.Close()
-				return fmt.Errorf("store: %w", err)
-			}
-		}
-		if err := w.Flush(); err != nil {
-			tmp.Close()
-			return fmt.Errorf("store: %w", err)
-		}
-		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			return fmt.Errorf("store: %w", err)
-		}
-		if err := tmp.Close(); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		if err := os.Rename(tmpPath, s.segPath()); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		// Swap to the new segment and rebuild the index from it. Failing
-		// here leaves s.f on the unlinked pre-compaction inode, so the
-		// handle must die rather than let writes vanish into it.
-		f, err := os.OpenFile(s.segPath(), os.O_RDWR, 0o644)
-		if err != nil {
-			s.dead = fmt.Errorf("store: segment reopen after compaction failed (reopen the store): %w", err)
-			return s.dead
-		}
-		s.f.Close()
-		s.f = f
-		s.index = map[string]entryRef{}
-		if _, s.hdrLen, err = readHeader(s.f); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		s.scanned = s.hdrLen
-		if err := s.scanTailLocked(true); err != nil {
-			return err
-		}
-		res.Kept = len(s.index)
-		res.BytesAfter = s.scanned
-		return nil
-	})
-	return res, err
+	}
+	return res, nil
 }
 
 // bundleManifest is the first file of an export bundle.
 const bundleManifestName = "MANIFEST"
 
 // Export writes every live entry as a tar bundle: a MANIFEST naming the
-// format and schema, then one file per record. Bundles move results
-// between machines; Import on the receiving side verifies every checksum.
+// format and schema, then one file per record (shard by shard, in each
+// shard's write order). Bundles move results between machines and across
+// layout versions — a bundle exported from a v1 store imports into a
+// sharded one unchanged, records being layout-agnostic; Import on the
+// receiving side verifies every checksum.
 func (s *Store) Export(w io.Writer) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	all := s.liveRefsLocked()
+	type shardExport struct {
+		sh   *shard
+		live []keyedRef
+	}
+	exports := make([]shardExport, 0, len(s.shards))
+	total := 0
+	for _, sh := range s.shards {
+		live := sh.liveRefs()
+		exports = append(exports, shardExport{sh, live})
+		total += len(live)
+	}
 
 	tw := tar.NewWriter(w)
 	manifest := fmt.Sprintf("activemem-store-bundle v1\nformat: %s\nschema: %s\nentries: %d\n",
-		fileMagic, s.schema, len(all))
+		fileMagic, s.schema, total)
 	if err := writeTarFile(tw, bundleManifestName, []byte(manifest)); err != nil {
 		return 0, err
 	}
 	n := 0
-	for _, p := range all {
-		rec := make([]byte, p.ref.recLen)
-		if _, err := s.f.ReadAt(rec, p.ref.off); err != nil {
-			return n, fmt.Errorf("store: %w", err)
+	for _, ex := range exports {
+		st := ex.sh.state.Load()
+		for _, p := range ex.live {
+			rec := make([]byte, p.ref.recLen)
+			if _, err := st.f.ReadAt(rec, p.ref.off); err != nil {
+				return n, fmt.Errorf("store: %w", err)
+			}
+			if err := writeTarFile(tw, "entries/"+p.key, rec); err != nil {
+				return n, err
+			}
+			n++
 		}
-		if err := writeTarFile(tw, "entries/"+p.key, rec); err != nil {
-			return n, err
-		}
-		n++
 	}
 	if err := tw.Close(); err != nil {
 		return n, fmt.Errorf("store: %w", err)
@@ -923,16 +732,13 @@ func writeTarFile(tw *tar.Writer, name string, data []byte) error {
 }
 
 // Import reads an Export bundle and appends entries whose keys are absent.
-// Records are checksum-verified before they are admitted, and a bundle
-// exported under a different schema version is rejected outright.
+// Records are checksum-verified before they are admitted — original
+// stamps and bytes are preserved — and a bundle exported under a
+// different schema version is rejected outright. Records are routed to
+// their shards and appended one batch per shard.
 func (s *Store) Import(r io.Reader) (added, skipped int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.readOnly {
 		return 0, 0, fmt.Errorf("store: read-only")
-	}
-	if s.dead != nil {
-		return 0, 0, s.dead
 	}
 	tr := tar.NewReader(r)
 	hdr, err := tr.Next()
@@ -954,43 +760,62 @@ func (s *Store) Import(r io.Reader) (added, skipped int, err error) {
 		return 0, 0, fmt.Errorf("store: bundle schema %q does not match store schema %q", schema, s.schema)
 	}
 
-	err = s.withLock(true, func() error {
-		if err := s.scanTailLocked(true); err != nil {
-			return err
+	// Verify and route every record first, then append shard by shard.
+	perShard := make([][][]byte, len(s.shards))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
 		}
-		for {
-			hdr, err := tr.Next()
-			if err == io.EOF {
-				return nil
-			}
-			if err != nil {
-				return fmt.Errorf("store: bad bundle: %w", err)
-			}
-			if !strings.HasPrefix(hdr.Name, "entries/") {
-				continue
-			}
-			if hdr.Size > fixedHdrLen+maxKeyLen+maxTypeLen+maxPayload+crcLen {
-				return fmt.Errorf("store: bundle entry %q too large", hdr.Name)
-			}
-			rec, err := io.ReadAll(tr)
-			if err != nil {
-				return fmt.Errorf("store: %w", err)
-			}
-			parsed, status := parseRecord(rec)
-			if status != recGood || parsed.recLen != int64(len(rec)) {
-				return fmt.Errorf("store: bundle entry %q fails verification", hdr.Name)
-			}
-			if _, dup := s.index[parsed.key]; dup {
-				skipped++
-				continue
-			}
-			if err := s.appendLocked(rec); err != nil {
+		if err != nil {
+			return 0, 0, fmt.Errorf("store: bad bundle: %w", err)
+		}
+		if !strings.HasPrefix(hdr.Name, "entries/") {
+			continue
+		}
+		if hdr.Size > fixedHdrLen+maxKeyLen+maxTypeLen+maxPayload+crcLen {
+			return 0, 0, fmt.Errorf("store: bundle entry %q too large", hdr.Name)
+		}
+		rec, err := io.ReadAll(tr)
+		if err != nil {
+			return 0, 0, fmt.Errorf("store: %w", err)
+		}
+		parsed, status := parseRecord(rec)
+		if status != recGood || parsed.recLen != int64(len(rec)) {
+			return 0, 0, fmt.Errorf("store: bundle entry %q fails verification", hdr.Name)
+		}
+		i := 0
+		if !s.legacy {
+			i = shardOf(parsed.key)
+		}
+		perShard[i] = append(perShard[i], rec)
+	}
+
+	for i, recs := range perShard {
+		if len(recs) == 0 {
+			continue
+		}
+		sh := s.shards[i]
+		sh.lock()
+		if st := sh.state.Load(); st.dead != nil {
+			sh.mu.Unlock()
+			return added, skipped, st.dead
+		}
+		err := sh.withFileLock(true, func() error {
+			if err := sh.rescanLocked(true); err != nil {
 				return err
 			}
-			added++
+			a, sk, err := sh.appendBatchLocked(recs)
+			added += a
+			skipped += sk
+			return err
+		})
+		sh.mu.Unlock()
+		if err != nil {
+			return added, skipped, err
 		}
-	})
-	return added, skipped, err
+	}
+	return added, skipped, nil
 }
 
 // manifestField extracts "name: value" from a bundle manifest.

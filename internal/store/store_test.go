@@ -46,6 +46,69 @@ func wantMiss(t *testing.T, s *Store, key string) {
 	}
 }
 
+// refOf returns key's index entry and the path of the shard segment holding
+// it (white-box: via the published snapshot).
+func refOf(t *testing.T, s *Store, key string) (entryRef, string) {
+	t.Helper()
+	sh := s.shardFor(key)
+	ref, ok := sh.state.Load().lookup(key)
+	if !ok {
+		t.Fatalf("key %q not indexed", key)
+	}
+	return ref, sh.segPath
+}
+
+// backdate rewrites key's in-memory stamp (white-box: GC reads stamps from
+// the index, so tests age entries without waiting).
+func backdate(t *testing.T, s *Store, key string, stamp int64) {
+	t.Helper()
+	sh := s.shardFor(key)
+	sh.lock()
+	defer sh.mu.Unlock()
+	st := sh.state.Load()
+	ref, ok := st.lookup(key)
+	if !ok {
+		t.Fatalf("key %q not indexed", key)
+	}
+	ref.stamp = stamp
+	cloned := st.merged()
+	cloned[key] = ref
+	sh.state.Store(&shardState{f: st.f, index: cloned, hdrLen: st.hdrLen,
+		size: st.size, dead: st.dead})
+}
+
+// totalSegBytes sums every shard segment's file size.
+func totalSegBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, shardsDirName, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, seg := range segs {
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// keysInOneShard returns n distinct keys that all route to the same shard,
+// for tests that need records to be neighbours in one segment.
+func keysInOneShard(n int) []string {
+	keys := []string{"key-000"}
+	want := shardOf(keys[0])
+	for i := 1; len(keys) < n; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		if shardOf(k) == want {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
 func TestPutGetAcrossReopen(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
@@ -57,13 +120,13 @@ func TestPutGetAcrossReopen(t *testing.T) {
 	}
 	// A duplicate put reports added == false and leaves the original
 	// record in place.
-	sizeBefore := segSize(t, dir)
+	sizeBefore := totalSegBytes(t, dir)
 	added, err := s.Put("key-a", "t.A", []byte("alpha"))
 	if err != nil || added {
 		t.Fatalf("duplicate put = (%v, %v), want (false, nil)", added, err)
 	}
-	if got := segSize(t, dir); got != sizeBefore {
-		t.Fatalf("duplicate put grew segment %d -> %d", sizeBefore, got)
+	if got := totalSegBytes(t, dir); got != sizeBefore {
+		t.Fatalf("duplicate put grew segments %d -> %d", sizeBefore, got)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -78,27 +141,23 @@ func TestPutGetAcrossReopen(t *testing.T) {
 	}
 }
 
-func segSize(t *testing.T, dir string) int64 {
-	t.Helper()
-	fi, err := os.Stat(filepath.Join(dir, segmentName))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return fi.Size()
-}
-
-// TestTruncatedSegmentRecovers simulates a crash mid-append: the segment is
-// cut inside the final record, and the next open must serve every earlier
-// entry and accept new appends.
+// TestTruncatedSegmentRecovers simulates a crash mid-append: a shard
+// segment is cut inside its final record, and the next open must serve
+// every earlier entry and accept new appends.
 func TestTruncatedSegmentRecovers(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir)
 	put(t, s, "key-a", "t", "alpha")
 	put(t, s, "key-b", "t", "beta")
 	put(t, s, "key-c", "t", "gamma")
+	_, segC := refOf(t, s, "key-c")
 	s.Close()
 
-	if err := os.Truncate(filepath.Join(dir, segmentName), segSize(t, dir)-5); err != nil {
+	fi, err := os.Stat(segC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segC, fi.Size()-5); err != nil {
 		t.Fatal(err)
 	}
 
@@ -121,17 +180,19 @@ func TestTruncatedSegmentRecovers(t *testing.T) {
 // checksum mismatch drops the damaged entry (its cell recomputes) while
 // entries before and after stay reachable.
 func TestFlippedPayloadByteSkipsOnlyThatEntry(t *testing.T) {
+	// All three keys in one shard, so the damaged record sits mid-segment
+	// (a bad-CRC record at a segment tail is truncated as torn instead).
+	keys := keysInOneShard(3)
 	dir := t.TempDir()
 	s := openT(t, dir)
-	put(t, s, "key-a", "t", "alpha")
-	put(t, s, "key-b", "t", "beta")
-	put(t, s, "key-c", "t", "gamma")
-	// Locate key-b's payload on disk (white-box: via the index).
-	ref := s.index["key-b"]
-	payloadOff := ref.off + fixedHdrLen + int64(len("key-b")) + int64(len("t"))
+	put(t, s, keys[0], "t", "alpha")
+	put(t, s, keys[1], "t", "beta")
+	put(t, s, keys[2], "t", "gamma")
+	ref, segB := refOf(t, s, keys[1])
+	payloadOff := ref.off + fixedHdrLen + int64(len(keys[1])) + int64(len("t"))
 	s.Close()
 
-	f, err := os.OpenFile(filepath.Join(dir, segmentName), os.O_RDWR, 0)
+	f, err := os.OpenFile(segB, os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,9 +208,9 @@ func TestFlippedPayloadByteSkipsOnlyThatEntry(t *testing.T) {
 
 	s2 := openT(t, dir)
 	defer s2.Close()
-	wantEntry(t, s2, "key-a", "t", "alpha")
-	wantMiss(t, s2, "key-b") // checksum mismatch: recompute, not error
-	wantEntry(t, s2, "key-c", "t", "gamma")
+	wantEntry(t, s2, keys[0], "t", "alpha")
+	wantMiss(t, s2, keys[1]) // checksum mismatch: recompute, not error
+	wantEntry(t, s2, keys[2], "t", "gamma")
 
 	res, err := s2.Verify()
 	if err != nil {
@@ -160,26 +221,28 @@ func TestFlippedPayloadByteSkipsOnlyThatEntry(t *testing.T) {
 	}
 
 	// Recomputing the damaged cell repairs the store.
-	put(t, s2, "key-b", "t", "beta")
-	wantEntry(t, s2, "key-b", "t", "beta")
+	put(t, s2, keys[1], "t", "beta")
+	wantEntry(t, s2, keys[1], "t", "beta")
 }
 
 // TestCorruptLengthFieldResyncs pins the scan's resynchronisation: damage
 // to a record's length fields desynchronises parsing at that record, but
-// the scan recovers at the next record's magic marker, so later entries
-// stay reachable instead of being truncated away.
+// the scan recovers at the next record's magic marker, so later entries in
+// the same shard stay reachable instead of being truncated away.
 func TestCorruptLengthFieldResyncs(t *testing.T) {
+	keys := keysInOneShard(3)
 	dir := t.TempDir()
 	s := openT(t, dir)
-	put(t, s, "key-a", "t", "alpha")
-	put(t, s, "key-b", "t", "beta")
-	put(t, s, "key-c", "t", "gamma")
-	ref := s.index["key-b"]
+	put(t, s, keys[0], "t", "alpha")
+	put(t, s, keys[1], "t", "beta")
+	put(t, s, keys[2], "t", "gamma")
+	ref, seg := refOf(t, s, keys[1])
 	s.Close()
 
-	// Corrupt key-b's payloadLen (offset 8 within the record): the claimed
-	// record extent becomes nonsense, so parsing cannot simply skip it.
-	f, err := os.OpenFile(filepath.Join(dir, segmentName), os.O_RDWR, 0)
+	// Corrupt the middle record's payloadLen (offset 8 within the record):
+	// the claimed record extent becomes nonsense, so parsing cannot simply
+	// skip it.
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,9 +253,9 @@ func TestCorruptLengthFieldResyncs(t *testing.T) {
 
 	s2 := openT(t, dir)
 	defer s2.Close()
-	wantEntry(t, s2, "key-a", "t", "alpha")
-	wantMiss(t, s2, "key-b")
-	wantEntry(t, s2, "key-c", "t", "gamma") // survived the desync
+	wantEntry(t, s2, keys[0], "t", "alpha")
+	wantMiss(t, s2, keys[1])
+	wantEntry(t, s2, keys[2], "t", "gamma") // survived the desync
 
 	res, err := s2.Verify()
 	if err != nil {
@@ -213,7 +276,7 @@ func TestCorruptLengthFieldResyncs(t *testing.T) {
 	if res.Live != 2 || res.GarbageBytes != 0 || res.Corrupt != 0 {
 		t.Fatalf("post-gc verify = %+v", res)
 	}
-	wantEntry(t, s2, "key-c", "t", "gamma")
+	wantEntry(t, s2, keys[2], "t", "gamma")
 }
 
 // TestSchemaMismatchInvalidates pins version-mismatch invalidation: results
@@ -338,10 +401,7 @@ func TestGCAge(t *testing.T) {
 	defer s.Close()
 	put(t, s, "key-old", "t", "old")
 	put(t, s, "key-new", "t", "new")
-	// Backdate key-old (white-box: GC reads stamps from the index).
-	ref := s.index["key-old"]
-	ref.stamp = time.Now().Add(-48 * time.Hour).Unix()
-	s.index["key-old"] = ref
+	backdate(t, s, "key-old", time.Now().Add(-48*time.Hour).Unix())
 
 	res, err := s.GC(GCPolicy{MaxAge: time.Hour})
 	if err != nil {
@@ -362,12 +422,11 @@ func TestGCSizeEvictsOldestAndCompacts(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		put(t, s, fmt.Sprintf("key-%d", i), "t", big)
 		// Distinct stamps so age ordering is well defined.
-		ref := s.index[fmt.Sprintf("key-%d", i)]
-		ref.stamp = time.Now().Add(time.Duration(i-10) * time.Hour).Unix()
-		s.index[fmt.Sprintf("key-%d", i)] = ref
+		backdate(t, s, fmt.Sprintf("key-%d", i), time.Now().Add(time.Duration(i-10)*time.Hour).Unix())
 	}
-	// Stale duplicates do not exist (puts dedupe), so the segment holds 5
-	// records; keep roughly two records' worth.
+	// Stale duplicates do not exist (puts dedupe), so the store holds 5
+	// records; keep roughly two records' worth. MaxBytes is a global
+	// bound, applied across shards.
 	res, err := s.GC(GCPolicy{MaxBytes: 2200})
 	if err != nil {
 		t.Fatal(err)
@@ -376,14 +435,14 @@ func TestGCSizeEvictsOldestAndCompacts(t *testing.T) {
 		t.Fatalf("gc = %+v, want 2 kept / 3 evicted", res)
 	}
 	if res.BytesAfter >= res.BytesBefore {
-		t.Fatalf("compaction did not shrink the segment: %+v", res)
+		t.Fatalf("compaction did not shrink the segments: %+v", res)
 	}
 	// The newest two survive.
 	wantEntry(t, s, "key-4", "t", big)
 	wantEntry(t, s, "key-3", "t", big)
 	wantMiss(t, s, "key-0")
 
-	// The compacted segment must be fully valid and reopenable.
+	// The compacted segments must be fully valid and reopenable.
 	verify, err := s.Verify()
 	if err != nil {
 		t.Fatal(err)
@@ -451,7 +510,8 @@ func TestEntriesAndStats(t *testing.T) {
 	if len(entries) != 3 {
 		t.Fatalf("entries = %d", len(entries))
 	}
-	// Segment (write) order.
+	// Stamp order, key tiebreak: all three share a stamp here, so keys
+	// decide.
 	if entries[0].Key != "key-a" || entries[2].Key != "key-c" {
 		t.Fatalf("entries out of order: %+v", entries)
 	}
@@ -459,25 +519,25 @@ func TestEntriesAndStats(t *testing.T) {
 	if sum.Entries != 3 || sum.PerType["t.A"] != 2 || sum.PerType["t.B"] != 1 {
 		t.Fatalf("stats = %+v", sum)
 	}
-	if sum.Bytes != segSize(t, dir) {
-		t.Fatalf("stats bytes = %d, file = %d", sum.Bytes, segSize(t, dir))
+	if sum.Bytes != totalSegBytes(t, dir) {
+		t.Fatalf("stats bytes = %d, files = %d", sum.Bytes, totalSegBytes(t, dir))
+	}
+	if sum.Shards != numShards || sum.Layout != "sharded" {
+		t.Fatalf("stats layout = %d/%q", sum.Shards, sum.Layout)
 	}
 }
 
-// TestReadOnlyOpenOfBareSegment: a directory holding only a copied
-// results.seg (no LOCK file) is inspectable read-only, lock-free.
+// TestReadOnlyOpenOfBareSegment: a directory holding only a copied v1
+// results.seg (no LOCK file, no shards/) is inspectable read-only,
+// lock-free, through the legacy single-segment mode.
 func TestReadOnlyOpenOfBareSegment(t *testing.T) {
-	src := t.TempDir()
-	s := openT(t, src)
-	put(t, s, "key-a", "t", "alpha")
-	s.Close()
+	// Synthesise a v1 segment directly: the current layout is sharded, so
+	// a legacy segment is built from records.
+	seg := encodeHeader(testSchema)
+	seg = append(seg, encodeRecord("key-a", "t", []byte("alpha"), time.Now().Unix())...)
 
 	dst := t.TempDir()
-	seg, err := os.ReadFile(filepath.Join(src, segmentName))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dst, segmentName), seg, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dst, v1SegmentName), seg, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -489,6 +549,9 @@ func TestReadOnlyOpenOfBareSegment(t *testing.T) {
 	wantEntry(t, ro, "key-a", "t", "alpha")
 	if res, err := ro.Verify(); err != nil || res.Live != 1 || res.Corrupt != 0 {
 		t.Fatalf("verify = (%+v, %v)", res, err)
+	}
+	if sum := ro.Stats(); sum.Layout != "v1" || sum.Shards != 1 {
+		t.Fatalf("stats layout = %q/%d, want v1/1", sum.Layout, sum.Shards)
 	}
 }
 
@@ -524,49 +587,52 @@ func TestPutValidation(t *testing.T) {
 // TestInvalidateAllowsReplacement: dropping a key lets a new Put append a
 // record that last-wins at every future scan, in this and sibling handles.
 func TestInvalidateAllowsReplacement(t *testing.T) {
+	keys := keysInOneShard(2)
+	stale, probe := keys[0], keys[1]
 	dir := t.TempDir()
 	s := openT(t, dir)
 	sib := openT(t, dir)
 	defer sib.Close()
-	put(t, s, "key-a", "t", "stale")
-	wantEntry(t, sib, "key-a", "t", "stale")
+	put(t, s, stale, "t", "stale")
+	wantEntry(t, sib, stale, "t", "stale")
 
-	s.Invalidate("key-a")
-	wantMiss(t, s, "key-a")
-	added, err := s.Put("key-a", "t", []byte("fresh"))
+	s.Invalidate(stale)
+	wantMiss(t, s, stale)
+	added, err := s.Put(stale, "t", []byte("fresh"))
 	if err != nil || !added {
 		t.Fatalf("replacement put = (%v, %v), want (true, nil)", added, err)
 	}
-	wantEntry(t, s, "key-a", "t", "fresh")
+	wantEntry(t, s, stale, "t", "fresh")
 	// A sibling handle keeps serving the still-intact old record until its
-	// next tail rescan (any miss triggers one), which adopts the
-	// replacement...
-	wantMiss(t, sib, "key-never-written")
-	wantEntry(t, sib, "key-a", "t", "fresh")
+	// next tail rescan of that shard (any miss routed there triggers one),
+	// which adopts the replacement...
+	wantMiss(t, sib, probe)
+	wantEntry(t, sib, stale, "t", "fresh")
 	s.Close()
 	// ...and so does a fresh open (the later record wins the index).
 	s2 := openT(t, dir)
 	defer s2.Close()
-	wantEntry(t, s2, "key-a", "t", "fresh")
+	wantEntry(t, s2, stale, "t", "fresh")
 }
 
 // TestInBoundsCorruptLengthResyncs is the sharper variant of the length
 // corruption test: the corrupted extent stays inside the segment and would
 // swallow the following valid record if the scan trusted it.
 func TestInBoundsCorruptLengthResyncs(t *testing.T) {
+	keys := keysInOneShard(4)
 	dir := t.TempDir()
 	s := openT(t, dir)
-	put(t, s, "key-a", "t", "alpha")
-	put(t, s, "key-b", "t", "beta")
-	put(t, s, "key-c", "t", "gamma")
-	put(t, s, "key-d", "t", "delta")
-	ref := s.index["key-a"]
+	put(t, s, keys[0], "t", "alpha")
+	put(t, s, keys[1], "t", "beta")
+	put(t, s, keys[2], "t", "gamma")
+	put(t, s, keys[3], "t", "delta")
+	ref, seg := refOf(t, s, keys[0])
 	s.Close()
 
-	// Grow key-a's payloadLen so its claimed extent ends inside key-c:
-	// still within the segment, so the record parses as a checksum failure
-	// rather than a torn tail.
-	f, err := os.OpenFile(filepath.Join(dir, segmentName), os.O_RDWR, 0)
+	// Grow the first record's payloadLen so its claimed extent ends inside
+	// the third record: still within the segment, so the record parses as
+	// a checksum failure rather than a torn tail.
+	f, err := os.OpenFile(seg, os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -577,10 +643,10 @@ func TestInBoundsCorruptLengthResyncs(t *testing.T) {
 
 	s2 := openT(t, dir)
 	defer s2.Close()
-	wantMiss(t, s2, "key-a")
-	wantEntry(t, s2, "key-b", "t", "beta") // inside the bogus claimed extent
-	wantEntry(t, s2, "key-c", "t", "gamma")
-	wantEntry(t, s2, "key-d", "t", "delta")
+	wantMiss(t, s2, keys[0])
+	wantEntry(t, s2, keys[1], "t", "beta") // inside the bogus claimed extent
+	wantEntry(t, s2, keys[2], "t", "gamma")
+	wantEntry(t, s2, keys[3], "t", "delta")
 	res, err := s2.Verify()
 	if err != nil {
 		t.Fatal(err)
@@ -590,19 +656,29 @@ func TestInBoundsCorruptLengthResyncs(t *testing.T) {
 	}
 }
 
+// makeEmptyShardLayout simulates the window where a writer has created the
+// sharded layout's files but not yet written their headers.
+func makeEmptyShardLayout(t *testing.T, dir string) {
+	t.Helper()
+	shardsDir := filepath.Join(dir, shardsDirName)
+	if err := os.MkdirAll(shardsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < numShards; i++ {
+		if err := os.WriteFile(shardSegPath(shardsDir, i), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestReadOnlyOpenOfEmptySegmentAdoptsHeaderLater pins the race where a
 // read-only handle opens in the window between a writer creating the
-// segment file and writing its header: once bytes appear, the handle must
-// parse (and schema-check) the header instead of scanning it as garbage.
+// segment files and writing their headers: once bytes appear, the handle
+// must parse (and schema-check) the header instead of scanning it as
+// garbage.
 func TestReadOnlyOpenOfEmptySegmentAdoptsHeaderLater(t *testing.T) {
 	dir := t.TempDir()
-	// Simulate the window: the segment exists but is empty.
-	if err := os.WriteFile(filepath.Join(dir, segmentName), nil, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, lockName), nil, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	makeEmptyShardLayout(t, dir)
 	ro, err := Open(dir, Options{Schema: testSchema, ReadOnly: true})
 	if err != nil {
 		t.Fatal(err)
@@ -625,12 +701,7 @@ func TestReadOnlyOpenOfEmptySegmentAdoptsHeaderLater(t *testing.T) {
 	// The same race against a writer of a different schema must refuse,
 	// not serve.
 	dir2 := t.TempDir()
-	if err := os.WriteFile(filepath.Join(dir2, segmentName), nil, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dir2, lockName), nil, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	makeEmptyShardLayout(t, dir2)
 	ro2, err := Open(dir2, Options{Schema: "other-schema", ReadOnly: true})
 	if err != nil {
 		t.Fatal(err)
@@ -646,8 +717,8 @@ func TestReadOnlyOpenOfEmptySegmentAdoptsHeaderLater(t *testing.T) {
 }
 
 // TestSegmentResetUnderLiveHandle pins the shrink guard: when another
-// process resets the segment (schema change), a stale handle must refuse
-// to append at its old offset or serve its old index.
+// process resets the store (schema change), a stale handle must refuse
+// to append at its old offsets or serve its old index.
 func TestSegmentResetUnderLiveHandle(t *testing.T) {
 	dir := t.TempDir()
 	old, err := Open(dir, Options{Schema: "sim-v1"})
@@ -669,7 +740,7 @@ func TestSegmentResetUnderLiveHandle(t *testing.T) {
 	if _, err := old.Put("key-c", "t", []byte("gamma")); err == nil {
 		t.Fatal("stale handle accepted a put into a reset segment")
 	}
-	size, err := os.Stat(filepath.Join(dir, segmentName))
+	size, err := os.Stat(old.shardFor("key-c").segPath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,285 @@
+// The store's write-ahead commit log: the group-commit domain for every
+// put in the sharded layout.
+//
+// A put appends its record to the owning shard's segment (no fsync) and
+// then to commit.log, and durability is settled by fsyncing commit.log
+// alone. Because every writer commits through the same single file, one
+// group-committed fsync covers every put in flight no matter how many
+// shards they landed on — the fsync rate is bounded by the commit wave
+// rate, not the put rate times the shard spread. Segments become durable
+// lazily at checkpoints (open-time recovery, size threshold, GC, Close),
+// which fsync every segment and then truncate the log; crash recovery
+// replays logged records whose keys the segment scan did not surface.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// commitLogName/commitLockName live beside the shard segments; the
+	// lock serialises cross-process appends (in-process appenders are
+	// already serialised by wal.mu) and guards checkpoint truncation.
+	commitLogName  = "commit.log"
+	commitLockName = "commit.lock"
+
+	// walCheckpointBytes caps how much logged-but-not-checkpointed data
+	// accumulates before a put folds a checkpoint into its commit.
+	walCheckpointBytes = 64 << 20
+)
+
+// wal is one process's handle on the commit log. Appends land at the
+// real end-of-file probed under the cross-process lock, so any number of
+// sibling processes interleave records safely; the checksummed record
+// framing makes the log self-describing for recovery.
+type wal struct {
+	path     string
+	lockPath string
+	schema   string
+	ops      *opCounters
+
+	// mu serialises this process's appends and checkpoints; the flock
+	// state of lockF must only ever be manipulated under it, because
+	// flock(2) is per open-file-description, not per goroutine.
+	mu     sync.Mutex
+	f      *os.File
+	lockF  *os.File
+	hdrLen int64
+	size   atomic.Int64
+
+	// Group commit: appendSeq numbers appends (assigned after the write
+	// lands), syncedSeq is the highest append a completed fsync covers.
+	// Writers queue on syncMu after releasing mu, so one fsync commits
+	// every append that piled up while the previous fsync was in flight.
+	appendSeq atomic.Uint64
+	syncMu    sync.Mutex
+	syncedSeq atomic.Uint64
+}
+
+// openWAL opens (creating if necessary) the commit log and its lock.
+func openWAL(shardsDir, schema string, ops *opCounters) (*wal, error) {
+	w := &wal{
+		path:     filepath.Join(shardsDir, commitLogName),
+		lockPath: filepath.Join(shardsDir, commitLockName),
+		schema:   schema,
+		ops:      ops,
+	}
+	var err error
+	if w.lockF, err = os.OpenFile(w.lockPath, os.O_RDWR|os.O_CREATE, 0o644); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if w.f, err = os.OpenFile(w.path, os.O_RDWR|os.O_CREATE, 0o644); err != nil {
+		w.lockF.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return w, nil
+}
+
+func (w *wal) closeFiles() error {
+	err := w.f.Close()
+	if cerr := w.lockF.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// withFileLock runs fn holding the log's cross-process lock exclusively.
+// Callers hold w.mu.
+func (w *wal) withFileLock(fn func() error) error {
+	w.ops.flockAcqs.Add(1)
+	return flockHeld(w.lockF, w.lockPath, true, fn)
+}
+
+// append writes one record at the log's current end and returns its
+// commit sequence number. The end offset is re-probed under the lock:
+// sibling processes append to and truncate the same log, so the locally
+// tracked size is only a hint.
+func (w *wal) append(rec []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.withFileLock(func() error {
+		fi, err := w.f.Stat()
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		off := fi.Size()
+		if off < w.hdrLen {
+			off = w.hdrLen
+		}
+		if _, err := w.f.WriteAt(rec, off); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		w.size.Store(off + int64(len(rec)))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return w.appendSeq.Add(1), nil
+}
+
+// syncTo ensures a completed fsync covers the append numbered seq.
+// Classic group commit on one file: the first writer through syncMu
+// re-reads the append counter and its single fsync commits the whole
+// backlog, so writers that queued behind an in-flight fsync usually find
+// their append already covered and return without syncing at all.
+func (w *wal) syncTo(seq uint64) error {
+	for w.syncedSeq.Load() < seq {
+		w.syncMu.Lock()
+		if w.syncedSeq.Load() >= seq {
+			w.syncMu.Unlock()
+			return nil
+		}
+		// Every append numbered <= covered finished its write before the
+		// counter was bumped, so this fsync commits all of them.
+		covered := w.appendSeq.Load()
+		err := w.f.Sync()
+		if err == nil {
+			w.syncedSeq.Store(covered)
+		}
+		w.syncMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// resetLocked rewrites the log as a bare synced header. Callers hold
+// w.mu and the file lock.
+func (w *wal) resetLocked() error {
+	hdr := encodeHeader(w.schema)
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := w.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w.hdrLen = int64(len(hdr))
+	w.size.Store(w.hdrLen)
+	return nil
+}
+
+// syncGroup binds a store's shards to its commit log: the commit path
+// for puts and the checkpoint that makes segments durable on their own.
+type syncGroup struct {
+	shards []*shard
+	w      *wal
+}
+
+// commit makes one appended record durable: log it, join the group
+// commit, and fold in a checkpoint when the log has grown past the
+// threshold (which also truncates it, bounding recovery time).
+func (g *syncGroup) commit(rec []byte) error {
+	seq, err := g.w.append(rec)
+	if err != nil {
+		return err
+	}
+	if err := g.w.syncTo(seq); err != nil {
+		return err
+	}
+	if g.w.size.Load() >= walCheckpointBytes {
+		return g.checkpoint()
+	}
+	return nil
+}
+
+// checkpoint fsyncs every shard segment and then truncates the log.
+// Holding the log's lock across both steps is what makes the truncation
+// safe: an append either completes before the lock is taken — its
+// segment record is flushed by the segment fsyncs below — or starts
+// after the truncation and is covered by its own log fsync. Records for
+// a put whose segment append has happened but whose log append has not
+// lose nothing either way: that put has not been acknowledged yet.
+func (g *syncGroup) checkpoint() error {
+	g.w.mu.Lock()
+	defer g.w.mu.Unlock()
+	return g.w.withFileLock(func() error {
+		for _, sh := range g.shards {
+			// Any published handle works: a concurrently compacted
+			// segment was synced — with every indexed record — before
+			// its handle was swapped in.
+			if err := sh.state.Load().f.Sync(); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		return g.w.resetLocked()
+	})
+}
+
+// recover replays the commit log into the shard segments at open: any
+// good logged record whose key the segment scan did not surface was
+// acknowledged durable but lost from its segment (a crash before a
+// checkpoint), so it is re-appended. The segments are then fsynced — a
+// key already present in a segment proves nothing about that segment
+// having been synced — and the log truncated. A log from another schema
+// is discarded whole, mirroring what opening does to the segments.
+func (g *syncGroup) recover() error {
+	w := g.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.withFileLock(func() error {
+		fi, err := w.f.Stat()
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		size := fi.Size()
+		if size == 0 {
+			return w.resetLocked()
+		}
+		schema, hdrLen, err := readHeader(w.f)
+		if err != nil || schema != w.schema {
+			return w.resetLocked()
+		}
+		w.hdrLen = hdrLen
+		w.size.Store(size)
+		if size <= hdrLen {
+			return nil
+		}
+		buf := make([]byte, size-hdrLen)
+		if _, err := io.ReadFull(io.NewSectionReader(w.f, hdrLen, size-hdrLen), buf); err != nil {
+			return w.resetLocked()
+		}
+		perShard := make([][][]byte, len(g.shards))
+		walkRecords(buf, hdrLen, func(off int64, rec parsedRecord, st recStatus) {
+			if st != recGood {
+				return
+			}
+			i := shardOf(rec.key) % len(g.shards)
+			o := off - hdrLen
+			perShard[i] = append(perShard[i], buf[o:o+rec.recLen])
+		})
+		for i, recs := range perShard {
+			if len(recs) == 0 {
+				continue
+			}
+			sh := g.shards[i]
+			sh.lock()
+			err := func() error {
+				defer sh.mu.Unlock()
+				return sh.withFileLock(true, func() error {
+					if err := sh.rescanLocked(true); err != nil {
+						return err
+					}
+					_, _, err := sh.appendBatchLocked(recs)
+					return err
+				})
+			}()
+			if err != nil {
+				return err
+			}
+			if err := sh.state.Load().f.Sync(); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+		return w.resetLocked()
+	})
+}

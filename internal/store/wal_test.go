@@ -1,0 +1,123 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCommitLogReplaysLostSegmentAppends simulates the crash the commit
+// log exists for: puts were acknowledged after the log fsync, but the
+// segment appends never became durable. Reopening must replay the logged
+// records into their segments and truncate the log.
+func TestCommitLogReplaysLostSegmentAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Schema: "wal-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("wal-key-%02d", i)
+		if added, err := s.Put(keys[i], "wal.T", []byte(fmt.Sprintf("payload-%d", i))); err != nil || !added {
+			t.Fatalf("put %d: added=%v err=%v", i, added, err)
+		}
+	}
+	// Crash, not Close: the segment appends are torn away (as if they
+	// never left the page cache) while the fsynced commit log survives.
+	hdrLen := int64(len(encodeHeader("wal-v1")))
+	shardsDir := filepath.Join(dir, shardsDirName)
+	for i := 0; i < numShards; i++ {
+		if err := os.Truncate(shardSegPath(shardsDir, i), hdrLen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logPath := filepath.Join(shardsDir, commitLogName)
+	if fi, err := os.Stat(logPath); err != nil || fi.Size() <= hdrLen {
+		t.Fatalf("commit log should hold the acknowledged records: %v size=%d", err, fi.Size())
+	}
+
+	s2, err := Open(dir, Options{Schema: "wal-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, k := range keys {
+		typeName, payload, ok := s2.Get(k)
+		if !ok || typeName != "wal.T" || string(payload) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("key %q not recovered from commit log: ok=%v type=%q payload=%q",
+				k, ok, typeName, payload)
+		}
+	}
+	if fi, err := os.Stat(logPath); err != nil || fi.Size() != hdrLen {
+		t.Fatalf("recovery should truncate the commit log: %v size=%d", err, fi.Size())
+	}
+}
+
+// TestCommitLogCheckpointOnClose pins the clean-shutdown contract: Close
+// fsyncs the segments and leaves a bare-header commit log, so the next
+// open replays nothing.
+func TestCommitLogCheckpointOnClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Schema: "wal-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("close-key", "wal.T", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, shardsDirName, commitLogName)
+	hdrLen := int64(len(encodeHeader("wal-v1")))
+	if fi, err := os.Stat(logPath); err != nil || fi.Size() <= hdrLen {
+		t.Fatalf("put should have landed in the commit log: %v size=%d", err, fi.Size())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(logPath); err != nil || fi.Size() != hdrLen {
+		t.Fatalf("close should checkpoint the commit log: %v size=%d", err, fi.Size())
+	}
+	s2, err := Open(dir, Options{Schema: "wal-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, ok := s2.Get("close-key"); !ok {
+		t.Fatal("checkpointed record must be served from its segment")
+	}
+}
+
+// TestCommitLogSchemaMismatchDiscarded mirrors the segment contract: a
+// log written by another schema vouches for nothing and is reset, never
+// replayed into this schema's segments.
+func TestCommitLogSchemaMismatchDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Schema: "wal-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("stale-key", "wal.T", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with the record only in the log, then come back as wal-v2.
+	hdrLen := int64(len(encodeHeader("wal-v1")))
+	shardsDir := filepath.Join(dir, shardsDirName)
+	for i := 0; i < numShards; i++ {
+		if err := os.Truncate(shardSegPath(shardsDir, i), hdrLen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir, Options{Schema: "wal-v2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, ok := s2.Get("stale-key"); ok {
+		t.Fatal("a foreign-schema commit log must not replay into fresh segments")
+	}
+	logPath := filepath.Join(shardsDir, commitLogName)
+	if fi, err := os.Stat(logPath); err != nil || fi.Size() != int64(len(encodeHeader("wal-v2"))) {
+		t.Fatalf("foreign-schema log should be reset: %v size=%d", err, fi.Size())
+	}
+}
