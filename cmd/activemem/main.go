@@ -10,6 +10,7 @@
 //	          [-compute N] [-scale N] [-threshold F] [-j N] [-progress]
 //	          [-predict-l3 MB] [-predict-bw GBS] [-seed N]
 //	          [-cache-dir DIR] [-cache-mem BYTES] [-knee F] [-knee-patience M]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // -knee switches the interference sweeps to adaptive mode: levels run in
 // ascending order and stop once the slowdown exceeds the given threshold
@@ -36,6 +37,7 @@ import (
 	"activemem/internal/lab"
 	"activemem/internal/machine"
 	"activemem/internal/mem"
+	"activemem/internal/prof"
 	"activemem/internal/report"
 	"activemem/internal/units"
 	"activemem/internal/workload/interfere"
@@ -64,7 +66,12 @@ func main() {
 		knee     = flag.Float64("knee", 0, "adaptive sweeps: stop past this slowdown threshold (0 = measure every level)")
 		patience = flag.Int("knee-patience", 2, "consecutive over-threshold levels that stop an adaptive sweep")
 	)
+	profFlags := prof.RegisterFlags()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	check(err)
+	defer stopProf()
 
 	// An adaptive sweep must measure at least as deep as the profile's
 	// knee search looks: a sweep stopped at a shallower slowdown would

@@ -6,6 +6,7 @@
 //
 //	appstudy [-app mcb|lulesh|both] [-scale N] [-grid smoke|quick|paper]
 //	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR] [-cache-mem BYTES]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default -scale 8 runs a 1/8-geometry Xeon20MB with proportionally
 // scaled inputs (see DESIGN.md); the printed profiles include the ×scale
@@ -22,6 +23,7 @@ import (
 
 	"activemem/internal/experiments"
 	"activemem/internal/lab"
+	"activemem/internal/prof"
 	"activemem/internal/report"
 )
 
@@ -41,7 +43,12 @@ func main() {
 		cacheMem = flag.Int64("cache-mem", -1,
 			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 	)
+	profFlags := prof.RegisterFlags()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	check(err)
+	defer stopProf()
 
 	// One executor for the whole study: its memo cache deduplicates the
 	// shared baselines and the p=1 sweeps repeated by the size panels; the

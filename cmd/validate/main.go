@@ -7,6 +7,7 @@
 //
 //	validate [-scale N] [-grid smoke|quick|paper] [-fig all|table1,table2,3a,5,6,7,8]
 //	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR] [-cache-mem BYTES]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default -scale 1 runs the full Xeon20MB geometry. -grid paper runs
 // the paper's complete 660-configuration synthetic grid (slow at scale 1).
@@ -25,6 +26,7 @@ import (
 
 	"activemem/internal/experiments"
 	"activemem/internal/lab"
+	"activemem/internal/prof"
 	"activemem/internal/report"
 )
 
@@ -44,7 +46,12 @@ func main() {
 		cacheMem = flag.Int64("cache-mem", -1,
 			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 	)
+	profFlags := prof.RegisterFlags()
 	flag.Parse()
+
+	stopProf, err := profFlags.Start()
+	check(err)
+	defer stopProf()
 
 	// One executor for every figure: its memo cache deduplicates identical
 	// cells across figures (Fig. 5's grid is the k=0 slice of Fig. 6's),

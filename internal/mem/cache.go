@@ -3,6 +3,7 @@ package mem
 import (
 	"fmt"
 	"math/bits"
+	"unsafe"
 
 	"activemem/internal/units"
 	"activemem/internal/xrand"
@@ -94,38 +95,77 @@ func (s CacheStats) MissRate() float64 {
 	return float64(s.Misses) / float64(a)
 }
 
-// invalidTag marks an empty way in the packed tag array.
+// invalidTag marks an empty way in the packed tag array; invalidTagWord is
+// its bit pattern as stored in a tile word.
 const invalidTag int32 = -1
+
+const invalidTagWord = ^uint32(0)
 
 // maxTagLine is the largest line number a packed tag can hold.
 const maxTagLine = Line(1)<<31 - 1
+
+// Tile layout: each set's metadata is packed into one contiguous,
+// 64-byte-aligned block of uint32 words so that the find → stamp → victim
+// → fill sequence of one access walks one or two host cache lines instead
+// of three parallel arrays ~160 KB apart (the profiled cost of the CSThr
+// ladder — the simulator of a memory system was itself memory-bound).
+//
+//	word 0                      per-set bitmask of empty ways
+//	word 1                      per-set bitmask of dirty ways
+//	words 2 .. 2+assoc-1        packed tags (int32; invalidTag = empty)
+//	words 2+assoc .. 2+2*assoc-1  policy stamps (only for LRU/FIFO)
+//
+// The stride between tiles is rounded up to a whole number of 64-byte
+// blocks, so tiles never share a host line and the default geometries pack
+// tightly: a 4-way stamped set is exactly one line, an 8-way stamped set
+// two, the Xeon's 20-way L3 set three adjacent lines (against up to eight
+// scattered ones in the previous parallel-array layout).
+const (
+	tileEmpty = 0 // word index of the empty-way mask
+	tileDirty = 1 // word index of the dirty-way mask
+	tileTags  = 2 // first tag word
+)
+
+// tileWordsPerBlock is the tile stride quantum: 16 uint32 words = 64 bytes.
+const tileWordsPerBlock = 16
+
+// probeKind selects what a fused probe does on a hit and which dirty state
+// an install leaves behind; it folds the three insertion paths (demand
+// access, writeback install, prefetch fill) into one walk of the tile.
+type probeKind uint8
+
+const (
+	probeDemand    probeKind = iota // stamp recency on LRU hits; install dirty = write
+	probeWriteback                  // dirty the hit way, recency untouched; install dirty
+	probeClean                      // hits are no-ops; install clean
+)
 
 // Cache is a set-associative cache. It tracks only line presence and
 // recency, not data contents. All methods are single-goroutine; a socket's
 // hierarchy is always simulated by one engine.
 //
-// The way state is laid out structure-of-arrays: the tag array is a packed
-// []int32 so a set scan — the operation every access, lookup, invalidate
-// and prefetch filter performs — touches at most two host cache lines for a
-// 20-way set, while the replacement metadata lives in parallel arrays that
-// exist only for the policy that reads them (recency stamps for LRU,
-// insertion stamps for FIFO, neither for Random). Stamps are 32-bit —
-// halving the hottest random-access arrays — with a periodic renumbering
-// pass (see renumber) that compacts them order-preservingly before the
-// sequence counter can wrap.
+// The way state lives in per-set interleaved tiles (see the layout above):
+// tags, policy stamps and the empty/dirty way masks of one set share one
+// 64-byte-aligned block, so every operation on a set — the hit scan, the
+// recency stamp, the victim scan and the install — stays within a couple
+// of adjacent host cache lines. Stamps are 32-bit — halving the hottest
+// random-access state — with a periodic renumbering pass (see renumber)
+// that compacts them order-preservingly before the sequence counter can
+// wrap.
 type Cache struct {
-	cfg       CacheConfig
-	sets      int64
-	setMask   int64
-	assoc     int64
-	lines     []int32  // packed tags, sets × assoc row-major; invalidTag = empty
-	lastUse   []uint32 // LRU recency stamps (nil unless PolicyLRU)
-	insBy     []uint32 // FIFO insertion stamps (nil unless PolicyFIFO)
-	dirty     []bool   // dirtiness, parallel to lines
-	empty     []uint32 // per-set bitmask of empty ways (bit i = way base+i)
-	emptyWays int64    // total empty ways; 0 lets fill skip the mask probe
-	seq       uint32   // monotone access sequence used for LRU/FIFO ordering
-	renumbers int64    // completed stamp-renumbering passes (telemetry/tests)
+	cfg      CacheConfig
+	sets     int64
+	setMask  int64
+	assoc    int64
+	stride   int64    // uint32 words per set tile (multiple of tileWordsPerBlock)
+	tiles    []uint32 // set-interleaved metadata tiles, 64-byte aligned
+	lruStamp bool     // stamp hits (PolicyLRU)
+	stamped  bool     // tiles carry a stamp region (PolicyLRU or PolicyFIFO)
+
+	emptyWays int64  // total empty ways across all sets
+	seq       uint32 // monotone access sequence used for LRU/FIFO ordering
+	renumbers int64  // completed stamp-renumbering passes (telemetry/tests)
+	mruWay    int64  // way touched by the last probe (see storeUpgrade)
 	rng       *xrand.Rand
 
 	// filter, when non-nil, is a shared membership filter kept in sync with
@@ -146,30 +186,37 @@ func NewCache(cfg CacheConfig, seed uint64) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	n := cfg.Sets() * int64(cfg.Assoc)
 	c := &Cache{
-		cfg:       cfg,
-		sets:      cfg.Sets(),
-		setMask:   cfg.Sets() - 1,
-		assoc:     int64(cfg.Assoc),
-		lines:     make([]int32, n),
-		dirty:     make([]bool, n),
-		empty:     make([]uint32, cfg.Sets()),
-		emptyWays: n,
-		rng:       xrand.New(seed),
+		cfg:      cfg,
+		sets:     cfg.Sets(),
+		setMask:  cfg.Sets() - 1,
+		assoc:    int64(cfg.Assoc),
+		lruStamp: cfg.Policy == PolicyLRU,
+		stamped:  cfg.Policy == PolicyLRU || cfg.Policy == PolicyFIFO,
+		rng:      xrand.New(seed),
 	}
-	switch cfg.Policy {
-	case PolicyLRU:
-		c.lastUse = make([]uint32, n)
-	case PolicyFIFO:
-		c.insBy = make([]uint32, n)
+	words := int64(tileTags) + c.assoc
+	if c.stamped {
+		words += c.assoc
 	}
-	for i := range c.lines {
-		c.lines[i] = invalidTag
+	c.stride = (words + tileWordsPerBlock - 1) &^ (tileWordsPerBlock - 1)
+	total := c.sets * c.stride
+	// Over-allocate by one block and slice at the first 64-byte boundary so
+	// every tile starts a host cache line.
+	raw := make([]uint32, total+tileWordsPerBlock)
+	off := int64(0)
+	if mis := uintptr(unsafe.Pointer(&raw[0])) & 63; mis != 0 {
+		off = int64(64-mis) / 4
 	}
+	c.tiles = raw[off : off+total : off+total]
+	c.emptyWays = c.sets * c.assoc
 	allEmpty := uint32(1)<<uint(cfg.Assoc) - 1
-	for i := range c.empty {
-		c.empty[i] = allEmpty
+	for s := int64(0); s < c.sets; s++ {
+		tile := c.tiles[s*c.stride:]
+		tile[tileEmpty] = allEmpty
+		for w := int64(0); w < c.assoc; w++ {
+			tile[tileTags+w] = invalidTagWord
+		}
 	}
 	return c
 }
@@ -192,68 +239,192 @@ func (c *Cache) setOf(line Line) int64 {
 	return int64(line) & c.setMask
 }
 
-// find scans line's set for a hit, returning the way index or -1. The scan
-// touches only the packed tag array; empty ways are tracked separately, so
-// the miss path never rescans for a free slot.
-func (c *Cache) find(tag int32, base int64) int64 {
-	ws := c.lines[base : base+c.assoc]
-	for i, l := range ws {
-		if l == tag {
-			return base + int64(i)
-		}
-	}
-	return -1
+// tileOf returns the metadata tile of tag's set (full slice expression so
+// the compiler knows scans cannot run past the tile).
+func (c *Cache) tileOf(tag int32) []uint32 {
+	base := (int64(tag) & c.setMask) * c.stride
+	return c.tiles[base : base+c.stride : base+c.stride]
 }
 
 // Lookup reports whether line is present, without disturbing recency or
 // statistics. It is the probe used by prefetch filtering and tests.
 func (c *Cache) Lookup(line Line) bool {
-	return c.find(tagOf(line), c.setOf(line)*c.assoc) >= 0
+	return c.lookupTag(tagOf(line))
 }
 
-// stamp records the use of way i for the replacement policy that cares.
-func (c *Cache) stamp(i int64) {
-	if c.lastUse != nil {
-		c.lastUse[i] = c.seq
+// lookupTag is Lookup with the tag range check already performed.
+func (c *Cache) lookupTag(tag int32) bool {
+	tile := c.tileOf(tag)
+	utag := uint32(tag)
+	for _, tg := range tile[tileTags : tileTags+c.assoc] {
+		if tg == utag {
+			return true
+		}
 	}
+	return false
 }
 
-// tick advances the access sequence counter, renumbering all stamps first
-// when the counter is about to exhaust the 32-bit stamp space. The branch is
-// taken once per 2³²−1 accesses and perfectly predicted otherwise.
-func (c *Cache) tick() {
+// probe is the fused access path: one walk of the set's tile resolves hit
+// detection, recency stamping, dirtiness, empty-way reuse, victim choice
+// and the install, according to kind. All statistics are counted here —
+// demand hits/misses for probeDemand, eviction and writeback counts on
+// every insertion path — so the hierarchy drives each level through this
+// single call. tag must come from tagOf (or be a tag round-tripped out of
+// a cache).
+func (c *Cache) probe(tag int32, write bool, kind probeKind) (hit bool, victim Line, victimDirty bool) {
 	if c.seq == ^uint32(0) {
 		c.renumber()
 	}
 	c.seq++
+	tile := c.tileOf(tag)
+	a := c.assoc
+	utag := uint32(tag)
+	for i, tg := range tile[tileTags : tileTags+a] {
+		if tg != utag {
+			continue
+		}
+		c.mruWay = int64(i)
+		switch kind {
+		case probeDemand:
+			c.Stats.Hits++
+			if c.lruStamp {
+				tile[tileTags+a+int64(i)] = c.seq
+			}
+			if write {
+				tile[tileDirty] |= 1 << uint(i)
+			}
+		case probeWriteback:
+			// A writeback is not a use by the program; recency unchanged.
+			tile[tileDirty] |= 1 << uint(i)
+		}
+		return true, InvalidLine, false
+	}
+	if kind == probeDemand {
+		c.Stats.Misses++
+	}
+
+	// Miss: install into the lowest empty way when one exists, otherwise
+	// evict the policy's victim — the stamps scanned for it sit in the same
+	// tile the hit scan just walked.
+	var w int64
+	if mask := tile[tileEmpty]; mask != 0 {
+		w = int64(bits.TrailingZeros32(mask))
+		tile[tileEmpty] = mask &^ (1 << uint(w))
+		c.emptyWays--
+		victim = InvalidLine
+	} else {
+		w = c.victimWay(tile)
+		victim = Line(int32(tile[tileTags+w]))
+		victimDirty = tile[tileDirty]>>uint(w)&1 != 0
+		c.Stats.Evictions++
+		if victimDirty {
+			c.Stats.Writebacks++
+		}
+		if c.filter != nil {
+			c.filter.remove(victim)
+		}
+	}
+	c.mruWay = w
+	tile[tileTags+w] = utag
+	if c.stamped {
+		tile[tileTags+a+w] = c.seq
+	}
+	dirty := kind == probeWriteback || (kind == probeDemand && write)
+	if dirty {
+		tile[tileDirty] |= 1 << uint(w)
+	} else {
+		tile[tileDirty] &^= 1 << uint(w)
+	}
+	if c.filter != nil {
+		c.filter.add(Line(tag))
+	}
+	return false, victim, victimDirty
+}
+
+// storeUpgrade serves a demand store that hits the way the previous probe
+// touched, skipping the tag scan: the read-modify-write kernels (CSThr and
+// the tally workloads) always store to the line their load just probed, so
+// the memoized way verifies on one compare. A tag match at mruWay is
+// sufficient — tags are unique within a set and cleared ways hold
+// invalidTagWord (never a valid tag) — and the mutations below are exactly
+// the probeDemand hit path for that way, so state and statistics stay
+// bit-identical to a full probe. Returns false (untouched state) when the
+// memoized way holds a different tag; the caller falls back to probe.
+func (c *Cache) storeUpgrade(tag int32) bool {
+	tile := c.tileOf(tag)
+	w := c.mruWay
+	if tile[tileTags+w] != uint32(tag) {
+		return false
+	}
+	if c.seq == ^uint32(0) {
+		c.renumber()
+	}
+	c.seq++
+	c.Stats.Hits++
+	if c.lruStamp {
+		tile[tileTags+c.assoc+w] = c.seq
+	}
+	tile[tileDirty] |= 1 << uint(w)
+	return true
+}
+
+// victimWay picks the way to evict in the (full) set whose tile is given,
+// according to the policy. The LRU/FIFO stamp scans pack (stamp, way) into
+// one key so the running minimum compiles to conditional moves instead of
+// unpredictable branches; ties break toward the lowest way, matching a
+// first-wins linear scan.
+func (c *Cache) victimWay(tile []uint32) int64 {
+	if !c.stamped { // PolicyRandom
+		return int64(c.rng.Intn(c.cfg.Assoc))
+	}
+	ws := tile[tileTags+c.assoc : tileTags+2*c.assoc]
+	// Two interleaved running minima break the serial conditional-move
+	// dependency chain in half; the final merge preserves the exact packed
+	// (stamp, way) minimum, ties included (minima commute).
+	b0 := int64(1<<63 - 1)
+	b1 := int64(1<<63 - 1)
+	i := 0
+	for ; i+1 < len(ws); i += 2 {
+		k0 := int64(ws[i])<<5 | int64(i)
+		m0 := (k0 - b0) >> 63
+		b0 += (k0 - b0) & m0
+		k1 := int64(ws[i+1])<<5 | int64(i+1)
+		m1 := (k1 - b1) >> 63
+		b1 += (k1 - b1) & m1
+	}
+	if i < len(ws) {
+		k := int64(ws[i])<<5 | int64(i)
+		m := (k - b0) >> 63
+		b0 += (k - b0) & m
+	}
+	m := (b1 - b0) >> 63
+	b0 += (b1 - b0) & m
+	return b0 & 31
 }
 
 // renumber compacts the replacement stamps so the sequence counter can
-// restart far below the 32-bit limit. Victim selection (see victim) compares
-// stamps only within one set, minimising the packed (stamp, way) key, so
-// replacing each set's stamps by their dense rank in exactly that order
-// preserves every future eviction decision bit-for-bit. Stamps of empty ways
-// participate harmlessly: they are overwritten on fill and never read by
-// victim, which runs only on full sets.
+// restart far below the 32-bit limit. Victim selection (see victimWay)
+// compares stamps only within one set, minimising the packed (stamp, way)
+// key, so replacing each set's stamps by their dense rank in exactly that
+// order preserves every future eviction decision bit-for-bit. Stamps of
+// empty ways participate harmlessly: they are overwritten on fill and never
+// read by victimWay, which runs only on full sets.
 func (c *Cache) renumber() {
 	c.renumbers++
-	stamps := c.lastUse
-	if stamps == nil {
-		stamps = c.insBy
-	}
-	if stamps == nil { // PolicyRandom keeps no stamps
+	if !c.stamped { // PolicyRandom keeps no stamps
 		c.seq = 0
 		return
 	}
 	a := int(c.assoc)
 	var order [32]int64 // Assoc ≤ 32, enforced by CacheConfig.Validate
-	for base := 0; base < len(stamps); base += a {
-		ws := stamps[base : base+a : base+a]
+	for set := int64(0); set < c.sets; set++ {
+		base := set*c.stride + tileTags + c.assoc
+		ws := c.tiles[base : base+c.assoc : base+c.assoc]
 		for i := 0; i < a; i++ {
 			order[i] = int64(i)
 		}
 		// Insertion sort by (stamp, way) — a strict total order, and the
-		// exact key victim minimises. Stamps of valid ways are distinct
+		// exact key victimWay minimises. Stamps of valid ways are distinct
 		// (each sequence value stamps at most one way), so ties can only
 		// involve cleared ways, whose order is irrelevant but still fixed.
 		for i := 1; i < a; i++ {
@@ -275,151 +446,72 @@ func (c *Cache) renumber() {
 	c.seq = uint32(a) // the next tick stamps above every assigned rank
 }
 
-// fill installs line into set (whose first way index is base) after a
-// failed find, reusing the lowest empty way when one exists and otherwise
-// evicting the policy's victim. It is the single insertion path shared by
-// demand misses, writeback installs and prefetch fills; only the dirty bit
-// differs between them.
-func (c *Cache) fill(set, base int64, tag int32, dirty bool) (victim Line, victimDirty bool) {
-	var slot int64
-	if c.emptyWays > 0 {
-		if mask := c.empty[set]; mask != 0 {
-			w := int64(bits.TrailingZeros32(mask))
-			c.empty[set] = mask &^ (1 << uint(w))
-			c.emptyWays--
-			slot = base + w
-			victim = InvalidLine
-			goto install
-		}
-	}
-	slot = c.victim(base)
-	victim, victimDirty = Line(c.lines[slot]), c.dirty[slot]
-	c.Stats.Evictions++
-	if victimDirty {
-		c.Stats.Writebacks++
-	}
-	if c.filter != nil {
-		c.filter.remove(victim)
-	}
-install:
-	c.lines[slot] = tag
-	if c.lastUse != nil {
-		c.lastUse[slot] = c.seq
-	} else if c.insBy != nil {
-		c.insBy[slot] = c.seq
-	}
-	c.dirty[slot] = dirty
-	if c.filter != nil {
-		c.filter.add(Line(tag))
-	}
-	return victim, victimDirty
-}
-
 // Access performs a demand access to line. On a hit it refreshes recency
 // (and dirtiness for writes) and returns hit=true. On a miss it inserts the
 // line, evicting a victim if the set was full, and returns the victim (or
 // InvalidLine) along with its dirtiness so the caller can cascade
 // writebacks and inclusive invalidations.
 func (c *Cache) Access(line Line, write bool) (hit bool, victim Line, victimDirty bool) {
-	c.tick()
-	tag := tagOf(line)
-	set := c.setOf(line)
-	base := set * c.assoc
-	if i := c.find(tag, base); i >= 0 {
-		c.stamp(i)
-		if write {
-			c.dirty[i] = true
-		}
-		c.Stats.Hits++
-		return true, InvalidLine, false
-	}
-	c.Stats.Misses++
-	victim, victimDirty = c.fill(set, base, tag, write)
-	return false, victim, victimDirty
+	return c.probe(tagOf(line), write, probeDemand)
 }
 
 // InsertWriteback installs a line arriving from an upper level's writeback.
 // It marks the line dirty but does not count as a demand hit or miss. The
 // returned victim allows cascading, exactly as for Access.
 func (c *Cache) InsertWriteback(line Line) (victim Line, victimDirty bool) {
-	c.tick()
-	tag := tagOf(line)
-	set := c.setOf(line)
-	base := set * c.assoc
-	if i := c.find(tag, base); i >= 0 {
-		c.dirty[i] = true
-		// A writeback is not a use by the program; recency unchanged.
-		return InvalidLine, false
-	}
-	return c.fill(set, base, tag, true)
+	return c.insertWritebackTag(tagOf(line))
+}
+
+// insertWritebackTag is InsertWriteback for a tag that already passed the
+// range check — writeback victims round-trip out of another cache's tags,
+// so the hierarchy's cascade paths never re-validate them.
+func (c *Cache) insertWritebackTag(tag int32) (victim Line, victimDirty bool) {
+	_, victim, victimDirty = c.probe(tag, false, probeWriteback)
+	return victim, victimDirty
 }
 
 // InsertClean installs a line without marking it dirty and without demand
 // statistics; it is used for prefetch fills.
 func (c *Cache) InsertClean(line Line) (victim Line, victimDirty bool) {
-	c.tick()
-	tag := tagOf(line)
-	set := c.setOf(line)
-	base := set * c.assoc
-	if c.find(tag, base) >= 0 {
-		return InvalidLine, false
-	}
-	return c.fill(set, base, tag, false)
+	return c.insertCleanTag(tagOf(line))
 }
 
-// victim picks the way to evict in line's (full) set according to the
-// policy. The LRU/FIFO stamp scans pack (stamp, way) into one key so the
-// running minimum compiles to conditional moves instead of unpredictable
-// branches; ties break toward the lowest way, matching a first-wins linear
-// scan.
-func (c *Cache) victim(base int64) int64 {
-	stamps := c.lastUse
-	if stamps == nil {
-		if c.insBy == nil { // PolicyRandom
-			return base + int64(c.rng.Intn(c.cfg.Assoc))
-		}
-		stamps = c.insBy
-	}
-	ws := stamps[base : base+c.assoc]
-	best := int64(1<<63 - 1)
-	for i, s := range ws {
-		k := int64(s)<<5 | int64(i)
-		m := (k - best) >> 63 // branch-free running minimum
-		best += (k - best) & m
-	}
-	return base + best&31
+// insertCleanTag is InsertClean with the tag range check already performed.
+func (c *Cache) insertCleanTag(tag int32) (victim Line, victimDirty bool) {
+	_, victim, victimDirty = c.probe(tag, false, probeClean)
+	return victim, victimDirty
 }
 
 // Invalidate removes line if present, returning whether it was present and
 // whether it was dirty. Used for inclusive back-invalidation.
 func (c *Cache) Invalidate(line Line) (present, dirty bool) {
-	set := c.setOf(line)
-	base := set * c.assoc
-	if i := c.find(tagOf(line), base); i >= 0 {
-		present, dirty = true, c.dirty[i]
-		c.clearWay(set, i)
-		c.Stats.Invalidations++
-		return
+	tag := tagOf(line)
+	tile := c.tileOf(tag)
+	utag := uint32(tag)
+	for i, tg := range tile[tileTags : tileTags+c.assoc] {
+		if tg == utag {
+			dirty = tile[tileDirty]>>uint(i)&1 != 0
+			c.clearWay(tile, int64(i))
+			c.Stats.Invalidations++
+			return true, dirty
+		}
 	}
 	return false, false
 }
 
-// clearWay resets way i of set to the empty state.
-func (c *Cache) clearWay(set, i int64) {
-	if c.lines[i] != invalidTag {
-		if c.filter != nil {
-			c.filter.remove(Line(c.lines[i]))
-		}
-		c.emptyWays++
-		c.empty[set] |= 1 << uint(i-set*c.assoc)
+// clearWay resets way w of the set whose tile is given to the empty state.
+// The way must currently hold a valid line.
+func (c *Cache) clearWay(tile []uint32, w int64) {
+	if c.filter != nil {
+		c.filter.remove(Line(int32(tile[tileTags+w])))
 	}
-	c.lines[i] = invalidTag
-	if c.lastUse != nil {
-		c.lastUse[i] = 0
-	} else if c.insBy != nil {
-		c.insBy[i] = 0
+	c.emptyWays++
+	tile[tileEmpty] |= 1 << uint(w)
+	tile[tileDirty] &^= 1 << uint(w)
+	tile[tileTags+w] = invalidTagWord
+	if c.stamped {
+		tile[tileTags+c.assoc+w] = 0
 	}
-	c.dirty[i] = false
 }
 
 // Occupancy returns the number of valid lines currently held.
@@ -430,11 +522,18 @@ func (c *Cache) Occupancy() int64 {
 // CountLinesIn returns how many resident lines fall in [lo, hi). It lets
 // validation tests measure how much capacity a given workload's buffer is
 // actually pinning — the quantity the paper calls the thread's storage use.
+// The walk is tile-aware: each set's empty mask prunes the scan to valid
+// ways, so sparsely filled caches cost popcounts, not full tag sweeps.
 func (c *Cache) CountLinesIn(lo, hi Line) int64 {
+	valid := uint32(1)<<uint(c.assoc) - 1
 	var n int64
-	for _, t := range c.lines {
-		if l := Line(t); t != invalidTag && l >= lo && l < hi {
-			n++
+	for set := int64(0); set < c.sets; set++ {
+		tile := c.tiles[set*c.stride:]
+		for m := valid &^ tile[tileEmpty]; m != 0; m &= m - 1 {
+			w := int64(bits.TrailingZeros32(m))
+			if l := Line(int32(tile[tileTags+w])); l >= lo && l < hi {
+				n++
+			}
 		}
 	}
 	return n
@@ -442,9 +541,23 @@ func (c *Cache) CountLinesIn(lo, hi Line) int64 {
 
 // Flush invalidates the entire cache without touching statistics.
 func (c *Cache) Flush() {
-	for i := range c.lines {
-		c.clearWay(int64(i)/c.assoc, int64(i))
+	valid := uint32(1)<<uint(c.assoc) - 1
+	for set := int64(0); set < c.sets; set++ {
+		base := set * c.stride
+		tile := c.tiles[base : base+c.stride : base+c.stride]
+		for m := valid &^ tile[tileEmpty]; m != 0; m &= m - 1 {
+			c.clearWay(tile, int64(bits.TrailingZeros32(m)))
+		}
 	}
+}
+
+// stampAt returns the policy stamp of (set, way); zero for PolicyRandom.
+// Test hook: white-box renumbering tests read stamps through it.
+func (c *Cache) stampAt(set, way int64) uint32 {
+	if !c.stamped {
+		return 0
+	}
+	return c.tiles[set*c.stride+tileTags+c.assoc+way]
 }
 
 // presenceFilter is an exact counting membership filter over hashed line

@@ -365,18 +365,29 @@ func (h *Hierarchy) RMWBatch(core int, now units.Cycles, addrs []Addr, compute u
 // access is the uncounted hot path: it serves one demand access and returns
 // the level and latency, leaving demand counters to the caller (Access or a
 // batch loop). Bus-attributed counters (BusBytes, BusWaitCycles) are updated
-// here because they depend on queueing state observed mid-access.
+// here because they depend on queueing state observed mid-access. The line's
+// packed tag is validated once here and threaded through every level's
+// fused probe, so a full L1→L2→L3 miss re-derives nothing: each level does
+// exactly one walk of its set tile.
 func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (Level, units.Cycles) {
 	line := Line(addr >> h.lineShift)
+	tag := tagOf(line)
 
 	// L1: a miss inserts the line (fill-on-miss) and yields the victim,
-	// which cascades into L2 if dirty.
-	hit1, v1, d1 := h.L1[core].Access(line, write)
+	// which cascades into L2 if dirty. Stores first try the memoized-way
+	// upgrade — the store half of a read-modify-write always hits the way
+	// its load just probed — before paying for a full tag scan.
+	if write && h.L1[core].storeUpgrade(tag) {
+		return LevelL1, h.cfg.L1.Latency
+	}
+	hit1, v1, d1 := h.L1[core].probe(tag, write, probeDemand)
 	if hit1 {
 		return LevelL1, h.cfg.L1.Latency
 	}
 	if v1 != InvalidLine && d1 {
-		h.writebackToL2(core, v1)
+		// Victims round-trip out of the cache's packed tags, so int32 is the
+		// tag — no range re-check.
+		h.writebackToL2(core, int32(v1))
 	}
 
 	// Train the prefetcher on L1 demand misses.
@@ -385,9 +396,9 @@ func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (L
 	}
 
 	// L2.
-	hit2, v2, d2 := h.L2[core].Access(line, false)
+	hit2, v2, d2 := h.L2[core].probe(tag, false, probeDemand)
 	if v2 != InvalidLine && d2 {
-		h.writebackToL3(core, v2, now)
+		h.writebackToL3(core, int32(v2), now)
 	}
 	if hit2 {
 		lat := h.cfg.L2.Latency
@@ -397,9 +408,9 @@ func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (L
 		return LevelL2, lat
 	}
 
-	// L3. On a miss Access inserts the line and hands back the victim for
-	// writeback and inclusive back-invalidation.
-	hit3, v3, d3 := h.L3.Access(line, false)
+	// L3. On a miss the fused probe inserts the line and hands back the
+	// victim for writeback and inclusive back-invalidation.
+	hit3, v3, d3 := h.L3.probe(tag, false, probeDemand)
 	if hit3 {
 		lat := h.cfg.L3.Latency
 		if extra, ok := h.inflightDelay(line, now); ok {
@@ -420,20 +431,20 @@ func (h *Hierarchy) access(core int, addr Addr, now units.Cycles, write bool) (L
 }
 
 // writebackToL2 installs a dirty L1 victim into L2, cascading L2's own
-// victim into L3 when necessary.
-func (h *Hierarchy) writebackToL2(core int, line Line) {
-	victim, dirty := h.L2[core].InsertWriteback(line)
+// victim into L3 when necessary. tag is the victim's packed tag.
+func (h *Hierarchy) writebackToL2(core int, tag int32) {
+	victim, dirty := h.L2[core].insertWritebackTag(tag)
 	if victim != InvalidLine && dirty {
-		h.L3.InsertWriteback(victim)
+		h.L3.insertWritebackTag(int32(victim))
 		// An L3 insertion from a writeback can itself evict; that victim is
 		// handled lazily as clean traffic (its dirtiness already flowed).
 	}
 }
 
 // writebackToL3 installs a dirty L2 victim into L3, paying bus traffic if
-// L3 in turn evicts a dirty line.
-func (h *Hierarchy) writebackToL3(core int, line Line, now units.Cycles) {
-	victim, dirty := h.L3.InsertWriteback(line)
+// L3 in turn evicts a dirty line. tag is the victim's packed tag.
+func (h *Hierarchy) writebackToL3(core int, tag int32, now units.Cycles) {
+	victim, dirty := h.L3.insertWritebackTag(tag)
 	if victim != InvalidLine {
 		h.handleL3Victim(core, victim, dirty, now)
 	}
@@ -442,7 +453,10 @@ func (h *Hierarchy) writebackToL3(core int, line Line, now units.Cycles) {
 // inflightDelay returns any residual latency if line is still being filled
 // by a prefetch at time now, consuming the in-flight entry.
 func (h *Hierarchy) inflightDelay(line Line, now units.Cycles) (units.Cycles, bool) {
-	if h.inflight.n == 0 {
+	// The exact count filter is checked here, not just inside take, so the
+	// common nothing-in-flight case inlines to one byte load instead of a
+	// call into the hash probe.
+	if h.inflight.filt[line&255] == 0 {
 		return 0, false
 	}
 	ready, ok := h.inflight.take(line)
@@ -498,7 +512,8 @@ func (h *Hierarchy) issuePrefetches(core int, lines []Line, now units.Cycles) {
 		if h.inflight.contains(l) {
 			continue
 		}
-		if h.L2[core].Lookup(l) || h.L3.Lookup(l) {
+		tag := tagOf(l) // validated once; reused by both lookups and fills
+		if h.L2[core].lookupTag(tag) || h.L3.lookupTag(tag) {
 			continue
 		}
 		if h.Bus.Backlog(now) > maxLag {
@@ -506,10 +521,10 @@ func (h *Hierarchy) issuePrefetches(core int, lines []Line, now units.Cycles) {
 		}
 		_, done := h.Bus.Request(now, lineSize)
 		ready := done + h.cfg.MemLatency
-		victim, dirty := h.L3.InsertClean(l)
+		victim, dirty := h.L3.insertCleanTag(tag)
 		h.handleL3Victim(core, victim, dirty, now)
-		if v2, d2 := h.L2[core].InsertClean(l); v2 != InvalidLine && d2 {
-			h.L3.InsertWriteback(v2)
+		if v2, d2 := h.L2[core].insertCleanTag(tag); v2 != InvalidLine && d2 {
+			h.L3.insertWritebackTag(int32(v2))
 		}
 		h.inflight.put(l, ready)
 		h.PerCore[core].Prefetches++

@@ -265,15 +265,18 @@ func (p *Prefetcher) Observe(line Line) []Line {
 		p.moveStream(best, int64(line))
 		return nil
 	}
-	// Allocate the least recently used stream slot.
+	// Allocate the least recently used stream slot; a live victim is
+	// retargeted in place, an inactive one activated.
 	victim := p.lruVictim()
-	if p.ix != nil {
-		if old := p.lastLine[victim]; old != pfInactive {
-			p.ix.remove(victim, old)
-		}
-		p.ix.add(victim, int64(line))
-	}
+	old := p.lastLine[victim]
 	p.lastLine[victim] = int64(line)
+	if p.ix != nil {
+		if old != pfInactive {
+			p.ix.retarget(victim, old, int64(line))
+		} else {
+			p.ix.add(victim, int64(line))
+		}
+	}
 	p.lastUse[victim] = p.seq // stales the victim's queue entry
 	p.stride[victim] = 0
 	p.hits[victim] = 0
@@ -300,28 +303,43 @@ func (p *Prefetcher) nearestLinear(line int64) (best int, bestDelta int64) {
 	return int(bestKey & 255), bestKey >> 8
 }
 
-// nearestIndexed consults the bucketed index: every stream within the
-// training window of line lies in one of the three buckets around it, so
-// only those candidates need exact distances. The (distance, index) packed
-// minimum reproduces the linear scan's first-index tie-breaking exactly; a
-// candidate beyond the window can never outrank one inside it, and when no
-// in-window stream exists the caller takes the allocation path on the
-// returned over-window distance, just as with the clamped linear scan.
+// nearestIndexed answers the nearest-stream query. Few active streams —
+// the dense-working-set regime — are scanned directly off the compact
+// active mirror; otherwise the bucketed index narrows the candidates:
+// every stream within the training window of line lies in one of the three
+// buckets around it, so only those need exact distances. Both paths
+// produce the linear scan's packed (distance, index) keys, so the minimum
+// reproduces its first-index tie-breaking exactly; a candidate beyond the
+// window can never outrank one inside it, and when no in-window stream
+// exists the caller takes the allocation path on the returned over-window
+// distance, just as with the clamped linear scan.
 func (p *Prefetcher) nearestIndexed(line int64) (best int, bestDelta int64) {
-	cands := p.ix.candidates(line)
-	if cands == 0 {
+	ix := p.ix
+	if len(ix.active) > activeLinearMax {
+		cands := ix.candidates(line)
+		if cands == 0 {
+			return 0, p.cfg.Window + 1
+		}
+		bestKey := int64(math.MaxInt64)
+		for m := cands; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			d := line - p.lastLine[i]
+			s := d >> 63
+			d = (d ^ s) - s
+			if k := d<<8 | int64(i); k < bestKey {
+				bestKey = k
+			}
+		}
+		return int(bestKey & 255), bestKey >> 8
+	}
+	// Few active streams: scan the compact mirror directly. This is the
+	// linear reference scan minus the inactive slots — whose clamped keys
+	// only ever win when nothing is inside the training window, a case
+	// both paths already report as over-window to the caller.
+	if len(ix.active) == 0 {
 		return 0, p.cfg.Window + 1
 	}
-	bestKey := int64(math.MaxInt64)
-	for m := cands; m != 0; m &= m - 1 {
-		i := bits.TrailingZeros64(m)
-		d := line - p.lastLine[i]
-		s := d >> 63
-		d = (d ^ s) - s
-		if k := d<<8 | int64(i); k < bestKey {
-			bestKey = k
-		}
-	}
+	bestKey := windowNearest(ix.active, line)
 	return int(bestKey & 255), bestKey >> 8
 }
 
@@ -361,14 +379,19 @@ func (p *Prefetcher) lruVictimScan() int {
 	return int(bestKey & 255)
 }
 
-// moveStream retargets stream s to line, keeping the bucketed index in sync
-// when the stream crosses a bucket boundary.
+// moveStream retargets stream s to line, keeping the bucketed index in
+// sync. The mirror rekey is inlined here — the match path runs this on
+// every confirmed observation, and an intra-bucket move needs nothing
+// else.
 func (p *Prefetcher) moveStream(s int, line int64) {
 	old := p.lastLine[s]
 	p.lastLine[s] = line
-	if p.ix != nil && old>>p.ix.shift != line>>p.ix.shift {
-		p.ix.remove(s, old)
-		p.ix.add(s, line)
+	if ix := p.ix; ix != nil {
+		ix.active[ix.apos[s]] = line<<8 | int64(s)
+		if old>>ix.shift != line>>ix.shift {
+			ix.dropBucket(s, old>>ix.shift)
+			ix.enterBucket(s, line>>ix.shift)
+		}
 	}
 }
 
@@ -399,6 +422,11 @@ func (p *Prefetcher) Reset() {
 	}
 }
 
+// activeLinearMax bounds the compact active-mirror scan: up to this many
+// active streams, one branch-free pass over the packed mirror beats the
+// three bucket probes of the hash path.
+const activeLinearMax = 16
+
 // streamIndex buckets active stream slots by lastLine >> shift in a small
 // open-addressed hash table (linear probing, backward-shift deletion). The
 // bucket span exceeds the training window, so a stream within the window of
@@ -410,6 +438,26 @@ type streamIndex struct {
 	shift uint     // bucket granularity: 1<<shift > Window
 	keys  []int64  // bucket ids; -1 = empty slot (real ids are ≥ 0)
 	masks []uint64 // stream-slot bitmask per bucket
+
+	// active mirrors every active stream as a packed (lastLine<<8 | slot)
+	// key in one compact array (apos: slot -> position). It is the dense
+	// working set's structure: a compact (CSThr-style) footprint drops every
+	// stream into one or two buckets, where the bitmask scan degenerates to
+	// the linear scan the index exists to avoid — but such workloads also
+	// settle near a dozen ACTIVE streams, since one stream within the
+	// training window absorbs every nearby miss. Up to activeLinearMax
+	// active streams the nearest query therefore scans this mirror
+	// directly: a branch-free packed minimum over a handful of contiguous
+	// host-cache lines, zero hash probes, exact first-index tie-breaking
+	// (the minimum of packed keys is scan-order-independent). Beyond that
+	// the bucketed path is cheaper and takes over. Rekeys are O(1) in-place
+	// stores through apos. Per-bucket window mirrors for dense buckets —
+	// both sorted and unsorted variants — were benchmarked and rejected:
+	// the serially dependent running-minimum chain over a large bucket
+	// loses to the well-predicted branchy mask walk it replaces, and the
+	// per-move bookkeeping taxes every other regime (see README).
+	active []int64
+	apos   []uint8
 }
 
 func newStreamIndex(streams int, window int64) *streamIndex {
@@ -420,9 +468,11 @@ func newStreamIndex(streams int, window int64) *streamIndex {
 		n <<= 1
 	}
 	ix := &streamIndex{
-		shift: uint(bits.Len64(uint64(window))), // smallest shift with 1<<shift > window
-		keys:  make([]int64, n),
-		masks: make([]uint64, n),
+		shift:  uint(bits.Len64(uint64(window))), // smallest shift with 1<<shift > window
+		keys:   make([]int64, n),
+		masks:  make([]uint64, n),
+		active: make([]int64, 0, streams),
+		apos:   make([]uint8, streams),
 	}
 	for i := range ix.keys {
 		ix.keys[i] = -1
@@ -458,9 +508,52 @@ func (ix *streamIndex) lookup(key int64) uint64 {
 	}
 }
 
-// add registers stream s under line's bucket.
+// windowNearest returns the best packed (distance<<8 | slot) key any
+// stream in the compact window win can offer for line: a branch-free
+// running minimum over contiguous packed (lastLine<<8 | slot) entries.
+// Iteration order is irrelevant — the minimum of packed keys is exactly
+// the linear reference scan's first-index tie-breaking — so the window
+// stays unsorted and every mutation of it is O(1).
+func windowNearest(win []int64, line int64) int64 {
+	best := int64(math.MaxInt64)
+	for _, k := range win {
+		d := line - k>>8
+		s := d >> 63 // arithmetic |d|: branch-free, mispredict-free
+		d = (d ^ s) - s
+		c := d<<8 | k&255
+		m := (c - best) >> 63 // min(c, best)
+		best += (c - best) & m
+	}
+	return best
+}
+
+// retarget rekeys an already-active stream s from old to line. The compact
+// active mirror is rekeyed in place — one indexed store, no swap-delete and
+// re-append, since s keeps its mirror position — which makes the hottest
+// index mutation (every stream match and every reallocation of a live slot
+// moves a stream) as cheap as a lastLine write. Bucket state only changes
+// when the move crosses a bucket boundary.
+func (ix *streamIndex) retarget(s int, old, line int64) {
+	ix.active[ix.apos[s]] = line<<8 | int64(s)
+	ob, nb := old>>ix.shift, line>>ix.shift
+	if ob == nb {
+		return
+	}
+	ix.dropBucket(s, ob)
+	ix.enterBucket(s, nb)
+}
+
+// add registers the previously inactive stream s under line's bucket, which
+// the caller guarantees is s's current lastLine.
 func (ix *streamIndex) add(s int, line int64) {
-	key := line >> ix.shift
+	ix.apos[s] = uint8(len(ix.active))
+	ix.active = append(ix.active, line<<8|int64(s))
+	ix.enterBucket(s, line>>ix.shift)
+}
+
+// enterBucket sets stream s's membership bit in bucket key, creating the
+// bucket if needed.
+func (ix *streamIndex) enterBucket(s int, key int64) {
 	mask := len(ix.keys) - 1
 	i := ix.slotOf(key)
 	for ix.keys[i] != key && ix.keys[i] != -1 {
@@ -470,10 +563,9 @@ func (ix *streamIndex) add(s int, line int64) {
 	ix.masks[i] |= 1 << uint(s)
 }
 
-// remove drops stream s from line's bucket; the stream must be registered
-// under exactly that line.
-func (ix *streamIndex) remove(s int, line int64) {
-	key := line >> ix.shift
+// dropBucket clears stream s's membership bit in bucket key, deleting an
+// emptied bucket.
+func (ix *streamIndex) dropBucket(s int, key int64) {
 	mask := len(ix.keys) - 1
 	i := ix.slotOf(key)
 	for ix.keys[i] != key {
@@ -520,4 +612,5 @@ func (ix *streamIndex) reset() {
 		ix.keys[i] = -1
 		ix.masks[i] = 0
 	}
+	ix.active = ix.active[:0]
 }

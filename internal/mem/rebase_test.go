@@ -203,16 +203,21 @@ func TestRenumberPreservesVictimOrder(t *testing.T) {
 	for _, i := range []int64{5, 2, 7, 0, 4, 1, 6, 3} {
 		c.Access(Line(i*sets), false)
 	}
-	want := make([]uint32, len(c.lastUse))
-	copy(want, c.lastUse)
+	want := make([]uint32, 8)
+	for w := int64(0); w < 8; w++ {
+		want[w] = c.stampAt(0, w)
+	}
 	c.renumber()
+	got := make([]uint32, 8)
+	for w := int64(0); w < 8; w++ {
+		got[w] = c.stampAt(0, w)
+	}
 	// Ranks must order exactly as the original stamps did.
-	base := 0
 	for i := 0; i < 8; i++ {
 		for j := i + 1; j < 8; j++ {
-			if (want[base+i] < want[base+j]) != (c.lastUse[base+i] < c.lastUse[base+j]) {
+			if (want[i] < want[j]) != (got[i] < got[j]) {
 				t.Fatalf("renumber reordered ways %d and %d: %v -> %v",
-					i, j, want[:8], c.lastUse[:8])
+					i, j, want, got)
 			}
 		}
 	}

@@ -1,0 +1,414 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+
+	"activemem/internal/units"
+	"activemem/internal/xrand"
+)
+
+// refArrayCache reimplements the Cache semantics over the pre-tiling
+// parallel whole-cache arrays (lines / stamps / dirty / empty, one entry per
+// way across the whole cache). It is the correctness oracle for the tiled
+// layout: every observable behaviour — hit/miss outcomes, victim identity
+// and dirtiness, statistics, stamp values after renumbering, occupancy —
+// must match bit-for-bit under lockstep operation streams. The twin keeps
+// its own replacement RNG seeded identically, so PolicyRandom draws stay in
+// sync as long as both sides make the same eviction decisions.
+type refArrayCache struct {
+	cfg       CacheConfig
+	sets      int64
+	setMask   int64
+	assoc     int64
+	lines     []int32 // sets*assoc packed tags; invalidTag marks empty
+	stamps    []uint32
+	dirty     []bool
+	empty     []bool
+	emptyWays int64
+	seq       uint32
+	renumbers int64
+	lruStamp  bool
+	stamped   bool
+	rng       *xrand.Rand
+	stats     CacheStats
+}
+
+func newRefArrayCache(cfg CacheConfig, seed uint64) *refArrayCache {
+	r := &refArrayCache{
+		cfg:      cfg,
+		sets:     cfg.Sets(),
+		setMask:  cfg.Sets() - 1,
+		assoc:    int64(cfg.Assoc),
+		lruStamp: cfg.Policy == PolicyLRU,
+		stamped:  cfg.Policy == PolicyLRU || cfg.Policy == PolicyFIFO,
+		rng:      xrand.New(seed),
+	}
+	n := r.sets * r.assoc
+	r.lines = make([]int32, n)
+	r.stamps = make([]uint32, n)
+	r.dirty = make([]bool, n)
+	r.empty = make([]bool, n)
+	for i := range r.lines {
+		r.lines[i] = invalidTag
+		r.empty[i] = true
+	}
+	r.emptyWays = n
+	return r
+}
+
+func (r *refArrayCache) renumber() {
+	r.renumbers++
+	if !r.stamped {
+		r.seq = 0
+		return
+	}
+	a := int(r.assoc)
+	var order [32]int64
+	for set := int64(0); set < r.sets; set++ {
+		ws := r.stamps[set*r.assoc : set*r.assoc+r.assoc]
+		for i := 0; i < a; i++ {
+			order[i] = int64(i)
+		}
+		for i := 1; i < a; i++ {
+			o := order[i]
+			j := i
+			for ; j > 0; j-- {
+				p := order[j-1]
+				if ws[p] < ws[o] || (ws[p] == ws[o] && p < o) {
+					break
+				}
+				order[j] = p
+			}
+			order[j] = o
+		}
+		for rank, w := range order[:a] {
+			ws[w] = uint32(rank) + 1
+		}
+	}
+	r.seq = uint32(a)
+}
+
+func (r *refArrayCache) victimWay(base int64) int64 {
+	if !r.stamped { // PolicyRandom
+		return int64(r.rng.Intn(int(r.assoc)))
+	}
+	// First-wins linear scan on (stamp, way) — the order victimWay's packed
+	// branch-free minimum is specified against.
+	best := int64(0)
+	for w := int64(1); w < r.assoc; w++ {
+		if r.stamps[base+w] < r.stamps[base+best] {
+			best = w
+		}
+	}
+	return best
+}
+
+func (r *refArrayCache) probe(line Line, write bool, kind probeKind) (hit bool, victim Line, victimDirty bool) {
+	if r.seq == ^uint32(0) {
+		r.renumber()
+	}
+	r.seq++
+	base := (int64(line) & r.setMask) * r.assoc
+	for w := int64(0); w < r.assoc; w++ {
+		if r.lines[base+w] != int32(line) {
+			continue
+		}
+		switch kind {
+		case probeDemand:
+			r.stats.Hits++
+			if r.lruStamp {
+				r.stamps[base+w] = r.seq
+			}
+			if write {
+				r.dirty[base+w] = true
+			}
+		case probeWriteback:
+			r.dirty[base+w] = true
+		}
+		return true, InvalidLine, false
+	}
+	if kind == probeDemand {
+		r.stats.Misses++
+	}
+	var w int64 = -1
+	for i := int64(0); i < r.assoc; i++ {
+		if r.empty[base+i] {
+			w = i
+			break
+		}
+	}
+	if w >= 0 {
+		r.empty[base+w] = false
+		r.emptyWays--
+		victim = InvalidLine
+	} else {
+		w = r.victimWay(base)
+		victim = Line(r.lines[base+w])
+		victimDirty = r.dirty[base+w]
+		r.stats.Evictions++
+		if victimDirty {
+			r.stats.Writebacks++
+		}
+	}
+	r.lines[base+w] = int32(line)
+	if r.stamped {
+		r.stamps[base+w] = r.seq
+	}
+	r.dirty[base+w] = kind == probeWriteback || (kind == probeDemand && write)
+	return false, victim, victimDirty
+}
+
+func (r *refArrayCache) invalidate(line Line) (present, dirty bool) {
+	base := (int64(line) & r.setMask) * r.assoc
+	for w := int64(0); w < r.assoc; w++ {
+		if r.lines[base+w] != int32(line) {
+			continue
+		}
+		dirty = r.dirty[base+w]
+		r.clearWay(base + w)
+		r.stats.Invalidations++
+		return true, dirty
+	}
+	return false, false
+}
+
+func (r *refArrayCache) clearWay(i int64) {
+	r.emptyWays++
+	r.empty[i] = true
+	r.dirty[i] = false
+	r.lines[i] = invalidTag
+	if r.stamped {
+		r.stamps[i] = 0
+	}
+}
+
+func (r *refArrayCache) flush() {
+	for i := range r.lines {
+		if !r.empty[i] {
+			r.clearWay(int64(i))
+		}
+	}
+}
+
+func (r *refArrayCache) lookup(line Line) bool {
+	base := (int64(line) & r.setMask) * r.assoc
+	for w := int64(0); w < r.assoc; w++ {
+		if r.lines[base+w] == int32(line) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refArrayCache) occupancy() int64 { return r.sets*r.assoc - r.emptyWays }
+
+func (r *refArrayCache) countLinesIn(lo, hi Line) int64 {
+	var n int64
+	for i, l := range r.lines {
+		if !r.empty[i] && Line(l) >= lo && Line(l) < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// compareState checks every per-way bit of the tiled cache against the
+// reference arrays: tags, empty and dirty masks, policy stamps, the derived
+// occupancy, and the statistics counters.
+func compareState(t *testing.T, c *Cache, r *refArrayCache, step int) {
+	t.Helper()
+	for set := int64(0); set < c.sets; set++ {
+		tile := c.tiles[set*c.stride:]
+		for w := int64(0); w < c.assoc; w++ {
+			i := set*r.assoc + w
+			wantTag := uint32(r.lines[i])
+			if tile[tileTags+w] != wantTag {
+				t.Fatalf("step %d: set %d way %d: tag %#x, reference %#x", step, set, w, tile[tileTags+w], wantTag)
+			}
+			if got := tile[tileEmpty]>>uint(w)&1 != 0; got != r.empty[i] {
+				t.Fatalf("step %d: set %d way %d: empty %v, reference %v", step, set, w, got, r.empty[i])
+			}
+			if got := tile[tileDirty]>>uint(w)&1 != 0; got != r.dirty[i] {
+				t.Fatalf("step %d: set %d way %d: dirty %v, reference %v", step, set, w, got, r.dirty[i])
+			}
+			if c.stamped {
+				if got := c.stampAt(set, w); got != r.stamps[i] {
+					t.Fatalf("step %d: set %d way %d: stamp %d, reference %d", step, set, w, got, r.stamps[i])
+				}
+			}
+		}
+	}
+	if c.Occupancy() != r.occupancy() {
+		t.Fatalf("step %d: occupancy %d, reference %d", step, c.Occupancy(), r.occupancy())
+	}
+	if c.Stats != r.stats {
+		t.Fatalf("step %d: stats %+v, reference %+v", step, c.Stats, r.stats)
+	}
+	if c.renumbers != r.renumbers {
+		t.Fatalf("step %d: renumbers %d, reference %d", step, c.renumbers, r.renumbers)
+	}
+}
+
+// TestTiledCacheMatchesArrayReference drives the tiled cache and the
+// array-layout reference twin through identical randomized operation
+// streams — demand reads and writes, the storeUpgrade fast path, writeback
+// and clean installs, invalidations, flushes, lookups, range counts and
+// forced renumbers — across all three policies and associativities from 1
+// to 32 ways (including odd widths whose tiles carry padding words). Every
+// return value is compared per operation and the full per-way state
+// periodically, mirroring the rebase and victim-queue lockstep fuzzes.
+func TestTiledCacheMatchesArrayReference(t *testing.T) {
+	const sets = 8
+	for _, policy := range []Policy{PolicyLRU, PolicyFIFO, PolicyRandom} {
+		for _, assoc := range []int{1, 2, 3, 5, 8, 16, 32} {
+			t.Run(fmt.Sprintf("%s/assoc%d", policy, assoc), func(t *testing.T) {
+				cfg := CacheConfig{
+					Name:     "fuzz",
+					Size:     sets * 64 * int64(assoc),
+					LineSize: 64,
+					Assoc:    assoc,
+					Latency:  units.Cycles(1),
+					Policy:   policy,
+				}
+				seed := uint64(0xC0FFEE) + uint64(policy)<<8 + uint64(assoc)
+				c := NewCache(cfg, seed)
+				ref := newRefArrayCache(cfg, seed)
+				rng := xrand.New(seed * 0x9e3779b97f4a7c15)
+				// ~4x capacity so misses keep evicting residents.
+				lineSpace := int64(sets * assoc * 4)
+
+				for step := 0; step < 6000; step++ {
+					line := Line(rng.Intn(int(lineSpace)))
+					switch op := rng.Intn(100); {
+					case op < 45: // demand access
+						write := rng.Intn(2) == 1
+						h1, v1, d1 := c.Access(line, write)
+						h2, v2, d2 := ref.probe(line, write, probeDemand)
+						if h1 != h2 || v1 != v2 || d1 != d2 {
+							t.Fatalf("step %d: Access(%d,%v) = (%v,%d,%v), reference (%v,%d,%v)",
+								step, line, write, h1, v1, d1, h2, v2, d2)
+						}
+					case op < 60: // store after load: the hierarchy's RMW path
+						c.Access(line, false)
+						ref.probe(line, false, probeDemand)
+						if !c.storeUpgrade(tagOf(line)) {
+							c.Access(line, true)
+						}
+						ref.probe(line, true, probeDemand)
+					case op < 70: // writeback install
+						v1, d1 := c.InsertWriteback(line)
+						_, v2, d2 := ref.probe(line, false, probeWriteback)
+						if v1 != v2 || d1 != d2 {
+							t.Fatalf("step %d: InsertWriteback(%d) = (%d,%v), reference (%d,%v)", step, line, v1, d1, v2, d2)
+						}
+					case op < 80: // clean (prefetch) install
+						v1, d1 := c.InsertClean(line)
+						_, v2, d2 := ref.probe(line, false, probeClean)
+						if v1 != v2 || d1 != d2 {
+							t.Fatalf("step %d: InsertClean(%d) = (%d,%v), reference (%d,%v)", step, line, v1, d1, v2, d2)
+						}
+					case op < 90: // invalidate
+						p1, d1 := c.Invalidate(line)
+						p2, d2 := ref.invalidate(line)
+						if p1 != p2 || d1 != d2 {
+							t.Fatalf("step %d: Invalidate(%d) = (%v,%v), reference (%v,%v)", step, line, p1, d1, p2, d2)
+						}
+					case op < 95: // lookup + range count
+						if g, w := c.Lookup(line), ref.lookup(line); g != w {
+							t.Fatalf("step %d: Lookup(%d) = %v, reference %v", step, line, g, w)
+						}
+						lo := Line(rng.Intn(int(lineSpace)))
+						hi := lo + Line(rng.Intn(int(lineSpace)))
+						if g, w := c.CountLinesIn(lo, hi), ref.countLinesIn(lo, hi); g != w {
+							t.Fatalf("step %d: CountLinesIn(%d,%d) = %d, reference %d", step, lo, hi, g, w)
+						}
+					case op < 97: // force an imminent renumber
+						s := ^uint32(0) - uint32(rng.Intn(3))
+						c.seq = s
+						ref.seq = s
+					default: // rare full flush
+						c.Flush()
+						ref.flush()
+					}
+					if step%251 == 0 {
+						compareState(t, c, ref, step)
+					}
+				}
+				compareState(t, c, ref, 6000)
+			})
+		}
+	}
+}
+
+// TestTileLayoutEdgeCases extends the SoA occupancy edge-case coverage to
+// the tiled layout: empty sets cost nothing in CountLinesIn (their empty
+// masks prune the walk), partially filled sets count exactly their valid
+// ways, and invalidTag rows are never counted even though their bit pattern
+// (^uint32(0)) reinterprets as line -1 — a value that would satisfy a
+// signed range check if the empty mask failed to exclude it.
+func TestTileLayoutEdgeCases(t *testing.T) {
+	c := tinyCache(4, PolicyLRU) // 4 sets × 4 ways
+	huge := Line(1) << 40
+
+	// Entirely empty cache: nothing countable anywhere, including ranges
+	// that span the invalidTag reinterpretation (-1).
+	if n := c.CountLinesIn(-2, huge); n != 0 {
+		t.Fatalf("empty cache counts %d lines in (-2, 2^40)", n)
+	}
+	if c.Occupancy() != 0 {
+		t.Fatalf("empty cache occupancy = %d", c.Occupancy())
+	}
+
+	// Partially fill: one line in set 1, three in set 2, set 0 and 3 empty.
+	for _, l := range []Line{1, 2, 6, 10} {
+		c.Access(l, false)
+	}
+	if n := c.CountLinesIn(0, huge); n != 4 {
+		t.Fatalf("partial fill counts %d lines, want 4", n)
+	}
+	if n := c.CountLinesIn(2, 7); n != 2 {
+		t.Fatalf("CountLinesIn(2,7) = %d, want 2 (lines 2 and 6)", n)
+	}
+	if c.Occupancy() != 4 {
+		t.Fatalf("occupancy = %d, want 4", c.Occupancy())
+	}
+
+	// Invalidate one: its row returns to invalidTag and must vanish from
+	// counts without disturbing neighbours in the same tile.
+	if present, _ := c.Invalidate(6); !present {
+		t.Fatal("line 6 not resident before invalidate")
+	}
+	if n := c.CountLinesIn(-2, huge); n != 3 {
+		t.Fatalf("after invalidate counts %d lines, want 3", n)
+	}
+
+	// A fully filled set alongside empties: fill set 3 completely (lines
+	// congruent to 3 mod 4) and recheck both the full and a split range.
+	for _, l := range []Line{3, 7, 11, 15} {
+		c.Access(l, false)
+	}
+	if n := c.CountLinesIn(0, huge); n != 7 {
+		t.Fatalf("full set 3 + partial counts %d lines, want 7", n)
+	}
+	total := c.CountLinesIn(0, huge)
+	if split := c.CountLinesIn(0, 8) + c.CountLinesIn(8, huge); split != total {
+		t.Fatalf("range split %d != total %d", split, total)
+	}
+
+	// Odd associativity tiles carry padding words up to the 16-word block
+	// boundary; counting must ignore them entirely.
+	odd := NewCache(CacheConfig{
+		Name: "odd", Size: 4 * 64 * 5, LineSize: 64, Assoc: 5,
+		Latency: units.Cycles(1), Policy: PolicyFIFO,
+	}, 1)
+	for l := Line(0); l < 20; l++ {
+		odd.Access(l, l%2 == 0)
+	}
+	if n := odd.CountLinesIn(0, 20); n != 20 {
+		t.Fatalf("5-way cache counts %d lines, want 20", n)
+	}
+	if odd.Occupancy() != 20 {
+		t.Fatalf("5-way occupancy = %d, want 20", odd.Occupancy())
+	}
+}

@@ -1,0 +1,66 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// CLIs, so a memory-wall hunt on a real campaign (the workloads the bench
+// suite only approximates) needs no custom harness: run the tool with
+// -cpuprofile and feed the output straight to `go tool pprof`.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values between RegisterFlags (before
+// flag.Parse) and Start (after it).
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// RegisterFlags registers -cpuprofile and -memprofile on the default
+// flag set. Call it before flag.Parse.
+func RegisterFlags() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write an allocation profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when requested. The returned stop function
+// must run at exit (defer it in main): it stops the CPU profile and
+// writes the allocation profile. Both are no-ops for unset flags.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuF *os.File
+	if *f.cpu != "" {
+		cpuF, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if *f.mem != "" {
+			mf, err := os.Create(*f.mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			// Settle the heap first so the profile separates live data
+			// from garbage the next collection would have reclaimed.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			}
+		}
+	}, nil
+}

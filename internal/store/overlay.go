@@ -1,0 +1,90 @@
+// Read-only commit-log overlay: the counterpart of syncGroup.recover for
+// opens that may not write. A writable open replays acknowledged records a
+// crash left out of their segments and truncates the log; a read-only open
+// cannot touch either file, so it builds an in-memory index of the log's
+// good records instead — entryRefs pointing into commit.log — and serves
+// them behind the shard indexes. Acknowledged-but-uncheckpointed results
+// are thus visible to inspection tools (and rsync'd snapshot consumers)
+// without a writable open ever having run.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// walOverlay indexes a commit log read-only. The log is the group-commit
+// journal of every put since the last checkpoint, in commit order, so for
+// any key it holds the newest acknowledged record — later records simply
+// overwrite earlier ones while the index is built.
+type walOverlay struct {
+	f     *os.File
+	index map[string]entryRef
+}
+
+// openWALOverlay scans shardsDir's commit log into an overlay. It returns
+// (nil, nil) whenever there is nothing to serve: no log, an empty or
+// bare-header log (the post-checkpoint steady state), or a log written
+// under a different schema — which vouches for nothing here, exactly as
+// recover discards it on a writable open. Torn tails and corrupt records
+// are skipped by the same resynchronising scan the segments use.
+func openWALOverlay(shardsDir, schema string) (*walOverlay, error) {
+	f, err := os.Open(filepath.Join(shardsDir, commitLogName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		f.Close()
+		return nil, nil
+	}
+	logSchema, hdrLen, err := readHeader(f)
+	if err != nil || logSchema != schema || size <= hdrLen {
+		f.Close()
+		return nil, nil
+	}
+	buf := make([]byte, size-hdrLen)
+	if _, err := io.ReadFull(io.NewSectionReader(f, hdrLen, size-hdrLen), buf); err != nil {
+		f.Close()
+		return nil, nil
+	}
+	ov := &walOverlay{f: f, index: make(map[string]entryRef)}
+	walkRecords(buf, hdrLen, func(off int64, rec parsedRecord, st recStatus) {
+		if st != recGood {
+			return
+		}
+		ov.index[rec.key] = entryRef{off: off, recLen: rec.recLen,
+			typeName: rec.typeName, payloadLen: len(rec.payload), stamp: rec.stamp}
+	})
+	if len(ov.index) == 0 {
+		f.Close()
+		return nil, nil
+	}
+	return ov, nil
+}
+
+// get serves key from the log if the overlay indexed it, re-verifying the
+// record bytes exactly as a segment read would.
+func (ov *walOverlay) get(key string) (typeName string, payload []byte, ok bool) {
+	ref, hit := ov.index[key]
+	if !hit {
+		return "", nil, false
+	}
+	p, err := readEntry(ov.f, key, ref)
+	if err != nil {
+		return "", nil, false
+	}
+	return ref.typeName, p, true
+}
+
+func (ov *walOverlay) close() error { return ov.f.Close() }

@@ -133,9 +133,14 @@ type Store struct {
 	migrated        bool
 	migratedEntries int
 
-	shards  []*shard
-	sg      *syncGroup
-	hot     *hotSet
+	shards []*shard
+	sg     *syncGroup
+	hot    *hotSet
+	// overlay, on read-only opens, indexes the commit log in memory so
+	// acknowledged-but-uncheckpointed records are served without the
+	// writable replay (see overlay.go); nil on writable opens, which
+	// recover the log into the segments instead.
+	overlay *walOverlay
 	ops     opCounters
 	dirLock *os.File
 }
@@ -242,6 +247,19 @@ func (s *Store) openShards() error {
 			}
 			return err
 		}
+	} else if !s.legacy {
+		// Read-only opens may not replay the log into the segments; an
+		// in-memory overlay over commit.log serves what a crash left
+		// acknowledged but uncheckpointed. (Legacy v1 directories predate
+		// the log entirely.)
+		ov, err := openWALOverlay(filepath.Join(s.dir, shardsDirName), s.schema)
+		if err != nil {
+			for _, sh := range s.shards {
+				sh.closeFiles()
+			}
+			return err
+		}
+		s.overlay = ov
 	}
 	return nil
 }
@@ -295,6 +313,11 @@ func (s *Store) Get(key string) (typeName string, payload []byte, ok bool) {
 		}
 	}
 	typeName, payload, ok = s.shardFor(key).get(key)
+	if !ok && s.overlay != nil {
+		// A key the segment scan did not surface may still sit in the
+		// commit log: acknowledged by a crashed writer, never checkpointed.
+		typeName, payload, ok = s.overlay.get(key)
+	}
 	if ok && s.hot != nil {
 		s.hot.add(key, typeName, payload, nil)
 	}
@@ -388,6 +411,11 @@ func (s *Store) Close() error {
 		}
 		sh.mu.Unlock()
 	}
+	if s.overlay != nil {
+		if cerr := s.overlay.close(); err == nil {
+			err = cerr
+		}
+	}
 	if s.dirLock != nil {
 		if cerr := s.dirLock.Close(); err == nil {
 			err = cerr
@@ -402,13 +430,30 @@ func (s *Store) Dir() string { return s.dir }
 // Schema returns the schema version the store was opened with.
 func (s *Store) Schema() string { return s.schema }
 
-// Len returns the number of live entries across all shards.
+// Len returns the number of live entries across all shards, plus any
+// overlay-only entries a read-only open found in the commit log.
 func (s *Store) Len() int {
 	n := 0
 	for _, sh := range s.shards {
 		n += sh.state.Load().live()
 	}
+	n += len(s.overlayOnlyKeys())
 	return n
+}
+
+// overlayOnlyKeys returns the overlay keys no shard index surfaces — the
+// records only the commit log still holds. Nil without an overlay.
+func (s *Store) overlayOnlyKeys() []string {
+	if s.overlay == nil {
+		return nil
+	}
+	var keys []string
+	for k := range s.overlay.index {
+		if _, hit := s.shardFor(k).state.Load().lookup(k); !hit {
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 // ResetOnOpen reports whether Open discarded previous contents because
@@ -472,6 +517,11 @@ func (s *Store) Entries() []EntryInfo {
 			out = append(out, EntryInfo{Key: k, Type: ref.typeName,
 				PayloadBytes: ref.payloadLen, Stamp: time.Unix(ref.stamp, 0)})
 		}
+	}
+	for _, k := range s.overlayOnlyKeys() {
+		ref := s.overlay.index[k]
+		out = append(out, EntryInfo{Key: k, Type: ref.typeName,
+			PayloadBytes: ref.payloadLen, Stamp: time.Unix(ref.stamp, 0)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Stamp.Equal(out[j].Stamp) {

@@ -121,3 +121,89 @@ func TestCommitLogSchemaMismatchDiscarded(t *testing.T) {
 		t.Fatalf("foreign-schema log should be reset: %v size=%d", err, fi.Size())
 	}
 }
+
+// TestCommitLogReadOnlyOverlay simulates the same crash as
+// TestCommitLogReplaysLostSegmentAppends — acknowledged puts torn out of
+// their segments, surviving only in the fsynced commit log — but comes
+// back read-only. The open must serve the logged records through the
+// in-memory overlay without modifying either the segments or the log.
+func TestCommitLogReadOnlyOverlay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Schema: "wal-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ro-key-%02d", i)
+		if added, err := s.Put(keys[i], "wal.T", []byte(fmt.Sprintf("payload-%d", i))); err != nil || !added {
+			t.Fatalf("put %d: added=%v err=%v", i, added, err)
+		}
+	}
+	// Crash: tear the unsynced segment appends away, keep the log.
+	hdrLen := int64(len(encodeHeader("wal-v1")))
+	shardsDir := filepath.Join(dir, shardsDirName)
+	for i := 0; i < numShards; i++ {
+		if err := os.Truncate(shardSegPath(shardsDir, i), hdrLen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logPath := filepath.Join(shardsDir, commitLogName)
+	logBefore, err := os.ReadFile(logPath)
+	if err != nil || int64(len(logBefore)) <= hdrLen {
+		t.Fatalf("commit log should hold the acknowledged records: %v size=%d", err, len(logBefore))
+	}
+
+	ro, err := Open(dir, Options{Schema: "wal-v1", ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		typeName, payload, ok := ro.Get(k)
+		if !ok || typeName != "wal.T" || string(payload) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("key %q not served from the commit-log overlay: ok=%v type=%q payload=%q",
+				k, ok, typeName, payload)
+		}
+	}
+	if got := ro.Len(); got != len(keys) {
+		t.Fatalf("Len() = %d with %d overlay-only records", got, len(keys))
+	}
+	seen := map[string]bool{}
+	for _, e := range ro.Entries() {
+		seen[e.Key] = true
+	}
+	for _, k := range keys {
+		if !seen[k] {
+			t.Fatalf("Entries() misses overlay-only key %q", k)
+		}
+	}
+	if _, _, ok := ro.Get("never-written"); ok {
+		t.Fatal("overlay must not invent absent keys")
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strictly read-only: neither the log nor any segment changed.
+	logAfter, err := os.ReadFile(logPath)
+	if err != nil || string(logAfter) != string(logBefore) {
+		t.Fatalf("read-only open modified the commit log: %v", err)
+	}
+	for i := 0; i < numShards; i++ {
+		if fi, err := os.Stat(shardSegPath(shardsDir, i)); err != nil || fi.Size() != hdrLen {
+			t.Fatalf("read-only open modified shard %d: %v", i, err)
+		}
+	}
+
+	// A writable open afterwards still recovers normally.
+	s2, err := Open(dir, Options{Schema: "wal-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, k := range keys {
+		if _, _, ok := s2.Get(k); !ok {
+			t.Fatalf("writable recovery lost key %q", k)
+		}
+	}
+}
