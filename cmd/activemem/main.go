@@ -67,6 +67,7 @@ func main() {
 		patience = flag.Int("knee-patience", 2, "consecutive over-threshold levels that stop an adaptive sweep")
 	)
 	profFlags := prof.RegisterFlags()
+	telemetryAddr := lab.RegisterTelemetryFlag()
 	flag.Parse()
 
 	stopProf, err := profFlags.Start()
@@ -92,6 +93,9 @@ func main() {
 	}
 	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
 	defer ex.Close()
+	stopTelemetry, err := lab.StartTelemetry(*telemetryAddr, ex, os.Stderr)
+	check(err)
+	defer stopTelemetry()
 	spec := machine.Scaled(*scale)
 	if *buf == 0 {
 		*buf = spec.L3.Size * 2

@@ -44,6 +44,7 @@ func main() {
 			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 	)
 	profFlags := prof.RegisterFlags()
+	telemetryAddr := lab.RegisterTelemetryFlag()
 	flag.Parse()
 
 	stopProf, err := profFlags.Start()
@@ -64,6 +65,9 @@ func main() {
 	}
 	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
 	defer ex.Close()
+	stopTelemetry, err := lab.StartTelemetry(*telemetryAddr, ex, os.Stderr)
+	check(err)
+	defer stopTelemetry()
 	opt := experiments.Options{
 		Scale: *scale,
 		Grid:  parseGrid(*grid),

@@ -115,6 +115,16 @@ func cmdStats(args []string) {
 	for _, t := range types {
 		fmt.Printf("  %-24s %d\n", t, sum.PerType[t])
 	}
+	// Operation counters for this open: stats itself does a shard scan, so
+	// the numbers show what inspecting the store cost (the campaign CLIs
+	// print their own cumulative "store:" epilogue line; see also /statusz
+	// under -telemetry).
+	ops := s.Counters()
+	fmt.Printf("ops (this open):\n")
+	fmt.Printf("  gets=%d puts=%d hot_hits=%d snapshot_hits=%d slow_gets=%d\n",
+		ops.Gets, ops.Puts, ops.HotHits, ops.SnapshotHits, ops.SlowGets)
+	fmt.Printf("  mutex_acqs=%d flock_acqs=%d group_commits=%d grouped_appends=%d\n",
+		ops.MutexAcqs, ops.FlockAcqs, ops.GroupCommits, ops.GroupedAppends)
 }
 
 func cmdLs(args []string) {

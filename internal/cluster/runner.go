@@ -92,7 +92,7 @@ func Run(cfg RunConfig) (Result, error) {
 	// of building and tearing down a worker pool — with the Concurrency
 	// bound expressed as the worker count (and the common single-socket
 	// homogeneous case running inline, with no goroutine at all).
-	group := lab.NewPersistentGroup(len(sims), cfg.Concurrency)
+	group := lab.NewPersistentGroupLabeled(len(sims), cfg.Concurrency, "cluster compute phase")
 	defer group.Close()
 
 	for iter := 0; iter < cfg.Iterations; iter++ {

@@ -203,6 +203,11 @@ type Engine struct {
 	hier *mem.Hierarchy
 	ctxs []*Ctx
 	pq   []*Ctx // active cores: a hand-rolled min-heap over (clock, core id)
+
+	// Telemetry publication baselines (metrics.go): the totals already
+	// folded into the process-wide registry at the last Run boundary.
+	lastAccesses int64
+	lastIssued   int64
 }
 
 // scanCutoff is the active-core count at or below which the scheduler uses
@@ -344,6 +349,7 @@ func (e *Engine) remove(i int) {
 // (or its workload finishes). It is used for warmup phases. Counter tallies
 // flush at every step end, so PerCore is exact on return.
 func (e *Engine) RunUntil(t units.Cycles) {
+	defer e.publishTelemetry()
 	e.rebuild()
 	for len(e.pq) > 0 {
 		i, c := e.next()
@@ -371,6 +377,7 @@ func (e *Engine) RunUntil(t units.Cycles) {
 // Daemons keep running (generating interference) as long as any non-daemon
 // is active.
 func (e *Engine) Run(stop func() bool) {
+	defer e.publishTelemetry()
 	e.rebuild()
 	workers := 0
 	for _, c := range e.pq {

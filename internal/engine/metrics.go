@@ -1,0 +1,47 @@
+// The engine's telemetry adapter. The simulation hot loop — billions of
+// Step calls per campaign — must not pay even an atomic add per access, so
+// nothing here touches the stepping path. Instead the engine piggybacks on
+// counters the simulator already maintains (the per-core tally blocks and
+// prefetcher issue counts) and publishes their deltas into the process-wide
+// registry at scheduling boundaries: once per Run/RunUntil, which is once
+// per campaign cell or cluster compute phase. Publication is gated on
+// telemetry.Active(), so with the listener off a Run pays one atomic load.
+
+package engine
+
+import "activemem/internal/telemetry"
+
+var (
+	tmEngineRuns = telemetry.Default.NewCounter("sim_engine_runs_total",
+		"Engine Run/RunUntil invocations (one per campaign cell or cluster compute phase).")
+	tmDemandAccesses = telemetry.Default.NewCounter("sim_demand_accesses_total",
+		"Simulated demand accesses (loads+stores) published at scheduling boundaries.")
+	tmPrefetchesIssued = telemetry.Default.NewCounter("sim_prefetches_issued_total",
+		"Simulated prefetch candidates issued, published at scheduling boundaries.")
+)
+
+// publishTelemetry folds the hierarchy's already-counted totals into the
+// registry as deltas against the engine's last publication. ResetStats
+// re-baselines the underlying counters mid-run (warmup boundaries), which
+// would make a naive delta negative; those are clamped by re-baselining
+// here too, undercounting the reset interval rather than corrupting the
+// monotone counters.
+func (e *Engine) publishTelemetry() {
+	if !telemetry.Active() {
+		return
+	}
+	tmEngineRuns.Inc()
+	var accs, issued int64
+	for c := range e.hier.PerCore {
+		ctr := &e.hier.PerCore[c]
+		accs += ctr.Loads + ctr.Stores
+		issued += e.hier.PrefetcherIssued(c)
+	}
+	if d := accs - e.lastAccesses; d > 0 {
+		tmDemandAccesses.Add(uint64(d))
+	}
+	if d := issued - e.lastIssued; d > 0 {
+		tmPrefetchesIssued.Add(uint64(d))
+	}
+	e.lastAccesses, e.lastIssued = accs, issued
+}

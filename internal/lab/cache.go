@@ -217,13 +217,26 @@ func (e *Executor) CacheSummary() string {
 		st.Computed, st.DiskHits, st.HotHits, st.Hits, st.Persisted)
 }
 
+// StoreOpsSummary renders the disk tier's operation counters in the same
+// machine-readable key=value form as CacheSummary: where gets were served
+// (hot set / lock-free snapshot / locked slow path) and how well the
+// commit log amortised fsyncs (grouped_appends/group_commits is the
+// achieved group-commit batch size).
+func (e *Executor) StoreOpsSummary() string {
+	c := e.cache.Counters()
+	return fmt.Sprintf("store: gets=%d puts=%d hot_hits=%d snapshot_hits=%d slow_gets=%d group_commits=%d grouped_appends=%d",
+		c.Gets, c.Puts, c.HotHits, c.SnapshotHits, c.SlowGets, c.GroupCommits, c.GroupedAppends)
+}
+
 // PrintCacheSummary writes the cache epilogue every CLI prints to w, or
-// nothing when no disk tier is attached.
+// nothing when no disk tier is attached. The "cache:" line is parsed by
+// CI's resume-smoke step — new facts go on their own lines after it.
 func (e *Executor) PrintCacheSummary(w io.Writer) {
 	if e.cache == nil {
 		return
 	}
 	fmt.Fprintf(w, "%s entries=%d dir=%s\n", e.CacheSummary(), e.cache.Len(), e.cache.Dir())
+	fmt.Fprintf(w, "%s\n", e.StoreOpsSummary())
 }
 
 // PoolSummary renders the resident worker-pool counters in the form the

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"activemem/internal/telemetry"
 )
 
 // PersistentGroup is a fixed worker set for bulk-synchronous campaigns: the
@@ -39,6 +41,7 @@ import (
 type PersistentGroup struct {
 	n       int // jobs per epoch
 	workers int
+	label   string // pprof cell label for profile attribution
 	bar     *senseBarrier
 
 	// Epoch state, written by the coordinator before the start barrier and
@@ -64,6 +67,14 @@ type PersistentGroup struct {
 // what keeps per-worker simulator state (e.g. a socket) pinned to one
 // goroutine for the lifetime of the run.
 func NewPersistentGroup(jobs, workers int) *PersistentGroup {
+	return NewPersistentGroupLabeled(jobs, workers, "")
+}
+
+// NewPersistentGroupLabeled is NewPersistentGroup with a pprof cell label:
+// every job of every epoch runs under cell=label (when labelling is
+// active; see telemetry.SetCellLabels), so CPU profiles attribute the
+// group's bulk-synchronous phases the same way executor batches are.
+func NewPersistentGroupLabeled(jobs, workers int, label string) *PersistentGroup {
 	if jobs < 0 {
 		jobs = 0
 	}
@@ -76,7 +87,7 @@ func NewPersistentGroup(jobs, workers int) *PersistentGroup {
 	if workers < 1 {
 		workers = 1
 	}
-	g := &PersistentGroup{n: jobs, workers: workers, errIdx: -1}
+	g := &PersistentGroup{n: jobs, workers: workers, label: label, errIdx: -1}
 	if workers > 1 {
 		g.bar = newSenseBarrier(workers + 1) // workers + the coordinator
 		for w := 0; w < workers; w++ {
@@ -101,7 +112,9 @@ func (g *PersistentGroup) RunEpoch(job func(i int) error) error {
 	g.errIdx, g.errVal = -1, nil
 	if g.bar == nil {
 		for i := 0; i < g.n; i++ {
-			if err := job(i); err != nil {
+			var err error
+			telemetry.WithCellLabel(g.label, func() { err = job(i) })
+			if err != nil {
 				return err
 			}
 		}
@@ -136,7 +149,9 @@ func (g *PersistentGroup) worker(lo, hi int) {
 			if g.failed.Load() {
 				break // abort: a job of this epoch failed elsewhere
 			}
-			if err := g.job(i); err != nil {
+			var err error
+			telemetry.WithCellLabel(g.label, func() { err = g.job(i) })
+			if err != nil {
 				g.errMu.Lock()
 				if g.errIdx < 0 || i < g.errIdx {
 					g.errIdx, g.errVal = i, err

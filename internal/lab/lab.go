@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"activemem/internal/store"
+	"activemem/internal/telemetry"
 )
 
 // Key identifies the full input content of one experiment cell.
@@ -190,14 +191,17 @@ type workerPool struct {
 	wg    sync.WaitGroup
 }
 
-// poolTask is one job index of one batch.
+// poolTask is one job index of one batch. submitNs is the task's
+// enqueue timestamp when span timing is active, zero otherwise.
 type poolTask struct {
-	b *poolBatch
-	i int
+	b        *poolBatch
+	i        int
+	submitNs int64
 }
 
 // poolBatch is the shared state of one RunLabeled call in flight.
 type poolBatch struct {
+	label  string
 	job    func(i int) error
 	report func()
 	wg     sync.WaitGroup
@@ -221,16 +225,46 @@ func (b *poolBatch) fail(i int, err error) {
 // run executes one claimed task, skipping the job if its batch already
 // failed (matching the executor's historical no-new-jobs-after-failure
 // semantics for tasks handed to a worker before the failure was observed).
+// The queued→start→done span instruments live here: queue depth drops at
+// start, occupancy covers the job, and — when span timing is active — the
+// queue wait and run duration feed the histograms and the per-label
+// tracker. The job itself runs under a pprof cell label so CPU profiles
+// attribute samples to the batch label.
 func (t poolTask) run() {
 	defer t.b.wg.Done()
+	mQueueDepth.Add(-1)
 	if t.b.failed.Load() {
 		return
 	}
-	if err := t.b.job(t.i); err != nil {
+	if t.submitNs != 0 {
+		mQueueWait.Observe(telemetry.NowNs() - t.submitNs)
+	}
+	mWorkersBusy.Add(1)
+	err := runCell(t.b.label, t.i, t.b.job)
+	mWorkersBusy.Add(-1)
+	if err != nil {
 		t.b.fail(t.i, err)
 		return
 	}
 	t.b.report()
+}
+
+// runCell executes one cell under the batch's pprof label, timing the
+// start→done span when telemetry is active.
+func runCell(label string, i int, job func(i int) error) error {
+	var err error
+	timed := telemetry.Active()
+	var startNs int64
+	if timed {
+		startNs = telemetry.NowNs()
+	}
+	telemetry.WithCellLabel(label, func() { err = job(i) })
+	if timed {
+		d := telemetry.NowNs() - startNs
+		mRunSeconds.Observe(d)
+		mLabelSpans.Observe(label, d)
+	}
+	return err
 }
 
 // New returns an Executor for the configuration.
@@ -273,6 +307,7 @@ func (e *Executor) ensurePool() *workerPool {
 			}()
 		}
 		e.spawns += e.workers
+		mWorkersResident.Add(int64(e.workers))
 		e.pool = p
 	} else {
 		e.reuses++
@@ -293,6 +328,7 @@ func (e *Executor) Close() {
 	if p != nil {
 		close(p.tasks)
 		p.wg.Wait()
+		mWorkersResident.Add(-int64(e.workers))
 	}
 }
 
@@ -338,11 +374,13 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 		}
 	}
 
+	mBatches.Inc()
+
 	// Workers: 1 is the serial reference ordering; it runs inline with no
 	// pool (and no other goroutine can exist to share the bound with).
 	if e.workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			if err := runCell(label, i, job); err != nil {
 				abort()
 				return err
 			}
@@ -351,16 +389,22 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 		return nil
 	}
 
-	b := &poolBatch{job: job, report: report, errIdx: -1}
+	b := &poolBatch{label: label, job: job, report: report, errIdx: -1}
 	pool := e.ensurePool()
 	// Feed one task per index into the pool's queue: only the resident
 	// workers execute tasks, so the worker count bounds concurrency across
 	// overlapping batches, and the FIFO queue interleaves their jobs fairly.
 	// On failure stop feeding; tasks already queued or handed to workers
 	// check the failed flag before running.
+	timed := telemetry.Active()
 	for i := 0; i < n && !b.failed.Load(); i++ {
+		var submitNs int64
+		if timed {
+			submitNs = telemetry.NowNs()
+		}
 		b.wg.Add(1)
-		pool.tasks <- poolTask{b, i}
+		mQueueDepth.Add(1)
+		pool.tasks <- poolTask{b: b, i: i, submitNs: submitNs}
 	}
 	b.wg.Wait()
 	if b.errVal != nil {
@@ -404,6 +448,11 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 	e.mu.Unlock()
 
 	ran, fromDisk, fromHot, wrote := false, false, false, false
+	timed := telemetry.Active()
+	var startNs int64
+	if timed {
+		startNs = telemetry.NowNs()
+	}
 	ent.once.Do(func() {
 		if v, hot, ok := e.cacheGet(key); ok {
 			ent.value = v
@@ -416,6 +465,23 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 			wrote = e.cachePut(key, ent.value)
 		}
 	})
+
+	// Attribute the span to the tier that resolved it. Callers that merely
+	// waited out another goroutine's once.Do count as memo hits (their span
+	// is the wait), matching the Stats accounting below.
+	tier := tierMemo
+	switch {
+	case ran:
+		tier = tierCompute
+	case fromHot:
+		tier = tierHot
+	case fromDisk:
+		tier = tierDisk
+	}
+	mCells[tier].Inc()
+	if timed {
+		mCellSeconds[tier].Observe(telemetry.NowNs() - startNs)
+	}
 
 	e.mu.Lock()
 	switch {

@@ -10,6 +10,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"activemem/internal/telemetry"
 )
 
 // Flags holds the profiling flag values between RegisterFlags (before
@@ -42,6 +44,10 @@ func (f *Flags) Start() (stop func(), err error) {
 			cpuF.Close()
 			return nil, fmt.Errorf("prof: %w", err)
 		}
+		// Turn on pprof cell labelling so the profile attributes samples
+		// to campaign cells (cell= label per executor batch / worker
+		// group), without requiring the telemetry HTTP listener.
+		telemetry.SetCellLabels(true)
 	}
 	return func() {
 		if cpuF != nil {

@@ -337,6 +337,7 @@ func (st *hotStripe) replace(old, ne *hotEntry) {
 func (st *hotStripe) insert(e *hotEntry) bool {
 	if e.cost > st.maxBytes {
 		st.rejects++
+		tmHotRejects.Inc()
 		return false
 	}
 	for st.bytes+e.cost > st.maxBytes {
@@ -346,22 +347,26 @@ func (st *hotStripe) insert(e *hotEntry) bool {
 		}
 		if victim == nil {
 			st.rejects++
+			tmHotRejects.Inc()
 			return false
 		}
 		// TinyLFU admission: the newcomer must have been asked for at
 		// least as often as the entry it would displace.
 		if st.sketch.estimate(e.hash) < st.sketch.estimate(victim.hash) {
 			st.rejects++
+			tmHotRejects.Inc()
 			return false
 		}
 		st.evict(victim)
 		st.evicts++
+		tmHotEvicts.Inc()
 	}
 	st.entries.Store(e.key, e)
 	st.count++
 	st.probation.pushFront(e)
 	st.bytes += e.cost
 	st.admits++
+	tmHotAdmits.Inc()
 	return true
 }
 
@@ -510,6 +515,7 @@ func (c *cmSketch) estimate(hash uint64) uint64 {
 
 // age halves every counter.
 func (c *cmSketch) age() {
+	tmHotSketchResets.Inc()
 	for i, w := range c.words {
 		c.words[i] = w >> 1 & 0x7777777777777777
 	}

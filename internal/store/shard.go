@@ -387,6 +387,7 @@ func (sh *shard) get(key string) (typeName string, payload []byte, ok bool) {
 		if ref, hit := st.lookup(key); hit {
 			if p, err := readEntry(st.f, key, ref); err == nil {
 				sh.ops.snapshotHits.Add(1)
+				tmSnapshotHits.Inc()
 				return ref.typeName, p, true
 			}
 		}
@@ -401,6 +402,7 @@ func (sh *shard) get(key string) (typeName string, payload []byte, ok bool) {
 // mid-run.
 func (sh *shard) getSlow(key string) (string, []byte, bool) {
 	sh.ops.slowGets.Add(1)
+	tmSlowGets.Inc()
 	sh.lock()
 	defer sh.mu.Unlock()
 	st := sh.state.Load()

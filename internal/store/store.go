@@ -65,6 +65,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"activemem/internal/telemetry"
 )
 
 // Options configures Open.
@@ -89,13 +91,15 @@ type Options struct {
 // that a Get of an indexed key acquires no mutex and no file lock — from
 // the outside.
 type opCounters struct {
-	gets         atomic.Uint64
-	puts         atomic.Uint64
-	hotHits      atomic.Uint64
-	snapshotHits atomic.Uint64
-	slowGets     atomic.Uint64
-	mutexAcqs    atomic.Uint64
-	flockAcqs    atomic.Uint64
+	gets           atomic.Uint64
+	puts           atomic.Uint64
+	hotHits        atomic.Uint64
+	snapshotHits   atomic.Uint64
+	slowGets       atomic.Uint64
+	mutexAcqs      atomic.Uint64
+	flockAcqs      atomic.Uint64
+	groupCommits   atomic.Uint64
+	groupedAppends atomic.Uint64
 }
 
 // OpCounters is a point-in-time snapshot of the store's operation
@@ -118,6 +122,11 @@ type OpCounters struct {
 	// FlockAcqs counts cross-process file-lock acquisitions (shard locks
 	// and the layout lock).
 	FlockAcqs uint64
+	// GroupCommits counts commit-log fsyncs; GroupedAppends counts the
+	// appends those fsyncs acknowledged. Their ratio is the achieved
+	// group-commit batch size: GroupedAppends/GroupCommits ≈ 1 means every
+	// put paid its own fsync, larger means concurrent puts amortised it.
+	GroupCommits, GroupedAppends uint64
 }
 
 // Store is an open result store. Methods are safe for concurrent use.
@@ -299,6 +308,15 @@ func (s *Store) shardFor(key string) *shard {
 	return s.shards[shardOf(key)]
 }
 
+// shardIdx is the key's shard index for telemetry labelling (0 for a
+// legacy single-shard layout, matching where the op actually lands).
+func (s *Store) shardIdx(key string) int {
+	if s.legacy {
+		return 0
+	}
+	return shardOf(key)
+}
+
 // Get returns the entry for key, or ok == false when it is absent or its
 // record fails verification. The hot set is consulted first; a disk hit is
 // offered back to it for admission. A shard-index miss rescans that
@@ -306,9 +324,16 @@ func (s *Store) shardFor(key string) *shard {
 // directory are found.
 func (s *Store) Get(key string) (typeName string, payload []byte, ok bool) {
 	s.ops.gets.Add(1)
+	tmGets.Inc()
+	var startNs int64
+	if telemetry.Active() {
+		startNs = telemetry.NowNs()
+		defer func() { tmGetSeconds.Observe(s.shardIdx(key), telemetry.NowNs()-startNs) }()
+	}
 	if s.hot != nil {
 		if v, hit := s.hot.get(key); hit && v.payload != nil {
 			s.ops.hotHits.Add(1)
+			tmHotHits.Inc()
 			return v.typeName, v.payload, true
 		}
 	}
@@ -332,8 +357,10 @@ func (s *Store) GetDecoded(key string) (any, bool) {
 		return nil, false
 	}
 	s.ops.gets.Add(1)
+	tmGets.Inc()
 	if v, hit := s.hot.get(key); hit && v.value != nil {
 		s.ops.hotHits.Add(1)
+		tmHotHits.Inc()
 		return v.value, true
 	}
 	return nil, false
@@ -362,6 +389,12 @@ func (s *Store) Put(key, typeName string, payload []byte) (added bool, err error
 		return false, fmt.Errorf("store: payload %d exceeds %d bytes", len(payload), maxPayload)
 	}
 	s.ops.puts.Add(1)
+	tmPuts.Inc()
+	var startNs int64
+	if telemetry.Active() {
+		startNs = telemetry.NowNs()
+		defer func() { tmPutSeconds.Observe(s.shardIdx(key), telemetry.NowNs()-startNs) }()
+	}
 	added, err = s.shardFor(key).put(key, typeName, payload, time.Now().Unix())
 	if err == nil && s.hot != nil {
 		s.hot.add(key, typeName, payload, nil)
@@ -468,13 +501,15 @@ func (s *Store) MigratedOnOpen() (bool, int) { return s.migrated, s.migratedEntr
 // Counters returns a snapshot of the store's operation counters.
 func (s *Store) Counters() OpCounters {
 	return OpCounters{
-		Gets:         s.ops.gets.Load(),
-		Puts:         s.ops.puts.Load(),
-		HotHits:      s.ops.hotHits.Load(),
-		SnapshotHits: s.ops.snapshotHits.Load(),
-		SlowGets:     s.ops.slowGets.Load(),
-		MutexAcqs:    s.ops.mutexAcqs.Load(),
-		FlockAcqs:    s.ops.flockAcqs.Load(),
+		Gets:           s.ops.gets.Load(),
+		Puts:           s.ops.puts.Load(),
+		HotHits:        s.ops.hotHits.Load(),
+		SnapshotHits:   s.ops.snapshotHits.Load(),
+		SlowGets:       s.ops.slowGets.Load(),
+		MutexAcqs:      s.ops.mutexAcqs.Load(),
+		FlockAcqs:      s.ops.flockAcqs.Load(),
+		GroupCommits:   s.ops.groupCommits.Load(),
+		GroupedAppends: s.ops.groupedAppends.Load(),
 	}
 }
 

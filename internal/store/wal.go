@@ -19,6 +19,8 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"activemem/internal/telemetry"
 )
 
 const (
@@ -137,10 +139,16 @@ func (w *wal) syncTo(seq uint64) error {
 		}
 		// Every append numbered <= covered finished its write before the
 		// counter was bumped, so this fsync commits all of them.
+		prev := w.syncedSeq.Load()
 		covered := w.appendSeq.Load()
+		startNs := telemetry.NowNs()
 		err := w.f.Sync()
+		tmWalFsyncSeconds.Observe(telemetry.NowNs() - startNs)
 		if err == nil {
 			w.syncedSeq.Store(covered)
+			w.ops.groupCommits.Add(1)
+			w.ops.groupedAppends.Add(covered - prev)
+			tmWalGroupSize.Observe(int64(covered - prev))
 		}
 		w.syncMu.Unlock()
 		if err != nil {
@@ -200,6 +208,7 @@ func (g *syncGroup) commit(rec []byte) error {
 // a put whose segment append has happened but whose log append has not
 // lose nothing either way: that put has not been acknowledged yet.
 func (g *syncGroup) checkpoint() error {
+	tmWalCheckpoints.Inc()
 	g.w.mu.Lock()
 	defer g.w.mu.Unlock()
 	return g.w.withFileLock(func() error {

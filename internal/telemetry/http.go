@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the telemetry HTTP handler for a registry:
+//
+//	/metrics       Prometheus text exposition
+//	/statusz       JSON snapshot (status sources + condensed metrics)
+//	/debug/pprof/  net/http/pprof (profile, heap, goroutine, trace, ...)
+//	/              a plain index of the above
+//
+// CPU profiles taken through /debug/pprof/profile are cell-label
+// attributed whenever the executor runs with labels active (Serve enables
+// them), so a mid-campaign profile says which campaign labels burned the
+// samples.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.WritePrometheus())
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Status())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "activemem telemetry\n\n/metrics\n/statusz\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running telemetry listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry listener on addr (host:port; port 0 picks a
+// free port) exposing the Default registry, and switches span timing and
+// pprof cell labels on. It returns once the listener is bound; requests
+// are served on a background goroutine until Close.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	SetActive(true)
+	SetCellLabels(true)
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(Default), ReadHeaderTimeout: 10 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. In-flight requests are abandoned — the
+// process is exiting anyway when campaigns call this.
+func (s *Server) Close() error { return s.srv.Close() }

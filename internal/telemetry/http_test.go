@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("h_cells_total", "test").Add(11)
+	r.AddStatus("lab", func() any { return map[string]int{"hits": 4} })
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "h_cells_total 11") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+
+	code, body = get(t, srv.URL+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/statusz not JSON: %v\n%s", err, body)
+	}
+	if doc["lab"].(map[string]any)["hits"].(float64) != 4 {
+		t.Fatalf("/statusz missing status source: %s", body)
+	}
+
+	code, body = get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d:\n%.200s", code, body)
+	}
+
+	code, body = get(t, srv.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("/ = %d:\n%s", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("/nope = %d, want 404", code)
+	}
+}
+
+// TestServe covers the real listener path the CLIs use (-telemetry
+// 127.0.0.1:0): Serve binds, reports its address, flips the active and
+// cell-label switches, and serves the default registry.
+func TestServe(t *testing.T) {
+	SetActive(false)
+	SetCellLabels(false)
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() {
+		srv.Close()
+		SetActive(false)
+		SetCellLabels(false)
+	}()
+	if !Active() || !CellLabelsActive() {
+		t.Fatalf("Serve did not activate span timing and cell labels")
+	}
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "go_goroutines") {
+		t.Fatalf("default-registry scrape = %d:\n%.300s", code, body)
+	}
+}

@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// WithCellLabel runs fn under the runtime/pprof label cell=label when
+// cell labelling is active, so CPU-profile samples taken while fn runs —
+// whether through -cpuprofile or /debug/pprof/profile — are attributed to
+// the campaign label (`go tool pprof -tags`, or `-focus` on a label
+// regex). With labelling off (no profiler, no listener) the wrapper is a
+// single atomic load and a direct call: the executor can wrap every cell
+// unconditionally.
+func WithCellLabel(label string, fn func()) {
+	if label == "" || !cellLabels.Load() {
+		fn()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("cell", label), func(context.Context) {
+		fn()
+	})
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TopK tracks per-label counts and latency sums for the K heaviest labels
+// using the space-saving algorithm: a full stream of any cardinality is
+// summarised in exactly K entries. When a new label arrives with the
+// table full, it replaces the current minimum-count entry and inherits
+// its count (recording the inherited amount as the entry's error bound),
+// which guarantees every true heavy hitter's count is between
+// (observed - error) and observed. This is the eHashPipe-style bounded
+// per-label attribution: a million-cell campaign with unbounded distinct
+// batch labels costs O(K) memory, and the labels that dominate the run
+// are reported exactly (error 0) whenever cardinality <= K.
+//
+// Observations are cell-granular (one per completed experiment cell, not
+// per simulated access), so a mutex is the right lock: the tracker is off
+// every per-access hot path by design.
+type TopK struct {
+	mu sync.Mutex
+	k  int
+	m  map[string]*tkEntry
+}
+
+type tkEntry struct {
+	label string
+	count uint64
+	err   uint64 // count inherited from an evicted entry (overestimate bound)
+	sumNs uint64
+	maxNs int64
+}
+
+// TopKEntry is one snapshot row.
+type TopKEntry struct {
+	Label string
+	// Count observations attributed to the label; overcounts by at most
+	// Err (0 when the label never displaced another).
+	Count uint64
+	Err   uint64
+	SumNs uint64
+	MaxNs int64
+}
+
+// NewTopK registers a top-K tracker. It is exposed as a Prometheus
+// summary family: one _sum/_count pair per tracked label.
+func (r *Registry) NewTopK(name, help string, k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return r.register(name, help, "summary", "", func() series {
+		return &TopK{k: k, m: make(map[string]*tkEntry, k)}
+	}).(*TopK)
+}
+
+// Observe attributes one latency to label. Empty labels are dropped —
+// they carry no attribution.
+func (t *TopK) Observe(label string, ns int64) {
+	if label == "" {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[label]; ok {
+		e.count++
+		e.sumNs += uint64(ns)
+		if ns > e.maxNs {
+			e.maxNs = ns
+		}
+		return
+	}
+	if len(t.m) < t.k {
+		t.m[label] = &tkEntry{label: label, count: 1, sumNs: uint64(ns), maxNs: ns}
+		return
+	}
+	// Space-saving replacement: evict the minimum-count entry, inherit its
+	// count as this label's error bound. K is small (tens), so a linear
+	// scan beats maintaining a heap at cell granularity.
+	var victim *tkEntry
+	for _, e := range t.m {
+		if victim == nil || e.count < victim.count ||
+			(e.count == victim.count && e.label < victim.label) {
+			victim = e
+		}
+	}
+	delete(t.m, victim.label)
+	t.m[label] = &tkEntry{label: label, count: victim.count + 1, err: victim.count,
+		sumNs: uint64(ns), maxNs: ns}
+}
+
+// Snapshot returns the tracked entries sorted by count descending (label
+// ascending as the tiebreak).
+func (t *TopK) Snapshot() []TopKEntry {
+	t.mu.Lock()
+	out := make([]TopKEntry, 0, len(t.m))
+	for _, e := range t.m {
+		out = append(out, TopKEntry{Label: e.label, Count: e.count, Err: e.err,
+			SumNs: e.sumNs, MaxNs: e.maxNs})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+func (t *TopK) labelString() string { return "" }
+
+// writeExpo renders the tracker as a label-attributed summary: per label
+// a _sum (seconds) and _count pair, in snapshot (count-descending) order
+// re-sorted by label for deterministic output.
+func (t *TopK) writeExpo(b *strings.Builder, name string) {
+	rows := t.Snapshot()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Label < rows[j].Label })
+	for _, row := range rows {
+		ls := renderLabels([]Label{{Key: "label", Value: row.Label}})
+		b.WriteString(name)
+		b.WriteString("_sum{")
+		b.WriteString(ls)
+		b.WriteString("} ")
+		b.WriteString(formatFloat(float64(row.SumNs) / 1e9))
+		b.WriteByte('\n')
+		b.WriteString(name)
+		b.WriteString("_count{")
+		b.WriteString(ls)
+		b.WriteString("} ")
+		b.WriteString(strconv.FormatUint(row.Count, 10))
+		b.WriteByte('\n')
+	}
+}
+
+func (t *TopK) statusValue() any { return t.Snapshot() }
