@@ -9,7 +9,8 @@
 //	activemem [-workload uniform|norm4|norm8|exp4|pchase] [-buf BYTES]
 //	          [-compute N] [-scale N] [-threshold F] [-j N] [-progress]
 //	          [-predict-l3 MB] [-predict-bw GBS] [-seed N]
-//	          [-cache-dir DIR] [-cache-mem BYTES] [-knee F] [-knee-patience M]
+//	          [-cache-dir DIR] [-cache-mem BYTES] [-cache-url URL]
+//	          [-knee F] [-knee-patience M]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // -knee switches the interference sweeps to adaptive mode: levels run in
@@ -17,7 +18,9 @@
 // for -knee-patience consecutive levels, skipping deep-interference cells
 // when only the degradation knee is wanted. -cache-dir persists every
 // measured cell so repeated invocations (or other commands sharing the
-// directory) skip simulation.
+// directory) skip simulation; -cache-url (or $ACTIVEMEM_CACHE_URL) adds a
+// shared labcached server as a best-effort remote tier. SIGINT/SIGTERM
+// drain in-flight cells, sync the cache tiers and exit 130.
 //
 // Example:
 //
@@ -26,6 +29,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -63,6 +67,8 @@ func main() {
 			"persist results to this on-disk store and resume from it (default $ACTIVEMEM_CACHE_DIR)")
 		cacheMem = flag.Int64("cache-mem", -1,
 			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
+		cacheURL = flag.String("cache-url", os.Getenv("ACTIVEMEM_CACHE_URL"),
+			"also consult a labcached server at this URL as a best-effort remote tier (default $ACTIVEMEM_CACHE_URL)")
 		knee     = flag.Float64("knee", 0, "adaptive sweeps: stop past this slowdown threshold (0 = measure every level)")
 		patience = flag.Int("knee-patience", 2, "consecutive over-threshold levels that stop an adaptive sweep")
 	)
@@ -91,8 +97,25 @@ func main() {
 	if cache != nil {
 		defer cache.Close()
 	}
-	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
+	rc, err := lab.OpenRemote(*cacheURL)
+	check(err)
+	defer rc.Close()
+	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress),
+		Cache: cache, Remote: rc})
 	defer ex.Close()
+	stopSignals := lab.NotifyShutdown(ex, os.Stderr)
+	defer stopSignals()
+	// The fatal path (check) bypasses the defers above; drain and sync the
+	// tiers there too, so even an interrupted or failed campaign leaves its
+	// finished cells checkpointed rather than waiting on log replay.
+	cleanup = func() {
+		ex.Close()
+		ex.PrintCacheSummary(os.Stderr)
+		rc.Close()
+		if cache != nil {
+			cache.Close()
+		}
+	}
 	stopTelemetry, err := lab.StartTelemetry(*telemetryAddr, ex, os.Stderr)
 	check(err)
 	defer stopTelemetry()
@@ -216,8 +239,20 @@ func printSweep(title string, s core.Sweep) {
 		lastOK, firstDeg)
 }
 
+// cleanup, when set, drains the executor and syncs the cache tiers; the
+// fatal exits below run it because log.Fatal/os.Exit skip the defers.
+var cleanup func()
+
 func check(err error) {
-	if err != nil {
-		log.Fatal(err)
+	if err == nil {
+		return
 	}
+	if cleanup != nil {
+		cleanup()
+	}
+	if errors.Is(err, lab.ErrInterrupted) {
+		log.Println("interrupted: finished cells are persisted; rerun with the same flags to resume")
+		os.Exit(130)
+	}
+	log.Fatal(err)
 }

@@ -157,15 +157,33 @@ func cmdLs(args []string) {
 func cmdVerify(args []string) {
 	fs, dir := newFlags("verify")
 	fs.Parse(args)
-	s := open(*dir, true)
+	// verify has a pinned exit-code contract for scripts and CI: 0 means
+	// every reachable record (segments and commit log) checks out, 1 means
+	// corruption was found, 2 means the store could not be read at all. It
+	// therefore opens the store itself instead of going through open(),
+	// whose log.Fatal would fold I/O errors into exit 1.
+	if *dir == "" {
+		log.Println("no cache directory: pass -dir or set $ACTIVEMEM_CACHE_DIR")
+		os.Exit(2)
+	}
+	s, err := store.Open(*dir, store.Options{Schema: lab.ResultSchemaVersion, ReadOnly: true})
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
 	defer s.Close()
 	res, err := s.Verify()
 	if err != nil {
-		log.Fatal(err)
+		log.Println(err)
+		os.Exit(2)
 	}
 	fmt.Printf("records: %d (%d live, %d superseded)\n", res.Records, res.Live,
 		res.Records-res.Live-res.Corrupt)
 	fmt.Printf("corrupt: %d\n", res.Corrupt)
+	if res.LogRecords > 0 || res.LogCorrupt > 0 {
+		fmt.Printf("commit log: %d records (%d reachable only here), %d corrupt (a read-write open replays and truncates it)\n",
+			res.LogRecords, res.LogLive, res.LogCorrupt)
+	}
 	if res.GarbageBytes > 0 {
 		fmt.Printf("garbage: %s of unparseable mid-segment bytes (gc will drop them)\n",
 			units.FormatBytes(res.GarbageBytes))
@@ -174,7 +192,7 @@ func cmdVerify(args []string) {
 		fmt.Printf("torn tail: %s (a read-write open will truncate it)\n",
 			units.FormatBytes(res.TornBytes))
 	}
-	if res.Corrupt > 0 || res.TornBytes > 0 || res.GarbageBytes > 0 {
+	if res.Corrupt > 0 || res.LogCorrupt > 0 || res.TornBytes > 0 || res.GarbageBytes > 0 {
 		os.Exit(1)
 	}
 	fmt.Println("ok")

@@ -1,0 +1,115 @@
+// Command labcached serves a persistent result store over HTTP as the
+// team-wide remote memo tier: campaigns on any machine consult it after
+// their local tiers (-cache-url) and write computed cells back, so a
+// paper-scale grid is simulated once, ever, org-wide.
+//
+// Usage:
+//
+//	labcached [-addr HOST:PORT] [-dir DIR] [-cache-mem BYTES] [-drain DUR]
+//
+// The cell endpoints (GET/PUT /v1/cell/{key}, see internal/remote) are
+// mounted beside the standard telemetry handler, so /metrics, /statusz
+// and /debug/pprof/ come for free on the same listener. The bound
+// address is announced on stderr ("labcached: listening on http://…"),
+// which makes -addr 127.0.0.1:0 usable in scripts and CI.
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains
+// in-flight requests for up to -drain, checkpoints the store and exits;
+// a second signal exits immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"activemem/internal/lab"
+	"activemem/internal/remote"
+	"activemem/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("labcached: ")
+	var (
+		addr = flag.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
+		dir  = flag.String("dir", os.Getenv("ACTIVEMEM_CACHE_DIR"),
+			"result store directory to serve (default $ACTIVEMEM_CACHE_DIR)")
+		cacheMem = flag.Int64("cache-mem", -1,
+			"in-memory hot-set budget for the served store in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
+		drain = flag.Duration("drain", 10*time.Second,
+			"in-flight request drain budget on shutdown")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("no store directory: set -dir or $ACTIVEMEM_CACHE_DIR")
+	}
+	if *cacheMem < 0 {
+		*cacheMem = lab.HotBytesFromEnv()
+	}
+
+	st, err := lab.OpenCacheSized(*dir, *cacheMem)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One mux: the cell protocol beside the stock telemetry surface.
+	// Serving /metrics from the same registry the remote/store packages
+	// register on means server-side request counters, store op counters
+	// and hot-set stats are all scrapeable without extra wiring.
+	telemetry.SetActive(true)
+	telemetry.Default.AddStatus("store_ops", func() any { return st.Counters() })
+	telemetry.Default.AddStatus("store_hot", func() any { return st.HotStats() })
+	telemetry.Default.AddStatus("labcached", func() any {
+		return map[string]any{"dir": st.Dir(), "entries": st.Len(), "schema": st.Schema()}
+	})
+	mux := http.NewServeMux()
+	mux.Handle(remote.CellPathPrefix, remote.NewHandler(st))
+	mux.Handle("/", telemetry.Handler(telemetry.Default))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	fmt.Fprintf(os.Stderr, "labcached: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "labcached: serving %d cells from %s (schema %s)\n",
+		st.Len(), st.Dir(), st.Schema())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		st.Close()
+		log.Fatal(err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "labcached: %v: draining in-flight requests (up to %s; signal again to exit now)\n",
+			sig, *drain)
+	}
+	go func() {
+		<-sigCh
+		os.Exit(130)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	// Checkpoint so the next open (or a labcache verify) sees every
+	// acknowledged record in the segments, not just the commit log.
+	if err := st.Close(); err != nil {
+		log.Fatalf("store close: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "labcached: store checkpointed, bye")
+}

@@ -7,16 +7,23 @@
 //
 //	validate [-scale N] [-grid smoke|quick|paper] [-fig all|table1,table2,3a,5,6,7,8]
 //	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR] [-cache-mem BYTES]
-//	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-cache-url URL] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default -scale 1 runs the full Xeon20MB geometry. -grid paper runs
 // the paper's complete 660-configuration synthetic grid (slow at scale 1).
 // With -cache-dir (or $ACTIVEMEM_CACHE_DIR) every finished cell persists to
 // an on-disk result store, so an interrupted campaign resumes with only the
-// missing cells simulated; see cmd/labcache for inspecting the store.
+// missing cells simulated; see cmd/labcache for inspecting the store. With
+// -cache-url (or $ACTIVEMEM_CACHE_URL) a shared labcached server is
+// consulted after the local tiers, best-effort; see cmd/labcached.
+//
+// SIGINT/SIGTERM shut down gracefully: no new cells dispatch, in-flight
+// cells drain and persist, the cache tiers sync, and the process exits
+// 130. A second signal exits immediately.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -45,6 +52,8 @@ func main() {
 			"persist results to this on-disk store and resume from it (default $ACTIVEMEM_CACHE_DIR)")
 		cacheMem = flag.Int64("cache-mem", -1,
 			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
+		cacheURL = flag.String("cache-url", os.Getenv("ACTIVEMEM_CACHE_URL"),
+			"also consult a labcached server at this URL as a best-effort remote tier (default $ACTIVEMEM_CACHE_URL)")
 	)
 	profFlags := prof.RegisterFlags()
 	telemetryAddr := lab.RegisterTelemetryFlag()
@@ -65,8 +74,25 @@ func main() {
 	if cache != nil {
 		defer cache.Close()
 	}
-	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress), Cache: cache})
+	rc, err := lab.OpenRemote(*cacheURL)
+	check(err)
+	defer rc.Close()
+	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress),
+		Cache: cache, Remote: rc})
 	defer ex.Close()
+	stopSignals := lab.NotifyShutdown(ex, os.Stderr)
+	defer stopSignals()
+	// The fatal path (check) bypasses the defers above; drain and sync the
+	// tiers there too, so even an interrupted or failed campaign leaves its
+	// finished cells checkpointed rather than waiting on log replay.
+	cleanup = func() {
+		ex.Close()
+		ex.PrintCacheSummary(os.Stderr)
+		rc.Close()
+		if cache != nil {
+			cache.Close()
+		}
+	}
 	stopTelemetry, err := lab.StartTelemetry(*telemetryAddr, ex, os.Stderr)
 	check(err)
 	defer stopTelemetry()
@@ -146,10 +172,22 @@ func parseGrid(s string) experiments.Grid {
 	}
 }
 
+// cleanup, when set, drains the executor and syncs the cache tiers; the
+// fatal exits below run it because log.Fatal/os.Exit skip the defers.
+var cleanup func()
+
 func check(err error) {
-	if err != nil {
-		log.Fatal(err)
+	if err == nil {
+		return
 	}
+	if cleanup != nil {
+		cleanup()
+	}
+	if errors.Is(err, lab.ErrInterrupted) {
+		log.Println("interrupted: finished cells are persisted; rerun with the same flags to resume")
+		os.Exit(130)
+	}
+	log.Fatal(err)
 }
 
 func writeCSV(dir, name string, t *report.Table) error {

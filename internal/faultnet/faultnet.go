@@ -1,0 +1,278 @@
+// Package faultnet is an in-process fault-injecting reverse proxy for
+// exercising the remote memo tier's degradation paths. Tests park it
+// between a remote.Client and a healthy labcached handler and schedule
+// faults per request or ramped over time:
+//
+//	Drop        close the connection before answering (RST-ish)
+//	Delay       hold the request for a duration, then serve it
+//	Err5xx      answer 503 without consulting the upstream
+//	TornBody    send full headers, half the body, then kill the stream
+//	CorruptBody flip a payload byte, keep the original checksum header
+//	Blackhole   accept and never answer (until the client gives up)
+//
+// The proxy is deliberately an http.Handler-level device, not a raw TCP
+// shim: faults land after request parsing, so a test can target verbs or
+// paths, and torn/corrupt bodies are crafted against the real upstream
+// response. Deciders are swappable mid-flight (SetDecider), which is how
+// tests heal a link, ramp an outage, or kill a server mid-campaign.
+package faultnet
+
+import (
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	Pass Kind = iota
+	Drop
+	Delay
+	Err5xx
+	TornBody
+	CorruptBody
+	Blackhole
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"pass", "drop", "delay", "err5xx", "torn_body", "corrupt_body", "blackhole"}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return "unknown"
+	}
+	return kindNames[k]
+}
+
+// Fault is one scheduled misbehaviour. Wait parameterises Delay.
+type Fault struct {
+	Kind Kind
+	Wait time.Duration
+}
+
+// Decider picks the fault for the n-th request (0-based, in arrival
+// order). Deciders run concurrently from server goroutines and must be
+// safe for concurrent use; the combinators below all are.
+type Decider func(n int, r *http.Request) Fault
+
+// Always applies the same fault to every request.
+func Always(f Fault) Decider {
+	return func(int, *http.Request) Fault { return f }
+}
+
+// Healthy passes every request through untouched.
+func Healthy() Decider { return Always(Fault{Kind: Pass}) }
+
+// Script replays faults in request order and passes everything after the
+// script runs out.
+func Script(faults ...Fault) Decider {
+	return func(n int, _ *http.Request) Fault {
+		if n < len(faults) {
+			return faults[n]
+		}
+		return Fault{Kind: Pass}
+	}
+}
+
+// After passes the first n requests and applies f to every later one —
+// the "server falls over mid-campaign" schedule.
+func After(n int, f Fault) Decider {
+	return func(i int, _ *http.Request) Fault {
+		if i < n {
+			return Fault{Kind: Pass}
+		}
+		return f
+	}
+}
+
+// Ramp applies f with probability ramping linearly from 0 at start to 1
+// once `over` has elapsed — a degradation that worsens over wall time,
+// the litmus-style timed chaos shape.
+func Ramp(f Fault, over time.Duration) Decider {
+	start := time.Now()
+	var mu sync.Mutex
+	rng := rand.New(rand.NewPCG(0xfa017, uint64(start.UnixNano())))
+	return func(int, *http.Request) Fault {
+		p := float64(time.Since(start)) / float64(over)
+		mu.Lock()
+		roll := rng.Float64()
+		mu.Unlock()
+		if roll < p {
+			return f
+		}
+		return Fault{Kind: Pass}
+	}
+}
+
+// Proxy is the running fault injector.
+type Proxy struct {
+	target *url.URL
+	ln     net.Listener
+	srv    *http.Server
+	client *http.Client
+
+	decider atomic.Pointer[Decider]
+	n       atomic.Int64
+
+	injected [numKinds]atomic.Int64
+}
+
+// New starts a proxy on 127.0.0.1:0 forwarding to target (a URL like
+// "http://127.0.0.1:8344"). Close releases it.
+func New(target string, d Decider) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: u, ln: ln, client: &http.Client{}}
+	if d == nil {
+		d = Healthy()
+	}
+	p.decider.Store(&d)
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.serve)}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// URL returns the proxy's base URL for clients.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// SetDecider swaps the fault schedule, effective for the next request.
+func (p *Proxy) SetDecider(d Decider) {
+	if d == nil {
+		d = Healthy()
+	}
+	p.decider.Store(&d)
+}
+
+// Injected reports how many requests received each fault kind.
+func (p *Proxy) Injected(k Kind) int64 { return p.injected[k].Load() }
+
+// Requests reports how many requests the proxy has accepted.
+func (p *Proxy) Requests() int64 { return p.n.Load() }
+
+// Close tears the proxy down, snapping open connections (including any
+// blackholed ones).
+func (p *Proxy) Close() {
+	p.srv.Close()
+	p.client.CloseIdleConnections()
+}
+
+func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
+	n := int(p.n.Add(1) - 1)
+	f := (*p.decider.Load())(n, r)
+	p.injected[f.Kind].Add(1)
+	switch f.Kind {
+	case Drop:
+		hijackClose(w)
+		return
+	case Blackhole:
+		// Hold until the client abandons the request (deadline, Close),
+		// then drop the connection without a byte of response.
+		<-r.Context().Done()
+		hijackClose(w)
+		return
+	case Err5xx:
+		http.Error(w, "injected server error", http.StatusServiceUnavailable)
+		return
+	case Delay:
+		select {
+		case <-time.After(f.Wait):
+		case <-r.Context().Done():
+			hijackClose(w)
+			return
+		}
+	}
+
+	status, hdr, body, err := p.forward(r)
+	if err != nil {
+		http.Error(w, "upstream unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	switch f.Kind {
+	case TornBody:
+		// Promise the full body, deliver half, then abort the stream: the
+		// client sees headers that verify and a read that dies mid-payload.
+		copyHeader(w.Header(), hdr)
+		w.WriteHeader(status)
+		if len(body) > 0 {
+			w.Write(body[:(len(body)+1)/2])
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+		}
+		panic(http.ErrAbortHandler)
+	case CorruptBody:
+		// Flip one byte but keep every header — Content-Length still
+		// matches, the checksum header is now a lie the client must catch.
+		if len(body) > 0 {
+			body[len(body)/2] ^= 0x40
+		}
+		copyHeader(w.Header(), hdr)
+		w.WriteHeader(status)
+		w.Write(body)
+	default: // Pass, Delay
+		copyHeader(w.Header(), hdr)
+		w.WriteHeader(status)
+		w.Write(body)
+	}
+}
+
+// forward relays r to the upstream and returns the buffered response.
+// Buffering the body is what lets torn/corrupt faults operate on real
+// payloads; cell records are bounded (64 MiB) so this is safe.
+func (p *Proxy) forward(r *http.Request) (int, http.Header, []byte, error) {
+	u := *p.target
+	u.Path = r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header = r.Header.Clone()
+	req.ContentLength = r.ContentLength
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, body, nil
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// hijackClose severs the underlying connection without an HTTP answer.
+func hijackClose(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic(http.ErrAbortHandler)
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		panic(http.ErrAbortHandler)
+	}
+	conn.Close()
+}

@@ -1,0 +1,136 @@
+package faultnet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// upstream answers every request 200 "ok-body".
+func upstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "7")
+		w.Write([]byte("ok-body"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), err
+}
+
+func TestScriptAppliesFaultsInOrder(t *testing.T) {
+	p, err := New(upstream(t).URL, Script(
+		Fault{Kind: Drop},
+		Fault{Kind: Err5xx},
+		Fault{Kind: TornBody},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// 1st: dropped connection — a transport error, no status.
+	if _, _, err := get(t, p.URL()); err == nil {
+		t.Fatal("dropped request did not error")
+	}
+	// 2nd: injected 503 without touching the upstream.
+	if status, _, err := get(t, p.URL()); err != nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("Err5xx request = (%d, %v), want 503", status, err)
+	}
+	// 3rd: full headers, half the body, then a killed stream.
+	resp, err := http.Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr == nil {
+		t.Fatalf("torn body read completed cleanly with %d bytes", len(body))
+	}
+	// 4th, past the script: passes through.
+	if status, body, err := get(t, p.URL()); err != nil || status != 200 || body != "ok-body" {
+		t.Fatalf("post-script request = (%d, %q, %v), want clean pass", status, body, err)
+	}
+
+	if p.Requests() != 4 {
+		t.Fatalf("Requests = %d, want 4", p.Requests())
+	}
+	for k, want := range map[Kind]int64{Drop: 1, Err5xx: 1, TornBody: 1, Pass: 1} {
+		if got := p.Injected(k); got != want {
+			t.Errorf("Injected(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCorruptBodyKeepsHeaders(t *testing.T) {
+	p, err := New(upstream(t).URL, Always(Fault{Kind: CorruptBody}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	status, body, err := get(t, p.URL())
+	if err != nil || status != 200 {
+		t.Fatalf("corrupt-body request = (%d, %v)", status, err)
+	}
+	if body == "ok-body" || len(body) != len("ok-body") {
+		t.Fatalf("body = %q, want same length, different bytes", body)
+	}
+}
+
+func TestDelayHoldsThenServes(t *testing.T) {
+	p, err := New(upstream(t).URL, Always(Fault{Kind: Delay, Wait: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	status, body, err := get(t, p.URL())
+	if err != nil || status != 200 || body != "ok-body" {
+		t.Fatalf("delayed request = (%d, %q, %v)", status, body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request served in %v, want >= 50ms", elapsed)
+	}
+}
+
+func TestSetDeciderHealsMidFlight(t *testing.T) {
+	p, err := New(upstream(t).URL, Always(Fault{Kind: Err5xx}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if status, _, _ := get(t, p.URL()); status != http.StatusServiceUnavailable {
+		t.Fatalf("pre-heal status = %d, want 503", status)
+	}
+	p.SetDecider(Healthy())
+	if status, body, err := get(t, p.URL()); err != nil || status != 200 || body != "ok-body" {
+		t.Fatalf("post-heal request = (%d, %q, %v)", status, body, err)
+	}
+}
+
+func TestRampEventuallyAlwaysFaults(t *testing.T) {
+	p, err := New(upstream(t).URL, Ramp(Fault{Kind: Err5xx}, time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// The ramp window has fully elapsed: probability is 1.
+	time.Sleep(time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if status, _, _ := get(t, p.URL()); status != http.StatusServiceUnavailable {
+			t.Fatalf("fully ramped request %d = %d, want 503", i, status)
+		}
+	}
+}

@@ -1,12 +1,15 @@
-// The executor's persistent cache tier. The in-memory memo (lab.go) makes
+// The executor's persistent cache tiers. The in-memory memo (lab.go) makes
 // identical cells run once per process; attaching a store.Store makes them
-// run once per cache directory: Do consults the in-process memo, then the
+// run once per cache directory; attaching a remote.Client makes them run
+// once per labcached deployment: Do consults the in-process memo, then the
 // store's in-memory hot set (decoded values, no segment read), then disk,
-// then computes — and persists what it computed. Values cross the disk boundary
-// through a registry of typed codecs, so every result struct that flows
-// through Memo (core.Metrics, cluster.Result, …) registers itself once and
-// round-trips exactly (gob preserves float64 bit patterns), keeping warm
-// reruns byte-identical to cold ones.
+// then the remote cache, then computes — persisting what it computed to
+// the local store and (asynchronously, best-effort) to the remote one.
+// Values cross the disk and wire boundaries through a registry of typed
+// codecs, so every result struct that flows through Memo (core.Metrics,
+// cluster.Result, …) registers itself once and round-trips exactly (gob
+// preserves float64 bit patterns), keeping warm reruns byte-identical to
+// cold ones — wherever the bytes came from.
 
 package lab
 
@@ -20,6 +23,7 @@ import (
 	"strconv"
 	"sync"
 
+	"activemem/internal/remote"
 	"activemem/internal/store"
 )
 
@@ -103,50 +107,78 @@ func init() {
 	RegisterResult[bool]("go.bool")
 }
 
-// cacheGet looks key up in the cache tiers: the store's in-memory hot set
-// first — a hit there carries the already-decoded value, skipping both the
-// segment read and the gob decode — then the disk tier. Any failure — no
-// cache, a miss, an unregistered type name, a decode error — reports a
-// miss and lets the cell recompute. A record that decodes no longer (a
-// payload encoding from before an incompatible type change) is
+// cacheGet looks key up in the cache tiers, nearest first: the store's
+// in-memory hot set — a hit there carries the already-decoded value,
+// skipping both the segment read and the gob decode — then the disk
+// segments, then the remote cache. Any failure — no cache, a miss, an
+// unregistered type name, a decode error, a sick remote server — reports
+// a miss and lets the cell recompute. A disk record that decodes no
+// longer (a payload encoding from before an incompatible type change) is
 // invalidated so the recomputed result can replace it; an unknown type
 // name is left alone, since a different binary sharing the directory may
-// still decode it. The hot return distinguishes the tiers for Stats.
-func (e *Executor) cacheGet(key Key) (v any, hot, ok bool) {
-	if e.cache == nil {
-		return nil, false, false
+// still decode it. The tier return distinguishes the tiers for Stats
+// (tierHot, tierDisk or tierRemote).
+func (e *Executor) cacheGet(key Key) (v any, tier int, ok bool) {
+	if e.cache != nil {
+		if v, ok := e.cache.GetDecoded(string(key)); ok {
+			return v, tierHot, true
+		}
+		if typeName, payload, ok := e.cache.Get(string(key)); ok {
+			if v, ok := decodePayload(typeName, payload); ok {
+				// Pay the decode once: attach the value so the hot set can
+				// serve the next Do for this key — from any executor on this
+				// store — directly.
+				e.cache.AddDecoded(string(key), v, int64(len(payload)))
+				return v, tierDisk, true
+			}
+			e.cache.Invalidate(string(key))
+		}
 	}
-	if v, ok := e.cache.GetDecoded(string(key)); ok {
-		return v, true, true
+	if e.remote != nil {
+		if typeName, payload, ok := e.remote.Get(string(key)); ok {
+			if v, ok := decodePayload(typeName, payload); ok {
+				// Pull the record into the local tiers so the next process
+				// on this cache dir — and the next Do in this one — never
+				// crosses the network for it again.
+				if e.cache != nil {
+					if _, err := e.cache.Put(string(key), typeName, payload); err == nil {
+						e.cache.AddDecoded(string(key), v, int64(len(payload)))
+					}
+				}
+				return v, tierRemote, true
+			}
+		}
 	}
-	typeName, payload, ok := e.cache.Get(string(key))
-	if !ok {
-		return nil, false, false
-	}
+	return nil, 0, false
+}
+
+// decodePayload dispatches a stored record through the codec registry.
+// The payload's checksum has already been verified by whichever tier
+// produced it (store CRC, remote body checksum); this is purely the
+// type-name → value step.
+func decodePayload(typeName string, payload []byte) (any, bool) {
 	codecMu.RLock()
 	c := codecByName[typeName]
 	codecMu.RUnlock()
 	if c == nil {
-		return nil, false, false
+		return nil, false
 	}
 	v, err := c.decode(payload)
 	if err != nil {
-		e.cache.Invalidate(string(key))
-		return nil, false, false
+		return nil, false
 	}
-	// Pay the decode once: attach the value so the hot set can serve the
-	// next Do for this key — from any executor on this store — directly.
-	e.cache.AddDecoded(string(key), v, int64(len(payload)))
-	return v, false, true
+	return v, true
 }
 
 // cachePut persists a freshly computed result, reporting whether a record
-// was actually written (a concurrent writer may have stored the key
-// first). Persistence is best-effort: an unregistered type or a write
-// failure leaves the result memory-only rather than failing the
-// experiment.
+// was actually written locally (a concurrent writer may have stored the
+// key first). The encoded payload is also offered to the remote tier as
+// an asynchronous, best-effort write-back — a slow or dead server drops
+// it without ever blocking the cell. Persistence is best-effort
+// throughout: an unregistered type or a write failure leaves the result
+// memory-only rather than failing the experiment.
 func (e *Executor) cachePut(key Key, v any) bool {
-	if e.cache == nil || v == nil {
+	if (e.cache == nil && e.remote == nil) || v == nil {
 		return false
 	}
 	codecMu.RLock()
@@ -159,15 +191,39 @@ func (e *Executor) cachePut(key Key, v any) bool {
 	if err != nil {
 		return false
 	}
-	added, err := e.cache.Put(string(key), c.name, payload)
-	if err == nil {
-		e.cache.AddDecoded(string(key), v, int64(len(payload)))
+	added := false
+	if e.cache != nil {
+		added, err = e.cache.Put(string(key), c.name, payload)
+		if err == nil {
+			e.cache.AddDecoded(string(key), v, int64(len(payload)))
+		} else {
+			added = false
+		}
 	}
-	return err == nil && added
+	if e.remote != nil {
+		e.remote.PutAsync(string(key), c.name, payload)
+	}
+	return added
 }
 
 // Cache returns the executor's disk tier, or nil.
 func (e *Executor) Cache() *store.Store { return e.cache }
+
+// Remote returns the executor's remote tier, or nil.
+func (e *Executor) Remote() *remote.Client { return e.remote }
+
+// OpenRemote resolves a -cache-url / $ACTIVEMEM_CACHE_URL setting into a
+// remote-tier client under the current ResultSchemaVersion, with tuning
+// knobs from the environment (remote.OptionsFromEnv). An empty URL
+// returns (nil, nil): no remote tier. The only error is a malformed URL;
+// a server that is down, slow or wrong merely degrades every lookup to a
+// miss at runtime.
+func OpenRemote(urlStr string) (*remote.Client, error) {
+	if urlStr == "" {
+		return nil, nil
+	}
+	return remote.New(remote.OptionsFromEnv(urlStr, ResultSchemaVersion))
+}
 
 // DefaultHotBytes is the in-memory hot-set budget a cache opens with when
 // neither the ACTIVEMEM_CACHE_MEM environment variable nor an explicit
@@ -210,11 +266,27 @@ func OpenCacheSized(dir string, hotBytes int64) (*store.Store, error) {
 // CacheSummary renders the memo counters in the machine-readable form the
 // CLIs print (and CI's resume-smoke step parses) when a cache directory is
 // configured: every Do call was either computed, served from the
-// in-process memo, or served from disk.
+// in-process memo, or served from a cache tier. The line's original
+// key set is stable for CI; remote_hits rides at the end so older
+// parsers that walk key=value pairs keep working.
 func (e *Executor) CacheSummary() string {
 	st := e.Stats()
-	return fmt.Sprintf("cache: computed=%d disk_hits=%d hot_hits=%d mem_hits=%d persisted=%d",
+	s := fmt.Sprintf("cache: computed=%d disk_hits=%d hot_hits=%d mem_hits=%d persisted=%d",
 		st.Computed, st.DiskHits, st.HotHits, st.Hits, st.Persisted)
+	if e.remote != nil {
+		s += fmt.Sprintf(" remote_hits=%d", st.RemoteHits)
+	}
+	return s
+}
+
+// RemoteSummary renders the remote tier's counters in the same
+// machine-readable key=value form as CacheSummary (CI's remote-smoke
+// step parses the hits field).
+func (e *Executor) RemoteSummary() string {
+	rs := e.remote.Stats()
+	return fmt.Sprintf("remote: gets=%d hits=%d misses=%d errors=%d corrupt=%d breaker_opens=%d breaker_fastfails=%d puts_stored=%d puts_dropped=%d url=%s",
+		rs.Gets, rs.Hits, rs.Misses, rs.Errors, rs.Corrupt, rs.BreakerOpens,
+		rs.BreakerFastFails, rs.PutsStored, rs.PutsDropped, e.remote.BaseURL())
 }
 
 // StoreOpsSummary renders the disk tier's operation counters in the same
@@ -229,14 +301,21 @@ func (e *Executor) StoreOpsSummary() string {
 }
 
 // PrintCacheSummary writes the cache epilogue every CLI prints to w, or
-// nothing when no disk tier is attached. The "cache:" line is parsed by
+// nothing when no cache tier is attached. The "cache:" line is parsed by
 // CI's resume-smoke step — new facts go on their own lines after it.
 func (e *Executor) PrintCacheSummary(w io.Writer) {
-	if e.cache == nil {
+	if e.cache == nil && e.remote == nil {
 		return
 	}
-	fmt.Fprintf(w, "%s entries=%d dir=%s\n", e.CacheSummary(), e.cache.Len(), e.cache.Dir())
-	fmt.Fprintf(w, "%s\n", e.StoreOpsSummary())
+	if e.cache != nil {
+		fmt.Fprintf(w, "%s entries=%d dir=%s\n", e.CacheSummary(), e.cache.Len(), e.cache.Dir())
+		fmt.Fprintf(w, "%s\n", e.StoreOpsSummary())
+	} else {
+		fmt.Fprintf(w, "%s\n", e.CacheSummary())
+	}
+	if e.remote != nil {
+		fmt.Fprintf(w, "%s\n", e.RemoteSummary())
+	}
 }
 
 // PoolSummary renders the resident worker-pool counters in the form the

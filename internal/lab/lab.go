@@ -37,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"activemem/internal/remote"
 	"activemem/internal/store"
 	"activemem/internal/telemetry"
 )
@@ -135,6 +136,15 @@ type Config struct {
 	// older simulator generation self-invalidate. Several executors (or
 	// processes) may share one cache directory; see package store.
 	Cache *store.Store
+	// Remote, when non-nil, is the network tier behind the disk tier
+	// (open with OpenRemote): Do consults memory → hot set → disk →
+	// remote → compute, and write-backs of computed cells flow to the
+	// server asynchronously. The tier is strictly best-effort — a down,
+	// slow, flaky or corrupting server degrades lookups to misses within
+	// the client's deadline budget and can never fail a campaign or
+	// change its bytes (see package remote). The executor does not own
+	// the client; close it after the executor.
+	Remote *remote.Client
 }
 
 // Executor schedules experiment cells. Construct with New; the zero value
@@ -161,19 +171,25 @@ type Executor struct {
 	progress func(label string, done, total int)
 	progMu   sync.Mutex // serialises progress across batches
 	cache    *store.Store
+	remote   *remote.Client
+
+	// interrupted stops new cells from dispatching (graceful shutdown);
+	// see Interrupt.
+	interrupted atomic.Bool
 
 	poolMu sync.Mutex
 	pool   *workerPool // nil until the first parallel batch (and after Close)
 	spawns int         // worker goroutines spawned over the executor's lifetime
 	reuses int         // parallel batches dispatched onto an already-resident pool
 
-	mu        sync.Mutex
-	memo      map[Key]*memoEntry
-	computed  int
-	hits      int
-	diskHits  int
-	hotHits   int
-	persisted int
+	mu         sync.Mutex
+	memo       map[Key]*memoEntry
+	computed   int
+	hits       int
+	diskHits   int
+	hotHits    int
+	remoteHits int
+	persisted  int
 }
 
 type memoEntry struct {
@@ -280,8 +296,8 @@ func New(cfg Config) *Executor {
 			w = 2
 		}
 	}
-	return &Executor{workers: w,
-		progress: cfg.Progress, cache: cfg.Cache, memo: map[Key]*memoEntry{}}
+	return &Executor{workers: w, progress: cfg.Progress,
+		cache: cfg.Cache, remote: cfg.Remote, memo: map[Key]*memoEntry{}}
 }
 
 // Workers returns the executor's concurrency bound.
@@ -380,6 +396,10 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 	// pool (and no other goroutine can exist to share the bound with).
 	if e.workers == 1 {
 		for i := 0; i < n; i++ {
+			if e.interrupted.Load() {
+				abort()
+				return ErrInterrupted
+			}
 			if err := runCell(label, i, job); err != nil {
 				abort()
 				return err
@@ -398,6 +418,13 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 	// check the failed flag before running.
 	timed := telemetry.Active()
 	for i := 0; i < n && !b.failed.Load(); i++ {
+		if e.interrupted.Load() {
+			// Graceful shutdown: stop dispatching, let queued/in-flight
+			// tasks drain through the failed-batch path below. A real cell
+			// error at a lower index still wins the deterministic report.
+			b.fail(i, ErrInterrupted)
+			break
+		}
 		var submitNs int64
 		if timed {
 			submitNs = telemetry.NowNs()
@@ -447,16 +474,17 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 	}
 	e.mu.Unlock()
 
-	ran, fromDisk, fromHot, wrote := false, false, false, false
+	ran, wrote := false, false
+	hitTier := tierMemo
 	timed := telemetry.Active()
 	var startNs int64
 	if timed {
 		startNs = telemetry.NowNs()
 	}
 	ent.once.Do(func() {
-		if v, hot, ok := e.cacheGet(key); ok {
+		if v, tier, ok := e.cacheGet(key); ok {
 			ent.value = v
-			fromDisk, fromHot = true, hot
+			hitTier = tier
 			return
 		}
 		ent.value, ent.err = fn()
@@ -469,14 +497,9 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 	// Attribute the span to the tier that resolved it. Callers that merely
 	// waited out another goroutine's once.Do count as memo hits (their span
 	// is the wait), matching the Stats accounting below.
-	tier := tierMemo
-	switch {
-	case ran:
+	tier := hitTier
+	if ran {
 		tier = tierCompute
-	case fromHot:
-		tier = tierHot
-	case fromDisk:
-		tier = tierDisk
 	}
 	mCells[tier].Inc()
 	if timed {
@@ -484,16 +507,18 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 	}
 
 	e.mu.Lock()
-	switch {
-	case ran:
+	switch tier {
+	case tierCompute:
 		e.computed++
 		if wrote {
 			e.persisted++
 		}
-	case fromHot:
+	case tierHot:
 		e.hotHits++
-	case fromDisk:
+	case tierDisk:
 		e.diskHits++
+	case tierRemote:
+		e.remoteHits++
 	default:
 		e.hits++
 	}
@@ -534,6 +559,9 @@ type Stats struct {
 	// hot set with the decoded value already attached — no segment read, no
 	// decode.
 	HotHits int
+	// RemoteHits is the number of Do calls served from the remote cache
+	// tier (a verified network fetch plus a decode).
+	RemoteHits int
 	// Persisted is the number of computed results written to the store.
 	Persisted int
 	// WorkerSpawns is the number of resident worker goroutines spawned over
@@ -549,8 +577,8 @@ type Stats struct {
 // Stats returns a snapshot of the memoization and pool counters.
 func (e *Executor) Stats() Stats {
 	e.mu.Lock()
-	st := Stats{Computed: e.computed, Hits: e.hits,
-		DiskHits: e.diskHits, HotHits: e.hotHits, Persisted: e.persisted}
+	st := Stats{Computed: e.computed, Hits: e.hits, DiskHits: e.diskHits,
+		HotHits: e.hotHits, RemoteHits: e.remoteHits, Persisted: e.persisted}
 	e.mu.Unlock()
 	e.poolMu.Lock()
 	st.WorkerSpawns, st.GroupReuses = e.spawns, e.reuses

@@ -38,6 +38,11 @@ func StartTelemetry(addr string, ex *Executor, w io.Writer) (func(), error) {
 		telemetry.Default.AddStatus("store_ops", func() any { return c.Counters() })
 		telemetry.Default.AddStatus("store_hot", func() any { return c.HotStats() })
 	}
+	if rc := ex.Remote(); rc != nil {
+		// Degradation at a glance: hits vs errors/corrupt, breaker state
+		// and opens, write-back queue depth and drops.
+		telemetry.Default.AddStatus("remote", func() any { return rc.Stats() })
+	}
 	srv, err := telemetry.Serve(addr)
 	if err != nil {
 		return nil, err

@@ -505,7 +505,7 @@ func (sh *shard) put(key, typeName string, payload []byte, stamp int64) (added b
 // torn tail is truncated on the next open.
 func (sh *shard) appendLocked(rec []byte) error {
 	st := sh.state.Load()
-	if _, err := st.f.WriteAt(rec, st.size); err != nil {
+	if err := faultWriteAt(fpSegAppend, st.f, rec, st.size); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	parsed, status := parseRecord(rec)

@@ -113,7 +113,7 @@ func (w *wal) append(rec []byte) (uint64, error) {
 		if off < w.hdrLen {
 			off = w.hdrLen
 		}
-		if _, err := w.f.WriteAt(rec, off); err != nil {
+		if err := faultWriteAt(fpWALAppend, w.f, rec, off); err != nil {
 			return fmt.Errorf("store: %w", err)
 		}
 		w.size.Store(off + int64(len(rec)))
@@ -142,7 +142,7 @@ func (w *wal) syncTo(seq uint64) error {
 		prev := w.syncedSeq.Load()
 		covered := w.appendSeq.Load()
 		startNs := telemetry.NowNs()
-		err := w.f.Sync()
+		err := faultSync(fpWALFsync, w.f)
 		tmWalFsyncSeconds.Observe(telemetry.NowNs() - startNs)
 		if err == nil {
 			w.syncedSeq.Store(covered)

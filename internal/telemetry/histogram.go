@@ -15,14 +15,17 @@ import (
 // merge by element-wise addition with no rebucketing error.
 //
 // Exposition trims the range to [expoLoBucket, expoHiBucket] (256 ns to
-// ~17 s): observations below fold into the first emitted bucket and
+// ~137 s): observations below fold into the first emitted bucket and
 // observations above appear only in +Inf, which keeps a scrape compact
-// without losing any count. The full-resolution array stays available via
-// Snapshot.
+// without losing any count. The upper bound leaves room for the remote
+// tier's worst legitimate spans — a campaign degrading through retry
+// backoff and breaker cooldowns can spend tens of seconds on a cell and
+// should still resolve to a bucket, not vanish into +Inf. The
+// full-resolution array stays available via Snapshot.
 const (
 	histNumBuckets = 65 // bits.Len64 range: 0..64
 	expoLoBucket   = 8  // le 2^8 ns = 256ns
-	expoHiBucket   = 34 // le 2^34 ns ≈ 17.18s
+	expoHiBucket   = 37 // le 2^37 ns ≈ 137s
 )
 
 // Histogram is a fixed-size log-bucket latency histogram. Observe is
