@@ -10,7 +10,7 @@
 //	          [-compute N] [-scale N] [-threshold F] [-j N] [-progress]
 //	          [-predict-l3 MB] [-predict-bw GBS] [-seed N]
 //	          [-cache-dir DIR] [-cache-mem BYTES] [-cache-url URL]
-//	          [-knee F] [-knee-patience M]
+//	          [-worker-of URL] [-knee F] [-knee-patience M]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // -knee switches the interference sweeps to adaptive mode: levels run in
@@ -19,7 +19,9 @@
 // when only the degradation knee is wanted. -cache-dir persists every
 // measured cell so repeated invocations (or other commands sharing the
 // directory) skip simulation; -cache-url (or $ACTIVEMEM_CACHE_URL) adds a
-// shared labcached server as a best-effort remote tier. SIGINT/SIGTERM
+// shared labcached server as a best-effort remote tier; -worker-of (or
+// $ACTIVEMEM_FLEET_URL) joins a distributed campaign as one worker of
+// the fleet coordinator at that URL. SIGINT/SIGTERM
 // drain in-flight cells, sync the cache tiers and exit 130.
 //
 // Example:
@@ -69,6 +71,8 @@ func main() {
 			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 		cacheURL = flag.String("cache-url", os.Getenv("ACTIVEMEM_CACHE_URL"),
 			"also consult a labcached server at this URL as a best-effort remote tier (default $ACTIVEMEM_CACHE_URL)")
+		workerOf = flag.String("worker-of", os.Getenv("ACTIVEMEM_FLEET_URL"),
+			"run as one worker of the fleet coordinator at this URL (default $ACTIVEMEM_FLEET_URL); implies -cache-url there unless set")
 		knee     = flag.Float64("knee", 0, "adaptive sweeps: stop past this slowdown threshold (0 = measure every level)")
 		patience = flag.Int("knee-patience", 2, "consecutive over-threshold levels that stop an adaptive sweep")
 	)
@@ -97,11 +101,22 @@ func main() {
 	if cache != nil {
 		defer cache.Close()
 	}
+	// A fleet worker publishes results through the shared cache its peers
+	// read from; the coordinator address doubles as that cache unless the
+	// operator split them explicitly (labcached -coord serves both).
+	if *workerOf != "" && *cacheURL == "" {
+		*cacheURL = *workerOf
+	}
 	rc, err := lab.OpenRemote(*cacheURL)
 	check(err)
 	defer rc.Close()
+	fc, err := lab.OpenFleet(*workerOf)
+	check(err)
+	if fc != nil {
+		defer fc.Close()
+	}
 	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress),
-		Cache: cache, Remote: rc})
+		Cache: cache, Remote: rc, Fleet: fc})
 	defer ex.Close()
 	stopSignals := lab.NotifyShutdown(ex, os.Stderr)
 	defer stopSignals()
@@ -111,6 +126,9 @@ func main() {
 	cleanup = func() {
 		ex.Close()
 		ex.PrintCacheSummary(os.Stderr)
+		if fc != nil {
+			fc.Close()
+		}
 		rc.Close()
 		if cache != nil {
 			cache.Close()

@@ -6,13 +6,15 @@
 //
 //	appstudy [-app mcb|lulesh|both] [-scale N] [-grid smoke|quick|paper]
 //	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR] [-cache-mem BYTES]
-//	         [-cache-url URL] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-cache-url URL] [-worker-of URL] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default -scale 8 runs a 1/8-geometry Xeon20MB with proportionally
 // scaled inputs (see DESIGN.md); the printed profiles include the ×scale
 // full-machine equivalents. -scale 1 runs the full geometry (slow).
 // -cache-url (or $ACTIVEMEM_CACHE_URL) adds a shared labcached server as a
-// best-effort remote tier. SIGINT/SIGTERM drain in-flight cells, sync the
+// best-effort remote tier; -worker-of (or $ACTIVEMEM_FLEET_URL) joins a
+// distributed campaign as one worker of the fleet coordinator at that URL.
+// SIGINT/SIGTERM drain in-flight cells, sync the
 // cache tiers and exit 130; a second signal exits immediately.
 package main
 
@@ -48,6 +50,8 @@ func main() {
 			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 		cacheURL = flag.String("cache-url", os.Getenv("ACTIVEMEM_CACHE_URL"),
 			"also consult a labcached server at this URL as a best-effort remote tier (default $ACTIVEMEM_CACHE_URL)")
+		workerOf = flag.String("worker-of", os.Getenv("ACTIVEMEM_FLEET_URL"),
+			"run as one worker of the fleet coordinator at this URL (default $ACTIVEMEM_FLEET_URL); implies -cache-url there unless set")
 	)
 	profFlags := prof.RegisterFlags()
 	telemetryAddr := lab.RegisterTelemetryFlag()
@@ -69,11 +73,22 @@ func main() {
 	if cache != nil {
 		defer cache.Close()
 	}
+	// A fleet worker publishes results through the shared cache its peers
+	// read from; the coordinator address doubles as that cache unless the
+	// operator split them explicitly (labcached -coord serves both).
+	if *workerOf != "" && *cacheURL == "" {
+		*cacheURL = *workerOf
+	}
 	rc, err := lab.OpenRemote(*cacheURL)
 	check(err)
 	defer rc.Close()
+	fc, err := lab.OpenFleet(*workerOf)
+	check(err)
+	if fc != nil {
+		defer fc.Close()
+	}
 	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress),
-		Cache: cache, Remote: rc})
+		Cache: cache, Remote: rc, Fleet: fc})
 	defer ex.Close()
 	stopSignals := lab.NotifyShutdown(ex, os.Stderr)
 	defer stopSignals()
@@ -83,6 +98,9 @@ func main() {
 	cleanup = func() {
 		ex.Close()
 		ex.PrintCacheSummary(os.Stderr)
+		if fc != nil {
+			fc.Close()
+		}
 		rc.Close()
 		if cache != nil {
 			cache.Close()

@@ -6,12 +6,22 @@
 // Usage:
 //
 //	labcached [-addr HOST:PORT] [-dir DIR] [-cache-mem BYTES] [-drain DUR]
+//	          [-auth-token TOK] [-coord] [-lease-ttl DUR] [-steal-after DUR]
+//	          [-policy first-error|keep-going] [-max-retries N]
 //
 // The cell endpoints (GET/PUT /v1/cell/{key}, see internal/remote) are
 // mounted beside the standard telemetry handler, so /metrics, /statusz
 // and /debug/pprof/ come for free on the same listener. The bound
 // address is announced on stderr ("labcached: listening on http://…"),
 // which makes -addr 127.0.0.1:0 usable in scripts and CI.
+//
+// With -coord (the default), a fleet coordinator is mounted at
+// /v1/campaign/* on the same listener, so one process serves both the
+// results and the leases of a distributed campaign: point every
+// worker's -worker-of (and -cache-url) at this address. -auth-token
+// (default $ACTIVEMEM_CACHE_TOKEN) guards both the cell and campaign
+// endpoints with a shared-secret bearer token; telemetry endpoints stay
+// open, matching the usual metrics-are-public posture.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains
 // in-flight requests for up to -drain, checkpoints the store and exits;
@@ -30,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"activemem/internal/fleet"
 	"activemem/internal/lab"
 	"activemem/internal/remote"
 	"activemem/internal/telemetry"
@@ -46,8 +57,23 @@ func main() {
 			"in-memory hot-set budget for the served store in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 		drain = flag.Duration("drain", 10*time.Second,
 			"in-flight request drain budget on shutdown")
+		authToken = flag.String("auth-token", remote.TokenFromEnv(),
+			"shared-secret bearer token for the cell and campaign endpoints, empty to disable (default $ACTIVEMEM_CACHE_TOKEN)")
+		coord = flag.Bool("coord", true,
+			"also serve a fleet coordinator at /v1/campaign/*")
+		leaseTTL = flag.Duration("lease-ttl", 15*time.Second,
+			"coordinator lease TTL: a worker silent this long forfeits its cells")
+		stealAfter = flag.Duration("steal-after", 45*time.Second,
+			"how long a cell may stay leased before idle workers may duplicate it")
+		policy = flag.String("policy", "first-error",
+			"coordinator failure policy: first-error aborts the campaign, keep-going re-leases failed cells")
+		maxRetries = flag.Int("max-retries", 2,
+			"compute-failure re-leases per cell under -policy keep-going")
 	)
 	flag.Parse()
+	if *policy != "first-error" && *policy != "keep-going" {
+		log.Fatalf("unknown -policy %q (want first-error or keep-going)", *policy)
+	}
 	if *dir == "" {
 		log.Fatal("no store directory: set -dir or $ACTIVEMEM_CACHE_DIR")
 	}
@@ -71,7 +97,17 @@ func main() {
 		return map[string]any{"dir": st.Dir(), "entries": st.Len(), "schema": st.Schema()}
 	})
 	mux := http.NewServeMux()
-	mux.Handle(remote.CellPathPrefix, remote.NewHandler(st))
+	mux.Handle(remote.CellPathPrefix, remote.RequireAuth(*authToken, remote.NewHandler(st)))
+	if *coord {
+		co := fleet.NewCoordinator(fleet.Options{
+			LeaseTTL:   *leaseTTL,
+			StealAfter: *stealAfter,
+			KeepGoing:  *policy == "keep-going",
+			MaxRetries: *maxRetries,
+		})
+		telemetry.Default.AddStatus("fleet", func() any { return co.Status() })
+		mux.Handle(fleet.PathPrefix, remote.RequireAuth(*authToken, fleet.NewHandler(co)))
+	}
 	mux.Handle("/", telemetry.Handler(telemetry.Default))
 
 	ln, err := net.Listen("tcp", *addr)
@@ -82,6 +118,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "labcached: listening on http://%s\n", ln.Addr())
 	fmt.Fprintf(os.Stderr, "labcached: serving %d cells from %s (schema %s)\n",
 		st.Len(), st.Dir(), st.Schema())
+	if *coord {
+		fmt.Fprintf(os.Stderr, "labcached: coordinator at %s (lease-ttl %s, steal-after %s, policy %s)\n",
+			fleet.PathPrefix, *leaseTTL, *stealAfter, *policy)
+	}
+	if *authToken != "" {
+		fmt.Fprintln(os.Stderr, "labcached: bearer-token auth enabled on cell and campaign endpoints")
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()

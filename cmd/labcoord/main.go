@@ -1,0 +1,114 @@
+// Command labcoord serves a fleet coordinator alone — lease arbitration
+// for a distributed campaign whose results flow through some other
+// shared cache (a separate labcached, or plain shared -cache-dir on a
+// network filesystem). Most deployments want labcached -coord instead,
+// which serves results and leases from one process; labcoord exists for
+// topologies that split them, and for chaos drills where the
+// coordinator must be killable without taking the cache down.
+//
+// Usage:
+//
+//	labcoord [-addr HOST:PORT] [-auth-token TOK] [-lease-ttl DUR]
+//	         [-steal-after DUR] [-policy first-error|keep-going]
+//	         [-max-retries N]
+//
+// The campaign endpoints (POST /v1/campaign/{claim,done,fail,heartbeat,
+// manifest}, GET /v1/campaign/status) are mounted beside the standard
+// telemetry handler. The bound address is announced on stderr
+// ("labcoord: listening on http://…") for -addr 127.0.0.1:0 scripting.
+// Coordinator state is in-memory only and that is the design, not a
+// shortcut: completed cells live in the shared cache, so a restarted
+// coordinator re-learns the campaign from the claims that keep arriving
+// — already-published cells never reach it again, and in-flight ones
+// are simply re-claimed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"activemem/internal/fleet"
+	"activemem/internal/remote"
+	"activemem/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("labcoord: ")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8345", "listen address (use :0 for an ephemeral port)")
+		authToken = flag.String("auth-token", remote.TokenFromEnv(),
+			"shared-secret bearer token for the campaign endpoints, empty to disable (default $ACTIVEMEM_CACHE_TOKEN)")
+		leaseTTL = flag.Duration("lease-ttl", 15*time.Second,
+			"lease TTL: a worker silent this long forfeits its cells")
+		stealAfter = flag.Duration("steal-after", 45*time.Second,
+			"how long a cell may stay leased before idle workers may duplicate it")
+		policy = flag.String("policy", "first-error",
+			"failure policy: first-error aborts the campaign, keep-going re-leases failed cells")
+		maxRetries = flag.Int("max-retries", 2,
+			"compute-failure re-leases per cell under -policy keep-going")
+		drain = flag.Duration("drain", 5*time.Second,
+			"in-flight request drain budget on shutdown")
+	)
+	flag.Parse()
+	if *policy != "first-error" && *policy != "keep-going" {
+		log.Fatalf("unknown -policy %q (want first-error or keep-going)", *policy)
+	}
+
+	co := fleet.NewCoordinator(fleet.Options{
+		LeaseTTL:   *leaseTTL,
+		StealAfter: *stealAfter,
+		KeepGoing:  *policy == "keep-going",
+		MaxRetries: *maxRetries,
+	})
+	telemetry.SetActive(true)
+	telemetry.Default.AddStatus("fleet", func() any { return co.Status() })
+	mux := http.NewServeMux()
+	mux.Handle(fleet.PathPrefix, remote.RequireAuth(*authToken, fleet.NewHandler(co)))
+	mux.Handle("/", telemetry.Handler(telemetry.Default))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	fmt.Fprintf(os.Stderr, "labcoord: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "labcoord: lease-ttl %s, steal-after %s, policy %s\n",
+		*leaseTTL, *stealAfter, *policy)
+	if *authToken != "" {
+		fmt.Fprintln(os.Stderr, "labcoord: bearer-token auth enabled")
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "labcoord: %v: draining (up to %s; signal again to exit now)\n", sig, *drain)
+	}
+	go func() {
+		<-sigCh
+		os.Exit(130)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	s := co.Status()
+	fmt.Fprintf(os.Stderr, "labcoord: %d cells (%d done, %d failed), %d leases, %d steals, %d expiries, bye\n",
+		s.Cells, s.Done, s.Failed, s.LeasesGranted, s.Steals, s.Expired)
+}

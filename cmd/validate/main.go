@@ -7,7 +7,7 @@
 //
 //	validate [-scale N] [-grid smoke|quick|paper] [-fig all|table1,table2,3a,5,6,7,8]
 //	         [-seed N] [-j N] [-progress] [-csvdir DIR] [-cache-dir DIR] [-cache-mem BYTES]
-//	         [-cache-url URL] [-cpuprofile FILE] [-memprofile FILE]
+//	         [-cache-url URL] [-worker-of URL] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The default -scale 1 runs the full Xeon20MB geometry. -grid paper runs
 // the paper's complete 660-configuration synthetic grid (slow at scale 1).
@@ -15,7 +15,11 @@
 // an on-disk result store, so an interrupted campaign resumes with only the
 // missing cells simulated; see cmd/labcache for inspecting the store. With
 // -cache-url (or $ACTIVEMEM_CACHE_URL) a shared labcached server is
-// consulted after the local tiers, best-effort; see cmd/labcached.
+// consulted after the local tiers, best-effort; see cmd/labcached. With
+// -worker-of (or $ACTIVEMEM_FLEET_URL) this process joins a distributed
+// campaign as one lease-holding worker of the fleet coordinator at that
+// URL (labcached -coord or labcoord); N such processes split the grid
+// and each still prints the full, byte-identical report.
 //
 // SIGINT/SIGTERM shut down gracefully: no new cells dispatch, in-flight
 // cells drain and persist, the cache tiers sync, and the process exits
@@ -54,6 +58,8 @@ func main() {
 			"in-memory hot-set budget for the cache in bytes, 0 to disable (default $ACTIVEMEM_CACHE_MEM or 64MiB)")
 		cacheURL = flag.String("cache-url", os.Getenv("ACTIVEMEM_CACHE_URL"),
 			"also consult a labcached server at this URL as a best-effort remote tier (default $ACTIVEMEM_CACHE_URL)")
+		workerOf = flag.String("worker-of", os.Getenv("ACTIVEMEM_FLEET_URL"),
+			"run as one worker of the fleet coordinator at this URL (default $ACTIVEMEM_FLEET_URL); implies -cache-url there unless set")
 	)
 	profFlags := prof.RegisterFlags()
 	telemetryAddr := lab.RegisterTelemetryFlag()
@@ -74,11 +80,22 @@ func main() {
 	if cache != nil {
 		defer cache.Close()
 	}
+	// A fleet worker publishes results through the shared cache its peers
+	// read from; the coordinator address doubles as that cache unless the
+	// operator split them explicitly (labcached -coord serves both).
+	if *workerOf != "" && *cacheURL == "" {
+		*cacheURL = *workerOf
+	}
 	rc, err := lab.OpenRemote(*cacheURL)
 	check(err)
 	defer rc.Close()
+	fc, err := lab.OpenFleet(*workerOf)
+	check(err)
+	if fc != nil {
+		defer fc.Close()
+	}
 	ex := lab.New(lab.Config{Workers: *jobs, Progress: lab.StderrProgress(*progress),
-		Cache: cache, Remote: rc})
+		Cache: cache, Remote: rc, Fleet: fc})
 	defer ex.Close()
 	stopSignals := lab.NotifyShutdown(ex, os.Stderr)
 	defer stopSignals()
@@ -88,6 +105,9 @@ func main() {
 	cleanup = func() {
 		ex.Close()
 		ex.PrintCacheSummary(os.Stderr)
+		if fc != nil {
+			fc.Close()
+		}
 		rc.Close()
 		if cache != nil {
 			cache.Close()

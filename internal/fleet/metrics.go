@@ -1,0 +1,63 @@
+// Telemetry instruments for the fleet layer, on the process default
+// registry. Coordinator families answer "is the campaign making
+// progress and who is falling behind" (leases, steals, expiries,
+// requeues, late acks, per-worker top-K of lease hold time); client
+// families answer "is the coordinator link healthy" (RPC outcomes,
+// degraded-to-solo transitions). A process is either coordinator or
+// worker, so the two families never collide in one exposition.
+
+package fleet
+
+import "activemem/internal/telemetry"
+
+// Claim verdict counters, label values of fleet_claims_total.
+const (
+	claimRun = iota
+	claimWait
+	claimDone
+	claimFailed
+	claimAbort
+	numClaimOutcomes
+)
+
+var claimOutcomeNames = [numClaimOutcomes]string{"run", "wait", "done", "failed", "abort"}
+
+var (
+	mClaims [numClaimOutcomes]*telemetry.Counter
+
+	mLeases = telemetry.Default.NewCounter("fleet_leases_granted_total",
+		"Leases granted over cells, including steal duplicates.")
+	mSteals = telemetry.Default.NewCounter("fleet_steals_total",
+		"Duplicate leases granted over slow cells (work-stealing; first completion wins).")
+	mExpired = telemetry.Default.NewCounter("fleet_lease_expiries_total",
+		"Leases expired because their worker missed the heartbeat window.")
+	mRequeued = telemetry.Default.NewCounter("fleet_requeues_total",
+		"Cells returned to the pending queue after losing every live lease.")
+	mLateAcks = telemetry.Default.NewCounter("fleet_late_acks_total",
+		"Completion or failure acks rejected because the lease was no longer live.")
+	mDone = telemetry.Default.NewCounter("fleet_cells_done_total",
+		"Cells completed (exactly one accepted ack per cell).")
+	mFailed = telemetry.Default.NewCounter("fleet_cells_failed_total",
+		"Cells marked permanently failed by policy.")
+	mLeaseHeld = telemetry.Default.NewTopK("fleet_lease_held_seconds_top",
+		"Workers by total lease hold time (accepted completions).", 8)
+
+	mClientRPCs = telemetry.Default.NewCounter("fleet_client_rpcs_total",
+		"Coordinator RPCs attempted by this worker (excluding local fast-fails).")
+	mClientErrors = telemetry.Default.NewCounter("fleet_client_rpc_errors_total",
+		"Coordinator RPCs that failed after the retry budget.")
+	mClientDegraded = telemetry.Default.NewCounter("fleet_client_degraded_total",
+		"Claims answered locally with 'unreachable': the worker computed solo.")
+	mClientBreakerOpens = telemetry.Default.NewCounter("fleet_client_breaker_opens_total",
+		"Coordinator-link circuit-breaker transitions to open.")
+	mClientBreakerState = telemetry.Default.NewGauge("fleet_client_breaker_state",
+		"Coordinator-link circuit-breaker state: 0 closed, 1 half-open, 2 open.")
+)
+
+func init() {
+	for o := 0; o < numClaimOutcomes; o++ {
+		mClaims[o] = telemetry.Default.NewCounter("fleet_claims_total",
+			"Claim RPC verdicts handed out by the coordinator.",
+			telemetry.Label{Key: "action", Value: claimOutcomeNames[o]})
+	}
+}

@@ -178,6 +178,14 @@ func decodePayload(typeName string, payload []byte) (any, bool) {
 // throughout: an unregistered type or a write failure leaves the result
 // memory-only rather than failing the experiment.
 func (e *Executor) cachePut(key Key, v any) bool {
+	return e.cachePutMode(key, v, false)
+}
+
+// cachePutMode is cachePut with the remote leg's mode explicit. Fleet
+// workers publish synchronously (syncRemote) before acking a lease: the
+// coordinator tells waiting peers "done", so the bytes must already be
+// on the server — an async queue ack would race the peers' fetches.
+func (e *Executor) cachePutMode(key Key, v any, syncRemote bool) bool {
 	if (e.cache == nil && e.remote == nil) || v == nil {
 		return false
 	}
@@ -201,7 +209,11 @@ func (e *Executor) cachePut(key Key, v any) bool {
 		}
 	}
 	if e.remote != nil {
-		e.remote.PutAsync(string(key), c.name, payload)
+		if syncRemote {
+			e.remote.Put(string(key), c.name, payload)
+		} else {
+			e.remote.PutAsync(string(key), c.name, payload)
+		}
 	}
 	return added
 }
@@ -284,9 +296,9 @@ func (e *Executor) CacheSummary() string {
 // step parses the hits field).
 func (e *Executor) RemoteSummary() string {
 	rs := e.remote.Stats()
-	return fmt.Sprintf("remote: gets=%d hits=%d misses=%d errors=%d corrupt=%d breaker_opens=%d breaker_fastfails=%d puts_stored=%d puts_dropped=%d url=%s",
+	return fmt.Sprintf("remote: gets=%d hits=%d misses=%d errors=%d corrupt=%d breaker_opens=%d breaker_fastfails=%d puts_stored=%d puts_dropped=%d puts_shed=%d url=%s",
 		rs.Gets, rs.Hits, rs.Misses, rs.Errors, rs.Corrupt, rs.BreakerOpens,
-		rs.BreakerFastFails, rs.PutsStored, rs.PutsDropped, e.remote.BaseURL())
+		rs.BreakerFastFails, rs.PutsStored, rs.PutsDropped, rs.PutsShed, e.remote.BaseURL())
 }
 
 // StoreOpsSummary renders the disk tier's operation counters in the same
@@ -315,6 +327,15 @@ func (e *Executor) PrintCacheSummary(w io.Writer) {
 	}
 	if e.remote != nil {
 		fmt.Fprintf(w, "%s\n", e.RemoteSummary())
+		// Shed write-backs are silent by design at runtime (they must never
+		// block a cell); the epilogue is where they become visible.
+		if rs := e.remote.Stats(); rs.PutsDropped+rs.PutsShed > 0 {
+			fmt.Fprintf(w, "remote: warning: %d computed results never reached the cache server (%d dropped queue-full, %d shed while the tier was down or disabled)\n",
+				rs.PutsDropped+rs.PutsShed, rs.PutsDropped, rs.PutsShed)
+		}
+	}
+	if e.fleet != nil {
+		fmt.Fprintf(w, "%s\n", e.FleetSummary())
 	}
 }
 

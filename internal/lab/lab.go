@@ -37,6 +37,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"activemem/internal/fleet"
 	"activemem/internal/remote"
 	"activemem/internal/store"
 	"activemem/internal/telemetry"
@@ -145,6 +146,17 @@ type Config struct {
 	// change its bytes (see package remote). The executor does not own
 	// the client; close it after the executor.
 	Remote *remote.Client
+	// Fleet, when non-nil, is a coordinator link (open with OpenFleet)
+	// that turns this executor into one worker of a distributed
+	// campaign: a cell that misses every cache tier is claimed from the
+	// coordinator before computing, computed results are published
+	// synchronously through the remote tier before the lease is acked,
+	// and cells leased to other workers are waited out and then read
+	// from the shared cache. An unreachable coordinator degrades every
+	// claim to solo compute — a fleet can make a campaign faster, never
+	// wrong (see package fleet). The executor does not own the client;
+	// close it after the executor.
+	Fleet *fleet.Client
 }
 
 // Executor schedules experiment cells. Construct with New; the zero value
@@ -172,6 +184,12 @@ type Executor struct {
 	progMu   sync.Mutex // serialises progress across batches
 	cache    *store.Store
 	remote   *remote.Client
+	fleet    *fleet.Client
+
+	// fleetSolo counts cells computed without a lease while a fleet was
+	// attached (coordinator unreachable, or a peer's result unfetchable) —
+	// the degraded-but-correct path.
+	fleetSolo atomic.Uint64
 
 	// interrupted stops new cells from dispatching (graceful shutdown);
 	// see Interrupt.
@@ -217,6 +235,7 @@ type poolTask struct {
 
 // poolBatch is the shared state of one RunLabeled call in flight.
 type poolBatch struct {
+	ex     *Executor
 	label  string
 	job    func(i int) error
 	report func()
@@ -256,7 +275,7 @@ func (t poolTask) run() {
 		mQueueWait.Observe(telemetry.NowNs() - t.submitNs)
 	}
 	mWorkersBusy.Add(1)
-	err := runCell(t.b.label, t.i, t.b.job)
+	err := t.b.ex.runCell(t.b.label, t.i, t.b.job)
 	mWorkersBusy.Add(-1)
 	if err != nil {
 		t.b.fail(t.i, err)
@@ -266,8 +285,15 @@ func (t poolTask) run() {
 }
 
 // runCell executes one cell under the batch's pprof label, timing the
-// start→done span when telemetry is active.
-func runCell(label string, i int, job func(i int) error) error {
+// start→done span when telemetry is active. With a fleet attached, the
+// batch label is also parked in the goroutine-keyed label table so the
+// memo layer (Do has no label parameter) can attribute its claims.
+func (e *Executor) runCell(label string, i int, job func(i int) error) error {
+	if e.fleet != nil && label != "" {
+		id := goid()
+		cellLabels.Store(id, label)
+		defer cellLabels.Delete(id)
+	}
 	var err error
 	timed := telemetry.Active()
 	var startNs int64
@@ -297,7 +323,8 @@ func New(cfg Config) *Executor {
 		}
 	}
 	return &Executor{workers: w, progress: cfg.Progress,
-		cache: cfg.Cache, remote: cfg.Remote, memo: map[Key]*memoEntry{}}
+		cache: cfg.Cache, remote: cfg.Remote, fleet: cfg.Fleet,
+		memo: map[Key]*memoEntry{}}
 }
 
 // Workers returns the executor's concurrency bound.
@@ -400,7 +427,7 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 				abort()
 				return ErrInterrupted
 			}
-			if err := runCell(label, i, job); err != nil {
+			if err := e.runCell(label, i, job); err != nil {
 				abort()
 				return err
 			}
@@ -409,7 +436,7 @@ func (e *Executor) RunLabeled(label string, n int, job func(i int) error) error 
 		return nil
 	}
 
-	b := &poolBatch{label: label, job: job, report: report, errIdx: -1}
+	b := &poolBatch{ex: e, label: label, job: job, report: report, errIdx: -1}
 	pool := e.ensurePool()
 	// Feed one task per index into the pool's queue: only the resident
 	// workers execute tasks, so the worker count bounds concurrency across
@@ -485,6 +512,10 @@ func (e *Executor) Do(key Key, fn func() (any, error)) (any, error) {
 		if v, tier, ok := e.cacheGet(key); ok {
 			ent.value = v
 			hitTier = tier
+			return
+		}
+		if e.fleet != nil {
+			ent.value, ent.err, hitTier, ran, wrote = e.fleetResolve(key, fn)
 			return
 		}
 		ent.value, ent.err = fn()

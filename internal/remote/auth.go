@@ -1,0 +1,49 @@
+// Shared-secret auth for the HTTP services (labcached's cell store and
+// the fleet coordinator). The model is deliberately minimal: one bearer
+// token shared by the whole campaign, supplied to servers via
+// -auth-token and to clients via $ACTIVEMEM_CACHE_TOKEN. It is an
+// accident fence, not a cryptographic identity system — it keeps a
+// stray process of another campaign (or another schema generation that
+// predates the 412 check) from reading or polluting a cache it was
+// never pointed at. Comparison is constant-time over fixed-length
+// digests so neither token length nor a prefix match leaks through
+// response timing.
+
+package remote
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// TokenFromEnv returns the shared-secret bearer token from
+// $ACTIVEMEM_CACHE_TOKEN, or "" when unset (auth disabled).
+func TokenFromEnv() string { return os.Getenv("ACTIVEMEM_CACHE_TOKEN") }
+
+// RequireAuth wraps h with bearer-token authentication. An empty token
+// disables the check entirely (the PR 9 open-by-default posture). A
+// request whose Authorization header is missing or wrong gets 401 and a
+// count in remote_server_requests_total{op="any",outcome="unauthorized"};
+// the body never reaches h.
+func RequireAuth(token string, h http.Handler) http.Handler {
+	if token == "" {
+		return h
+	}
+	// Hash once: ConstantTimeCompare needs equal-length inputs, and
+	// comparing digests also avoids keeping the raw secret in the closure.
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		gotSum := sha256.Sum256([]byte(got))
+		if subtle.ConstantTimeCompare(gotSum[:], want[:]) != 1 {
+			mSrvRequests[srvUnauthorized].Inc()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="activemem"`)
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

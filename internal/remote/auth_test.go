@@ -1,0 +1,89 @@
+// Shared-secret auth on the cache server, and the client's reaction to
+// a rejected credential: one 401, one warning, then a permanently
+// disabled tier whose refused writes are counted as shed.
+
+package remote
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"activemem/internal/store"
+)
+
+func TestRequireAuth(t *testing.T) {
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	get := func(h http.Handler, authorization string) int {
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if authorization != "" {
+			req.Header.Set("Authorization", authorization)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// An empty configured token disables auth entirely.
+	if code := get(RequireAuth("", ok), ""); code != http.StatusNoContent {
+		t.Fatalf("no-auth passthrough = %d", code)
+	}
+	guarded := RequireAuth("s3cret", ok)
+	for header, want := range map[string]int{
+		"":                http.StatusUnauthorized,
+		"Bearer wrong":    http.StatusUnauthorized,
+		"Bearer s3cret":   http.StatusNoContent,
+		"s3cret":          http.StatusNoContent, // bare token accepted too
+		"Bearer s3cretXX": http.StatusUnauthorized,
+	} {
+		if code := get(guarded, header); code != want {
+			t.Errorf("Authorization %q = %d, want %d", header, code, want)
+		}
+	}
+}
+
+func TestClientAuthRoundtripAndRejection(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{Schema: testSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := httptest.NewServer(RequireAuth("s3cret", NewHandler(st)))
+	t.Cleanup(srv.Close)
+
+	// The right token: a normal tier.
+	c := newClient(t, srv.URL, func(o *Options) { o.AuthToken = "s3cret" })
+	if !c.Put("k1", "T", []byte("payload")) {
+		t.Fatal("authed put failed")
+	}
+	if _, payload, ok := c.Get("k1"); !ok || string(payload) != "payload" {
+		t.Fatalf("authed get = %q, %v", payload, ok)
+	}
+
+	// The wrong token: the tier downs itself on the first 401 and every
+	// later call is shed locally without touching the server.
+	bad := newClient(t, srv.URL, func(o *Options) { o.AuthToken = "nope" })
+	if bad.Put("k1", "T", []byte("payload")) {
+		t.Fatal("unauthorized put reported success")
+	}
+	if _, _, ok := bad.Get("k1"); ok {
+		t.Fatal("unauthorized get reported a hit")
+	}
+	for i := 0; i < 3; i++ {
+		bad.Put("k1", "T", []byte("payload"))
+	}
+	s := bad.Stats()
+	if s.PutsShed < 3 {
+		t.Fatalf("stats = %+v: disabled tier must shed writes", s)
+	}
+	if s.BreakerState != BreakerClosed {
+		t.Fatalf("401 tripped the breaker (state %d): a healthy server answered", s.BreakerState)
+	}
+}

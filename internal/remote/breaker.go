@@ -1,9 +1,12 @@
-// The client's circuit breaker. A sick cache server must cost a campaign
-// at most one deadline budget per probe window, not one per cell: after
-// Threshold consecutive failures the breaker opens and requests fast-fail
-// locally (a counted miss, no dial, no deadline spent) until Cooldown
-// elapses; then exactly one probe request is let through half-open — its
-// success closes the breaker, its failure re-opens the window.
+// The circuit breaker shared by every remote-facing client in this
+// repository (the memo-tier cache client here, the fleet coordinator
+// client in internal/fleet). A sick server must cost a campaign at most
+// one deadline budget per probe window, not one per cell: after
+// Threshold consecutive failures the breaker opens and requests
+// fast-fail locally (a counted miss, no dial, no deadline spent) until
+// Cooldown elapses; then exactly one probe request is let through
+// half-open — its success closes the breaker, its failure re-opens the
+// window.
 
 package remote
 
@@ -21,7 +24,9 @@ const (
 	BreakerOpen     = 2
 )
 
-type breaker struct {
+// Breaker is a closed→open→half-open circuit breaker. Construct with
+// NewBreaker; the zero value is not ready for use.
+type Breaker struct {
 	threshold int           // consecutive failures that open the breaker
 	cooldown  time.Duration // open duration before a half-open probe
 
@@ -31,23 +36,37 @@ type breaker struct {
 	openedAt  time.Time // when the breaker last opened
 	openCount uint64    // total transitions to open
 
-	opens *telemetry.Counter // remote_breaker_opens_total
-	gauge *telemetry.Gauge   // remote_breaker_state
+	opens *telemetry.Counter // transitions-to-open counter, may be nil
+	gauge *telemetry.Gauge   // state gauge, may be nil
 }
 
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
+// NewBreaker returns a breaker that opens after threshold consecutive
+// failures and probes again after cooldown. The optional instruments
+// (either may be nil) receive open transitions and state changes, so each
+// client family exposes its own breaker series.
+func NewBreaker(threshold int, cooldown time.Duration, opens *telemetry.Counter, state *telemetry.Gauge) *Breaker {
 	if threshold <= 0 {
 		threshold = 1
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown,
-		opens: mBreakerOpens, gauge: mBreakerState}
+	return &Breaker{threshold: threshold, cooldown: cooldown, opens: opens, gauge: state}
 }
 
-// allow reports whether a request may go out. In the open state it
+// newBreaker binds the remote tier's own metric instruments.
+func newBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return NewBreaker(threshold, cooldown, mBreakerOpens, mBreakerState)
+}
+
+func (b *Breaker) setGauge(v int64) {
+	if b.gauge != nil {
+		b.gauge.Set(v)
+	}
+}
+
+// Allow reports whether a request may go out. In the open state it
 // returns false until the cooldown has elapsed, then admits a single
 // half-open probe; concurrent callers during the probe keep fast-failing,
 // so a struggling server sees one request per window, not a stampede.
-func (b *breaker) allow() bool {
+func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -60,28 +79,28 @@ func (b *breaker) allow() bool {
 			return false
 		}
 		b.state = BreakerHalfOpen
-		b.gauge.Set(BreakerHalfOpen)
+		b.setGauge(BreakerHalfOpen)
 		return true
 	}
 }
 
-// success records a request that completed against the server (any
+// Success records a request that completed against the server (any
 // protocol-level answer, including 404 — the server is healthy even when
 // the cache is cold).
-func (b *breaker) success() {
+func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failures = 0
 	if b.state != BreakerClosed {
 		b.state = BreakerClosed
-		b.gauge.Set(BreakerClosed)
+		b.setGauge(BreakerClosed)
 	}
 }
 
-// failure records a connection-level failure, timeout, server error or
+// Failure records a connection-level failure, timeout, server error or
 // corrupt body. A failing half-open probe re-opens immediately; while
 // closed, Threshold consecutive failures open the breaker.
-func (b *breaker) failure() {
+func (b *Breaker) Failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == BreakerHalfOpen {
@@ -98,24 +117,26 @@ func (b *breaker) failure() {
 }
 
 // open transitions to the open state. Callers hold b.mu.
-func (b *breaker) open() {
+func (b *Breaker) open() {
 	b.state = BreakerOpen
 	b.failures = 0
 	b.openedAt = time.Now()
 	b.openCount++
-	b.opens.Inc()
-	b.gauge.Set(BreakerOpen)
+	if b.opens != nil {
+		b.opens.Inc()
+	}
+	b.setGauge(BreakerOpen)
 }
 
 // State returns the current breaker state constant.
-func (b *breaker) State() int {
+func (b *Breaker) State() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
 }
 
 // Opens returns how many times the breaker has opened.
-func (b *breaker) Opens() uint64 {
+func (b *Breaker) Opens() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.openCount

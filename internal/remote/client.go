@@ -79,6 +79,13 @@ type Options struct {
 	// DrainTimeout bounds how long Close waits for queued write-backs
 	// (default 2s).
 	DrainTimeout time.Duration
+
+	// AuthToken, when non-empty, is sent as a bearer token on every
+	// request (the server's -auth-token shared secret). A 401 answer
+	// disables the tier for the process lifetime with one warning, like a
+	// schema mismatch: a server that rejects our credential can never
+	// serve us a byte.
+	AuthToken string
 }
 
 func (o *Options) withDefaults() {
@@ -117,10 +124,11 @@ func (o *Options) withDefaults() {
 //	ACTIVEMEM_REMOTE_RETRIES            re-attempts after a retryable failure
 //	ACTIVEMEM_REMOTE_BREAKER_THRESHOLD  consecutive failures that open the breaker
 //	ACTIVEMEM_REMOTE_BREAKER_COOLDOWN   open duration before a probe (Go duration)
+//	ACTIVEMEM_CACHE_TOKEN               shared-secret bearer token
 //
 // Unset or unparsable variables keep the defaults.
 func OptionsFromEnv(baseURL, schema string) Options {
-	o := Options{BaseURL: baseURL, Schema: schema}
+	o := Options{BaseURL: baseURL, Schema: schema, AuthToken: TokenFromEnv()}
 	if d, err := time.ParseDuration(os.Getenv("ACTIVEMEM_REMOTE_TIMEOUT")); err == nil && d > 0 {
 		o.Timeout = d
 	}
@@ -146,7 +154,7 @@ type Client struct {
 	schema string
 	opts   Options
 	hc     *http.Client
-	br     *breaker
+	br     *Breaker
 
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
@@ -159,6 +167,8 @@ type Client struct {
 
 	schemaBad atomic.Bool
 	warnOnce  sync.Once
+	authBad   atomic.Bool
+	authOnce  sync.Once
 
 	// Per-client counters backing Stats (the /metrics families in
 	// metrics.go are process-wide and aggregate across clients).
@@ -167,6 +177,7 @@ type Client struct {
 	nFastFails, nRetries             atomic.Uint64
 	nPutsStored, nPutsExists         atomic.Uint64
 	nPutErrors, nPutsDropped         atomic.Uint64
+	nPutsShed                        atomic.Uint64
 	nSingleflightShared, nQueueDepth atomic.Int64
 }
 
@@ -231,7 +242,7 @@ func (c *Client) Get(key string) (typeName string, payload []byte, ok bool) {
 		return "", nil, false
 	}
 	c.nGets.Add(1)
-	if c.schemaBad.Load() {
+	if c.schemaBad.Load() || c.authBad.Load() {
 		c.nSchemaMiss.Add(1)
 		mGets[getSchemaMiss].Inc()
 		return "", nil, false
@@ -263,15 +274,16 @@ const (
 	outMiss
 	outNotModified
 	outSchemaMiss
-	outCorrupt // body arrived but cannot be trusted; retrying won't help
-	outRetry   // connection-level failure, timeout, torn body, 5xx
-	outFail    // unexpected but definitive answer (other 4xx)
+	outUnauthorized // 401: credential rejected; the tier disables itself
+	outCorrupt      // body arrived but cannot be trusted; retrying won't help
+	outRetry        // connection-level failure, timeout, torn body, 5xx
+	outFail         // unexpected but definitive answer (other 4xx)
 )
 
 // getCall runs one logical GET: breaker gate, attempt loop with backoff,
 // outcome accounting.
 func (c *Client) getCall(key string) (string, []byte, bool) {
-	if !c.br.allow() {
+	if !c.br.Allow() {
 		c.nFastFails.Add(1)
 		mGets[getBreakerOpen].Inc()
 		return "", nil, false
@@ -290,39 +302,45 @@ func (c *Client) getCall(key string) (string, []byte, bool) {
 		typeName, payload, out := c.getOnce(key)
 		switch out {
 		case outHit:
-			c.br.success()
+			c.br.Success()
 			c.nHits.Add(1)
 			mGets[getHit].Inc()
 			return typeName, payload, true
 		case outMiss:
-			c.br.success() // the server answered; a cold cache is healthy
+			c.br.Success() // the server answered; a cold cache is healthy
 			c.nMisses.Add(1)
 			mGets[getMiss].Inc()
 			return "", nil, false
 		case outNotModified:
-			c.br.success()
+			c.br.Success()
 			c.nNotMod.Add(1)
 			mGets[getNotModified].Inc()
 			return "", nil, false
 		case outSchemaMiss:
-			c.br.success()
+			c.br.Success()
 			c.noteSchemaMismatch()
 			c.nSchemaMiss.Add(1)
 			mGets[getSchemaMiss].Inc()
 			return "", nil, false
+		case outUnauthorized:
+			c.br.Success() // the server is healthy; our credential is not
+			c.noteUnauthorized()
+			c.nErrors.Add(1)
+			mGets[getError].Inc()
+			return "", nil, false
 		case outCorrupt:
-			c.br.failure()
+			c.br.Failure()
 			c.nCorrupt.Add(1)
 			mGets[getCorrupt].Inc()
 			return "", nil, false
 		case outFail:
-			c.br.failure()
+			c.br.Failure()
 			c.nErrors.Add(1)
 			mGets[getError].Inc()
 			return "", nil, false
 		default: // outRetry
 			if attempt >= c.opts.Retries {
-				c.br.failure()
+				c.br.Failure()
 				c.nErrors.Add(1)
 				mGets[getError].Inc()
 				return "", nil, false
@@ -349,6 +367,9 @@ func (c *Client) getOnceConditional(key, ifNoneMatch string) (string, []byte, in
 		return "", nil, outFail
 	}
 	req.Header.Set(HeaderSchema, c.schema)
+	if c.opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.AuthToken)
+	}
 	if ifNoneMatch != "" {
 		req.Header.Set("If-None-Match", ifNoneMatch)
 	}
@@ -384,6 +405,8 @@ func (c *Client) getOnceConditional(key, ifNoneMatch string) (string, []byte, in
 		return "", nil, outMiss
 	case resp.StatusCode == http.StatusPreconditionFailed:
 		return "", nil, outSchemaMiss
+	case resp.StatusCode == http.StatusUnauthorized:
+		return "", nil, outUnauthorized
 	case resp.StatusCode >= 500:
 		return "", nil, outRetry
 	default:
@@ -396,7 +419,14 @@ func (c *Client) getOnceConditional(key, ifNoneMatch string) (string, []byte, in
 // the result is already safe in the local tiers, the remote copy is an
 // optimisation.
 func (c *Client) PutAsync(key, typeName string, payload []byte) {
-	if c == nil || c.closed.Load() || c.schemaBad.Load() {
+	if c == nil || c.closed.Load() {
+		return
+	}
+	if c.schemaBad.Load() || c.authBad.Load() {
+		// Count the refusal: these records never reach the server and the
+		// epilogue warns about them, same as the breaker-open sync path.
+		c.nPutsShed.Add(1)
+		mPuts[putShed].Inc()
 		return
 	}
 	if len(payload) > MaxPayload || len(key) > MaxKeyLen {
@@ -439,15 +469,33 @@ func (c *Client) putWorker() {
 	}
 }
 
-// putCall runs one logical PUT. Only connection-level failures retry:
-// there the request provably never changed server state. (A PUT of a
-// content-addressed record is idempotent anyway, but staying within the
-// idempotency argument keeps the retry policy self-evidently safe.)
-func (c *Client) putCall(j putJob) {
-	if c.schemaBad.Load() || !c.br.allow() {
-		c.nPutsDropped.Add(1)
-		mPuts[putDropped].Inc()
-		return
+// Put writes one record synchronously and reports whether the server
+// now holds it. Workers in a fleet use this to publish a computed cell
+// before acking its lease — the ack must not race the write-back queue,
+// or a peer told "done" could miss the bytes. Failures degrade to false;
+// the caller's result is already safe in the local tiers.
+func (c *Client) Put(key, typeName string, payload []byte) bool {
+	if c == nil || c.closed.Load() {
+		return false
+	}
+	if len(payload) > MaxPayload || len(key) > MaxKeyLen {
+		return false
+	}
+	return c.putCall(putJob{key: key, typeName: typeName, payload: payload})
+}
+
+// putCall runs one logical PUT and reports whether the record is on the
+// server (stored now or already present). Only connection-level failures
+// retry: there the request provably never changed server state. (A PUT
+// of a content-addressed record is idempotent anyway, but staying within
+// the idempotency argument keeps the retry policy self-evidently safe.)
+func (c *Client) putCall(j putJob) bool {
+	if c.schemaBad.Load() || c.authBad.Load() || !c.br.Allow() {
+		// Shed, not dropped: the record never entered the queue race — the
+		// tier itself refused it (disabled or breaker-open).
+		c.nPutsShed.Add(1)
+		mPuts[putShed].Inc()
+		return false
 	}
 	timed := telemetry.Active()
 	var startNs int64
@@ -463,32 +511,38 @@ func (c *Client) putCall(j putJob) {
 		out := c.putOnce(j)
 		switch out {
 		case outHit: // 201 stored
-			c.br.success()
+			c.br.Success()
 			c.nPutsStored.Add(1)
 			mPuts[putStored].Inc()
-			return
+			return true
 		case outMiss: // 200 already present
-			c.br.success()
+			c.br.Success()
 			c.nPutsExists.Add(1)
 			mPuts[putExists].Inc()
-			return
+			return true
 		case outSchemaMiss:
-			c.br.success()
+			c.br.Success()
 			c.noteSchemaMismatch()
 			c.nPutErrors.Add(1)
 			mPuts[putError].Inc()
-			return
-		case outFail:
-			c.br.failure()
+			return false
+		case outUnauthorized:
+			c.br.Success()
+			c.noteUnauthorized()
 			c.nPutErrors.Add(1)
 			mPuts[putError].Inc()
-			return
+			return false
+		case outFail:
+			c.br.Failure()
+			c.nPutErrors.Add(1)
+			mPuts[putError].Inc()
+			return false
 		default: // outRetry: connection-level only
 			if attempt >= c.opts.Retries {
-				c.br.failure()
+				c.br.Failure()
 				c.nPutErrors.Add(1)
 				mPuts[putError].Inc()
-				return
+				return false
 			}
 			c.nRetries.Add(1)
 			mRetries.Inc()
@@ -510,6 +564,9 @@ func (c *Client) putOnce(j putJob) int {
 	req.Header.Set(HeaderSchema, c.schema)
 	req.Header.Set(HeaderType, j.typeName)
 	req.Header.Set(HeaderChecksum, Checksum(j.payload))
+	if c.opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.AuthToken)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return outRetry
@@ -525,6 +582,8 @@ func (c *Client) putOnce(j putJob) int {
 		return outMiss
 	case resp.StatusCode == http.StatusPreconditionFailed:
 		return outSchemaMiss
+	case resp.StatusCode == http.StatusUnauthorized:
+		return outUnauthorized
 	case resp.StatusCode >= 500:
 		// The server answered, so the transport worked; but a 5xx PUT may
 		// or may not have been applied. Content addressing makes a replay
@@ -538,11 +597,22 @@ func (c *Client) putOnce(j putJob) int {
 
 // backoff returns the jittered exponential delay before retry attempt+1.
 func (c *Client) backoff(attempt int) time.Duration {
-	d := c.opts.BackoffBase << uint(attempt)
-	if d > c.opts.BackoffMax || d <= 0 {
-		d = c.opts.BackoffMax
+	return JitteredBackoff(c.opts.BackoffBase, c.opts.BackoffMax, attempt)
+}
+
+// JitteredBackoff returns the delay before retry attempt+1 of an
+// exponential-backoff schedule: base<<attempt capped at max, jittered on
+// the upper half ([d/2, d]) so a fleet of workers retrying against one
+// recovering server never synchronises into thundering herds. Shared by
+// this client and the fleet coordinator client.
+func JitteredBackoff(base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
 	}
-	// Full jitter on the upper half: [d/2, d].
+	if d <= 0 {
+		return 0
+	}
 	return d/2 + rand.N(d/2+1)
 }
 
@@ -555,6 +625,20 @@ func (c *Client) noteSchemaMismatch() {
 			fmt.Fprintf(os.Stderr,
 				"remote: cache at %s speaks a different result-schema generation than %q; remote tier disabled for this run\n",
 				c.base, c.schema)
+		})
+	}
+}
+
+// noteUnauthorized disables the tier for the process lifetime and warns
+// once, mirroring noteSchemaMismatch: a server that rejects this
+// process's credential will reject every request, so further traffic is
+// pure overhead (and noise in the server's 401 counter).
+func (c *Client) noteUnauthorized() {
+	if c.authBad.CompareAndSwap(false, true) {
+		c.authOnce.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"remote: cache at %s rejected our auth token (401); remote tier disabled for this run\n",
+				c.base)
 		})
 	}
 }
@@ -595,6 +679,7 @@ type Stats struct {
 	PutsExists       uint64 `json:"puts_exists"`
 	PutErrors        uint64 `json:"put_errors"`
 	PutsDropped      uint64 `json:"puts_dropped"`
+	PutsShed         uint64 `json:"puts_shed"`
 	PutQueueDepth    int64  `json:"put_queue_depth"`
 }
 
@@ -620,6 +705,7 @@ func (c *Client) Stats() Stats {
 		PutsExists:       c.nPutsExists.Load(),
 		PutErrors:        c.nPutErrors.Load(),
 		PutsDropped:      c.nPutsDropped.Load(),
+		PutsShed:         c.nPutsShed.Load(),
 		PutQueueDepth:    c.nQueueDepth.Load(),
 	}
 }

@@ -30,10 +30,11 @@ const (
 	putExists
 	putError
 	putDropped // write-back queue full: dropped, never blocked the campaign
+	putShed    // tier refused it up front: breaker open, schema/auth disabled
 	numPutOutcomes
 )
 
-var putOutcomeNames = [numPutOutcomes]string{"stored", "exists", "error", "dropped"}
+var putOutcomeNames = [numPutOutcomes]string{"stored", "exists", "error", "dropped", "shed"}
 
 var (
 	mGets [numGetOutcomes]*telemetry.Counter
@@ -77,13 +78,14 @@ const (
 	srvPutSchemaMiss
 	srvBadRequest
 	srvError
+	srvUnauthorized // bearer token missing or wrong: 401, nothing served
 	numSrvOutcomes
 )
 
 var srvOutcomeNames = [numSrvOutcomes]struct{ op, outcome string }{
 	{"get", "hit"}, {"get", "miss"}, {"get", "not_modified"}, {"get", "schema_mismatch"},
 	{"put", "stored"}, {"put", "exists"}, {"put", "schema_mismatch"},
-	{"any", "bad_request"}, {"any", "error"},
+	{"any", "bad_request"}, {"any", "error"}, {"any", "unauthorized"},
 }
 
 var mSrvRequests [numSrvOutcomes]*telemetry.Counter
